@@ -1,0 +1,438 @@
+package latenttruth_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section (§6), plus ablation benches for the design
+// choices called out in DESIGN.md. Each benchmark regenerates its
+// experiment end to end on the simulated corpora; accuracy-style outcomes
+// are attached as custom benchmark metrics so `go test -bench` output
+// doubles as a compact reproduction report. cmd/experiments prints the
+// full tables (use -repeats 10 there for the paper's averaging).
+//
+// Corpora are generated once and shared across benchmarks; generation
+// cost is excluded from timings via b.ResetTimer.
+
+import (
+	"sync"
+	"testing"
+
+	"latenttruth"
+	"latenttruth/internal/core"
+	"latenttruth/internal/eval"
+	"latenttruth/internal/experiments"
+)
+
+var bench struct {
+	once    sync.Once
+	corpora *experiments.Corpora
+	err     error
+}
+
+// benchCorpora generates (once) the book and movie corpora.
+func benchCorpora(b *testing.B) *experiments.Corpora {
+	b.Helper()
+	bench.once.Do(func() {
+		bench.corpora, bench.err = experiments.LoadCorpora(benchConfig())
+	})
+	if bench.err != nil {
+		b.Fatal(bench.err)
+	}
+	return bench.corpora
+}
+
+// benchConfig is the shared experiment configuration: single repetition
+// per bench iteration (testing.B supplies the averaging), paper-default
+// LTM settings.
+func benchConfig() experiments.Config {
+	return experiments.Config{Seed: 42, Repeats: 1, LTM: core.Config{Seed: 7}}
+}
+
+// --- Table 7: inference quality at threshold 0.5 ---------------------------
+
+func BenchmarkTable7Book(b *testing.B) {
+	corpora := benchCorpora(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t7, err := experiments.RunTable7(corpora.Book, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRow(b, t7, "LTM")
+	}
+}
+
+func BenchmarkTable7Movie(b *testing.B) {
+	corpora := benchCorpora(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t7, err := experiments.RunTable7(corpora.Movie, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRow(b, t7, "LTM")
+	}
+}
+
+// reportRow attaches one method's accuracy and F1 as benchmark metrics.
+func reportRow(b *testing.B, t7 *experiments.Table7, method string) {
+	for _, r := range t7.Rows {
+		if r.Method == method {
+			b.ReportMetric(r.Accuracy, "accuracy")
+			b.ReportMetric(r.F1, "F1")
+		}
+	}
+}
+
+// --- Table 8: source quality -----------------------------------------------
+
+func BenchmarkTable8(b *testing.B) {
+	corpora := benchCorpora(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t8, err := experiments.RunTable8(corpora.Movie, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t8.SensSpearman, "sens-spearman")
+		b.ReportMetric(t8.SpecSpearman, "spec-spearman")
+	}
+}
+
+// --- Table 9 and Figure 6: runtime scaling ---------------------------------
+
+func BenchmarkTable9(b *testing.B) {
+	corpora := benchCorpora(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable9(corpora.Movie, benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	corpora := benchCorpora(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f6, err := experiments.RunFigure6(corpora.Movie, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f6.Fit.R2, "R2")
+	}
+}
+
+// --- Figure 2: accuracy vs threshold ---------------------------------------
+
+func BenchmarkFigure2Book(b *testing.B) {
+	corpora := benchCorpora(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure2(corpora.Book, benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2Movie(b *testing.B) {
+	corpora := benchCorpora(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure2(corpora.Movie, benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 3: AUC ----------------------------------------------------------
+
+func BenchmarkFigure3(b *testing.B) {
+	corpora := benchCorpora(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f3, err := experiments.RunFigure3(corpora, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, m := range f3.Methods {
+			if m == "LTM" {
+				b.ReportMetric(f3.BookAUC[j], "book-AUC")
+				b.ReportMetric(f3.MovieAUC[j], "movie-AUC")
+			}
+		}
+	}
+}
+
+// --- Figure 4: degraded synthetic quality -----------------------------------
+
+func BenchmarkFigure4(b *testing.B) {
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f4, err := experiments.RunFigure4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f4.VaryingSensitivity[0].Accuracy, "acc-sens0.1")
+		b.ReportMetric(f4.VaryingSpecificity[0].Accuracy, "acc-spec0.1")
+	}
+}
+
+// --- Figure 5: convergence ----------------------------------------------------
+
+func BenchmarkFigure5(b *testing.B) {
+	corpora := benchCorpora(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f5, err := experiments.RunFigure5(corpora.Movie, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f5.Points[0].Accuracy.Mean, "acc@7iters")
+		b.ReportMetric(f5.Points[len(f5.Points)-1].Accuracy.Mean, "acc@500iters")
+	}
+}
+
+// --- Core micro-benchmarks ---------------------------------------------------
+
+// BenchmarkLTMGibbs measures raw sampler throughput on the movie corpus
+// (claims processed per sweep; paper: linear in |C|, Figure 6).
+func BenchmarkLTMGibbs(b *testing.B) {
+	corpora := benchCorpora(b)
+	ds := corpora.Movie.Dataset
+	cfg := latenttruth.Config{Iterations: 20, BurnIn: 5, Seed: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := latenttruth.NewLTM(cfg).Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ds.NumClaims()*20)/b.Elapsed().Seconds()/float64(b.N), "claimsweeps/s")
+}
+
+// BenchmarkLTMinc measures the closed-form incremental predictor
+// (Equation 3), the fast path of Table 9.
+func BenchmarkLTMinc(b *testing.B) {
+	corpora := benchCorpora(b)
+	ds := corpora.Movie.Dataset
+	fit, err := latenttruth.NewLTM(latenttruth.Config{Seed: 7}).Fit(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inc, err := latenttruth.NewIncremental(ds, fit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inc.Infer(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClaimGeneration measures Definitions 2-3 derivation (raw
+// triples to fact+claim tables) on the book corpus's positive claims.
+func BenchmarkClaimGeneration(b *testing.B) {
+	corpora := benchCorpora(b)
+	ds := corpora.Book.Dataset
+	db := latenttruth.NewRawDB()
+	for _, c := range ds.Claims {
+		if c.Observation {
+			f := ds.Facts[c.Fact]
+			db.Add(ds.Entities[f.Entity], f.Attribute, ds.Sources[c.Source])
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := latenttruth.BuildDataset(db)
+		if out.NumFacts() == 0 {
+			b.Fatal("empty build")
+		}
+	}
+}
+
+// --- Ablations (design choices from DESIGN.md §4) ----------------------------
+
+// BenchmarkAblationSampling compares the paper's binary sample averaging
+// (Algorithm 1) with the Rao-Blackwellized default on the movie corpus.
+func BenchmarkAblationSampling(b *testing.B) {
+	corpora := benchCorpora(b)
+	ds := corpora.Movie.Dataset
+	for _, mode := range []struct {
+		name   string
+		binary bool
+	}{{"Binary", true}, {"RaoBlackwell", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := latenttruth.Config{Seed: 7, BinarySamples: mode.binary}
+			for i := 0; i < b.N; i++ {
+				fit, err := latenttruth.NewLTM(cfg).Fit(ds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := eval.Evaluate(ds, fit.Result, 0.5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				auc, err := eval.AUC(ds, fit.Result)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(m.Accuracy, "accuracy")
+				b.ReportMetric(auc, "AUC")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPriorStrength sweeps the specificity prior's total
+// count: the paper argues it must be on the order of the number of facts
+// (§6.2); too weak lets the model flip truths, too strong washes out the
+// data.
+func BenchmarkAblationPriorStrength(b *testing.B) {
+	corpora := benchCorpora(b)
+	ds := corpora.Movie.Dataset
+	for _, scale := range []struct {
+		name  string
+		total float64
+	}{{"Weak100", 100}, {"Paper10k", 10000}, {"Strong100k", 100000}} {
+		b.Run(scale.name, func(b *testing.B) {
+			p := latenttruth.Priors{
+				FP: 0.01 * scale.total, TN: 0.99 * scale.total,
+				TP: 50, FN: 50, True: 10, Fls: 10,
+			}
+			for i := 0; i < b.N; i++ {
+				fit, err := latenttruth.NewLTM(latenttruth.Config{Priors: p, Seed: 7}).Fit(ds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := eval.Evaluate(ds, fit.Result, 0.5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(m.Accuracy, "accuracy")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNegativeClaims quantifies the paper's central claim:
+// dropping negative claims (LTMpos) destroys discrimination.
+func BenchmarkAblationNegativeClaims(b *testing.B) {
+	corpora := benchCorpora(b)
+	ds := corpora.Movie.Dataset
+	for _, v := range []struct {
+		name   string
+		method latenttruth.Method
+	}{
+		{"WithNegative", latenttruth.NewLTM(latenttruth.Config{Seed: 7})},
+		{"PositiveOnly", latenttruth.NewLTMPos(latenttruth.Config{Seed: 7})},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := v.method.Infer(ds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := eval.Evaluate(ds, res, 0.5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(m.Accuracy, "accuracy")
+				b.ReportMetric(m.FPR, "FPR")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationInference compares the three inference engines for the
+// same model: the paper's collapsed Gibbs sampler, the uncollapsed (naive)
+// Gibbs sampler it improves on, and the deterministic EM alternative —
+// quality vs cost of the §5.2 design choice.
+func BenchmarkAblationInference(b *testing.B) {
+	corpora := benchCorpora(b)
+	ds := corpora.Movie.Dataset
+	for _, v := range []struct {
+		name   string
+		method latenttruth.Method
+	}{
+		{"Collapsed", latenttruth.NewLTM(latenttruth.Config{Seed: 7})},
+		{"Naive", latenttruth.NewNaiveLTM(latenttruth.Config{Seed: 7})},
+		{"EM", latenttruth.NewEMLTM(latenttruth.Config{Seed: 7})},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := v.method.Infer(ds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := eval.Evaluate(ds, res, 0.5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(m.Accuracy, "accuracy")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBurnIn sweeps the burn-in length at fixed total
+// iterations (convergence design choice behind Figure 5's schedule).
+func BenchmarkAblationBurnIn(b *testing.B) {
+	corpora := benchCorpora(b)
+	ds := corpora.Movie.Dataset
+	for _, burn := range []int{2, 20, 60} {
+		b.Run(map[int]string{2: "BurnIn2", 20: "BurnIn20", 60: "BurnIn60"}[burn], func(b *testing.B) {
+			cfg := latenttruth.Config{Iterations: 100, BurnIn: burn, SampleGap: 4, Seed: 7}
+			for i := 0; i < b.N; i++ {
+				fit, err := latenttruth.NewLTM(cfg).Fit(ds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := eval.Evaluate(ds, fit.Result, 0.5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(m.Accuracy, "accuracy")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAdversarialFilter measures the §7 iterative filter
+// against a straight fit when an adversarial source is injected.
+func BenchmarkAblationAdversarialFilter(b *testing.B) {
+	corpora := benchCorpora(b)
+	base := latenttruth.SubsampleEntities(corpora.Movie.Dataset, 2000, 99)
+	ds, err := latenttruth.InjectAdversary(base, "fabricator", 0.8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("StraightFit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fit, err := latenttruth.NewLTM(latenttruth.Config{Seed: 7}).Fit(ds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := eval.Evaluate(ds, fit.Result, 0.5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(m.Accuracy, "accuracy")
+		}
+	})
+	b.Run("IterativeFilter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			af := latenttruth.NewAdversarialFilter(latenttruth.Config{Seed: 7})
+			out, err := af.Run(ds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := eval.Evaluate(out.Dataset, out.Fit.Result, 0.5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(m.Accuracy, "accuracy")
+			b.ReportMetric(float64(len(out.Removed)), "removed")
+		}
+	})
+}

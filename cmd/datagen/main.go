@@ -1,0 +1,105 @@
+// Command datagen generates the simulated evaluation corpora and writes
+// them as CSV files compatible with cmd/truthfind.
+//
+// Usage:
+//
+//	datagen -corpus book|movie|table1 [-seed 42] [-dir .]
+//
+// It writes <corpus>-triples.csv (the raw database), <corpus>-labels.csv
+// (the labeled evaluation subset) and <corpus>-truth.csv (the complete
+// generator ground truth, for studies that want full supervision).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"latenttruth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		corpus = flag.String("corpus", "", "corpus to generate: book, movie, or table1; required")
+		seed   = flag.Int64("seed", 42, "generator seed")
+		dir    = flag.String("dir", ".", "output directory")
+	)
+	flag.Parse()
+	var (
+		c   *latenttruth.Corpus
+		err error
+	)
+	switch *corpus {
+	case "book":
+		c, err = latenttruth.BookCorpus(*seed)
+	case "movie":
+		c, err = latenttruth.MovieCorpus(*seed)
+	case "table1":
+		c = latenttruth.Table1Example()
+	default:
+		flag.Usage()
+		return fmt.Errorf("unknown corpus %q", *corpus)
+	}
+	if err != nil {
+		return err
+	}
+	ds := c.Dataset
+
+	// Reconstruct the raw database from positive claims.
+	db := latenttruth.NewRawDB()
+	for _, cl := range ds.Claims {
+		if cl.Observation {
+			f := ds.Facts[cl.Fact]
+			db.Add(ds.Entities[f.Entity], f.Attribute, ds.Sources[cl.Source])
+		}
+	}
+
+	write := func(name string, fn func(io.Writer) error) error {
+		path := filepath.Join(*dir, fmt.Sprintf("%s-%s.csv", *corpus, name))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+		return nil
+	}
+	if err := write("triples", func(w io.Writer) error {
+		return latenttruth.WriteTriples(w, db)
+	}); err != nil {
+		return err
+	}
+	if err := write("labels", func(w io.Writer) error {
+		return latenttruth.WriteLabels(w, ds)
+	}); err != nil {
+		return err
+	}
+	// Full ground truth: temporarily label everything.
+	truth, err := c.TruthOf(ds)
+	if err != nil {
+		return err
+	}
+	full := *ds
+	full.Labels = make(map[int]bool, len(truth))
+	for f, v := range truth {
+		full.Labels[f] = v
+	}
+	return write("truth", func(w io.Writer) error {
+		return latenttruth.WriteLabels(w, &full)
+	})
+}

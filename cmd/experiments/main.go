@@ -1,0 +1,128 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (§6) on the simulated corpora and prints them as
+// aligned text tables.
+//
+// Usage:
+//
+//	experiments [-run all|table7|table8|table9|figure2|figure3|figure4|figure5|figure6]
+//	            [-seed 42] [-repeats 10] [-iterations 100]
+//
+// Runtime-heavy experiments (table9, figure5, figure6) honour -repeats;
+// use -repeats 3 for a quick pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"latenttruth/internal/core"
+	"latenttruth/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		which      = flag.String("run", "all", "experiment to run (all, table7, table8, table9, figure2, figure3, figure4, figure5, figure6)")
+		seed       = flag.Int64("seed", 42, "corpus and sampler seed")
+		repeats    = flag.Int("repeats", 10, "repetitions for timing/convergence experiments")
+		iterations = flag.Int("iterations", 0, "LTM Gibbs iterations (0 = default 100)")
+	)
+	flag.Parse()
+	cfg := experiments.Config{
+		Seed:    *seed,
+		Repeats: *repeats,
+		LTM:     core.Config{Iterations: *iterations, Seed: *seed},
+	}
+	wants := func(name string) bool { return *which == "all" || *which == name }
+	known := map[string]bool{"all": true, "table7": true, "table8": true, "table9": true,
+		"figure2": true, "figure3": true, "figure4": true, "figure5": true, "figure6": true}
+	if !known[*which] {
+		flag.Usage()
+		return fmt.Errorf("unknown experiment %q", *which)
+	}
+
+	needCorpora := *which != "figure4"
+	var corpora *experiments.Corpora
+	if needCorpora {
+		var err error
+		fmt.Fprintln(os.Stderr, "generating corpora ...")
+		if corpora, err = experiments.LoadCorpora(cfg); err != nil {
+			return err
+		}
+	}
+	print := func(s string) { fmt.Println(s); fmt.Println(strings.Repeat("=", 72)) }
+
+	if wants("table7") {
+		t, err := experiments.RunTable7(corpora.Book, cfg)
+		if err != nil {
+			return err
+		}
+		print(t.Render())
+		if t, err = experiments.RunTable7(corpora.Movie, cfg); err != nil {
+			return err
+		}
+		print(t.Render())
+	}
+	if wants("figure2") {
+		f, err := experiments.RunFigure2(corpora.Book, cfg)
+		if err != nil {
+			return err
+		}
+		print(f.Render())
+		if f, err = experiments.RunFigure2(corpora.Movie, cfg); err != nil {
+			return err
+		}
+		print(f.Render())
+	}
+	if wants("figure3") {
+		f, err := experiments.RunFigure3(corpora, cfg)
+		if err != nil {
+			return err
+		}
+		print(f.Render())
+	}
+	if wants("figure4") {
+		f, err := experiments.RunFigure4(cfg)
+		if err != nil {
+			return err
+		}
+		print(f.Render())
+	}
+	if wants("table8") {
+		t, err := experiments.RunTable8(corpora.Movie, cfg)
+		if err != nil {
+			return err
+		}
+		print(t.Render())
+	}
+	if wants("figure5") {
+		f, err := experiments.RunFigure5(corpora.Movie, cfg)
+		if err != nil {
+			return err
+		}
+		print(f.Render())
+	}
+	if wants("table9") {
+		t, err := experiments.RunTable9(corpora.Movie, cfg)
+		if err != nil {
+			return err
+		}
+		print(t.Render())
+	}
+	if wants("figure6") {
+		f, err := experiments.RunFigure6(corpora.Movie, cfg)
+		if err != nil {
+			return err
+		}
+		print(f.Render())
+	}
+	return nil
+}

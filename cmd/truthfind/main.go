@@ -1,0 +1,130 @@
+// Command truthfind runs a truth-discovery method over a CSV of raw
+// (entity, attribute, source) triples and writes the inferred truth table.
+//
+// Usage:
+//
+//	truthfind -input triples.csv [-method LTM] [-threshold 0.5]
+//	          [-output truth.csv] [-quality quality.csv] [-labels labels.csv]
+//	          [-iterations 100] [-seed 1]
+//
+// With -labels, the labeled subset is evaluated and Table 7-style metrics
+// are printed to stderr. With -quality (LTM only), the per-source quality
+// table is also written.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"latenttruth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "truthfind:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		input      = flag.String("input", "", "triples CSV (entity,attribute,source); required")
+		method     = flag.String("method", "LTM", "method name: "+strings.Join(latenttruth.MethodNames(), ", "))
+		threshold  = flag.Float64("threshold", 0.5, "decision threshold for the truth table")
+		output     = flag.String("output", "", "truth table CSV output (default stdout)")
+		quality    = flag.String("quality", "", "source quality CSV output (LTM only)")
+		labels     = flag.String("labels", "", "labels CSV (entity,attribute,truth) for evaluation")
+		iterations = flag.Int("iterations", 0, "Gibbs iterations for LTM (0 = default 100)")
+		seed       = flag.Int64("seed", 1, "sampler seed")
+	)
+	flag.Parse()
+	if *input == "" {
+		flag.Usage()
+		return fmt.Errorf("-input is required")
+	}
+	f, err := os.Open(*input)
+	if err != nil {
+		return err
+	}
+	db, err := latenttruth.ReadTriples(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	ds := latenttruth.BuildDataset(db)
+	fmt.Fprintf(os.Stderr, "loaded %d entities, %d facts, %d claims from %d sources\n",
+		ds.NumEntities(), ds.NumFacts(), ds.NumClaims(), ds.NumSources())
+
+	if *labels != "" {
+		lf, err := os.Open(*labels)
+		if err != nil {
+			return err
+		}
+		err = latenttruth.ReadLabels(lf, ds)
+		lf.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := latenttruth.Config{Iterations: *iterations, Seed: *seed}
+	var res *latenttruth.Result
+	if *method == "LTM" {
+		fit, err := latenttruth.NewLTM(cfg).Fit(ds)
+		if err != nil {
+			return err
+		}
+		res = fit.Result
+		if *quality != "" {
+			if err := writeTo(*quality, func(w io.Writer) error {
+				return latenttruth.WriteQuality(w, latenttruth.RankedQuality(fit.Quality))
+			}); err != nil {
+				return err
+			}
+		}
+	} else {
+		if *quality != "" {
+			return fmt.Errorf("-quality is only available with -method LTM")
+		}
+		m, err := latenttruth.MethodByName(*method, cfg)
+		if err != nil {
+			return err
+		}
+		if res, err = m.Infer(ds); err != nil {
+			return err
+		}
+	}
+
+	if *labels != "" {
+		metrics, err := latenttruth.Evaluate(ds, res, *threshold)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, metrics)
+		if auc, err := latenttruth.AUC(ds, res); err == nil {
+			fmt.Fprintf(os.Stderr, "AUC = %.4f\n", auc)
+		}
+	}
+
+	write := func(w io.Writer) error { return latenttruth.WriteTruth(w, ds, res, *threshold) }
+	if *output == "" {
+		return write(os.Stdout)
+	}
+	return writeTo(*output, write)
+}
+
+// writeTo writes via fn into a freshly created file.
+func writeTo(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

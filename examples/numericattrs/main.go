@@ -1,0 +1,92 @@
+// Numeric attributes: the real-valued loss extension of the paper's §7.
+// Boolean true/false claims are the wrong error model for numeric
+// attribute types — a source reporting a movie's runtime as 121 instead
+// of 120 minutes is almost right, not simply wrong. The Gaussian variant
+// models each entity's value as a latent real number and each source's
+// quality as a noise variance, inferred jointly by EM.
+//
+// Run with: go run ./examples/numericattrs
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+
+	"latenttruth"
+)
+
+func main() {
+	// Simulate four sources reporting movie runtimes with very different
+	// noise levels (an archival database, two aggregators, a crowd wiki).
+	rng := rand.New(rand.NewSource(11))
+	type movie struct {
+		name    string
+		runtime float64
+	}
+	var movies []movie
+	var claims []latenttruth.NumericClaim
+	for i := 0; i < 400; i++ {
+		m := movie{
+			name:    fmt.Sprintf("movie-%03d", i),
+			runtime: 80 + float64(rng.Intn(80)),
+		}
+		movies = append(movies, m)
+		claims = append(claims,
+			latenttruth.NumericClaim{Entity: m.name, Source: "archive", Value: m.runtime + rng.NormFloat64()*0.5},
+			latenttruth.NumericClaim{Entity: m.name, Source: "aggregator-a", Value: m.runtime + rng.NormFloat64()*2},
+			latenttruth.NumericClaim{Entity: m.name, Source: "aggregator-b", Value: m.runtime + rng.NormFloat64()*3},
+			latenttruth.NumericClaim{Entity: m.name, Source: "crowdwiki", Value: m.runtime + rng.NormFloat64()*8},
+		)
+	}
+
+	res, err := latenttruth.GaussianTruth(claims, latenttruth.GaussianConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Inferred source quality: noise standard deviation per source.
+	fmt.Println("inferred source noise (std dev):")
+	names := make([]string, 0, len(res.SourceVariance))
+	for name := range res.SourceVariance {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return res.SourceVariance[names[i]] < res.SourceVariance[names[j]]
+	})
+	for _, name := range names {
+		fmt.Printf("  %-14s %.2f minutes\n", name, math.Sqrt(res.SourceVariance[name]))
+	}
+
+	// Accuracy of the fused values vs the naive mean.
+	var fusedSE, meanSE float64
+	byEntity := map[string][]float64{}
+	for _, c := range claims {
+		byEntity[c.Entity] = append(byEntity[c.Entity], c.Value)
+	}
+	for _, m := range movies {
+		d := res.Truth[m.name] - m.runtime
+		fusedSE += d * d
+		vals := byEntity[m.name]
+		mean := 0.0
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(len(vals))
+		d = mean - m.runtime
+		meanSE += d * d
+	}
+	n := float64(len(movies))
+	fmt.Printf("\nRMSE of precision-weighted fusion: %.3f minutes\n", math.Sqrt(fusedSE/n))
+	fmt.Printf("RMSE of naive per-movie average:   %.3f minutes\n", math.Sqrt(meanSE/n))
+
+	// A concrete record.
+	m := movies[0]
+	fmt.Printf("\n%s: true %.0f, fused %.2f, reports:", m.name, m.runtime, res.Truth[m.name])
+	for _, c := range claims[:4] {
+		fmt.Printf(" %s=%.1f", c.Source, c.Value)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,189 @@
+package latenttruth_test
+
+import (
+	"math"
+	"testing"
+
+	"latenttruth"
+)
+
+// smallCorpus generates a compact corpus through the facade for the
+// extended-API tests.
+func smallCorpus(t *testing.T, seed int64) *latenttruth.Corpus {
+	t.Helper()
+	c, err := latenttruth.GenerateCorpus(latenttruth.CorpusSpec{
+		Name: "facade", NumEntities: 250,
+		TrueAttrWeights:  []float64{0.5, 0.4, 0.1},
+		FalseCandWeights: []float64{0.4, 0.4, 0.2},
+		LabelEntities:    40,
+		Seed:             seed,
+		Sources: []latenttruth.SourceProfile{
+			{Name: "good", Coverage: 0.9, Sensitivity: 0.93, FPR: 0.03},
+			{Name: "lazy", Coverage: 0.8, Sensitivity: 0.55, FPR: 0.03},
+			{Name: "messy", Coverage: 0.8, Sensitivity: 0.85, FPR: 0.3},
+			{Name: "ok", Coverage: 0.7, Sensitivity: 0.8, FPR: 0.08},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestInferenceVariantsThroughFacade(t *testing.T) {
+	c := smallCorpus(t, 1)
+	ds := c.Dataset
+	truth, err := c.TruthOf(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accOf := func(prob []float64) float64 {
+		correct := 0
+		for f, v := range truth {
+			if (prob[f] >= 0.5) == v {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(truth))
+	}
+	type variant struct {
+		name string
+		fit  func() (*latenttruth.FitResult, error)
+	}
+	for _, v := range []variant{
+		{"collapsed", func() (*latenttruth.FitResult, error) {
+			return latenttruth.NewLTM(latenttruth.Config{Seed: 3}).Fit(ds)
+		}},
+		{"naive", func() (*latenttruth.FitResult, error) {
+			return latenttruth.NewNaiveLTM(latenttruth.Config{Seed: 3}).Fit(ds)
+		}},
+		{"em", func() (*latenttruth.FitResult, error) {
+			return latenttruth.NewEMLTM(latenttruth.Config{}).Fit(ds)
+		}},
+	} {
+		fit, err := v.fit()
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if acc := accOf(fit.Prob); acc < 0.85 {
+			t.Errorf("%s accuracy %v", v.name, acc)
+		}
+		// Every variant must identify "messy" as the least specific and
+		// "lazy" as the least sensitive source.
+		var bySrc = map[string]latenttruth.SourceQuality{}
+		for _, q := range fit.Quality {
+			bySrc[q.Source] = q
+		}
+		if bySrc["messy"].Specificity >= bySrc["good"].Specificity {
+			t.Errorf("%s: messy specificity %v >= good %v",
+				v.name, bySrc["messy"].Specificity, bySrc["good"].Specificity)
+		}
+		if bySrc["lazy"].Sensitivity >= bySrc["good"].Sensitivity {
+			t.Errorf("%s: lazy sensitivity %v >= good %v",
+				v.name, bySrc["lazy"].Sensitivity, bySrc["good"].Sensitivity)
+		}
+	}
+}
+
+func TestCurvesThroughFacade(t *testing.T) {
+	c := smallCorpus(t, 2)
+	fit, err := latenttruth.NewLTM(latenttruth.Config{Seed: 4}).Fit(c.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := latenttruth.PrecisionRecall(c.Dataset, fit.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr) == 0 {
+		t.Fatal("empty PR curve")
+	}
+	// Recall is non-decreasing along the curve.
+	for i := 1; i < len(pr); i++ {
+		if pr[i].Recall < pr[i-1].Recall {
+			t.Fatal("PR curve recall not monotone")
+		}
+	}
+	ap, err := latenttruth.AveragePrecision(c.Dataset, fit.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap < 0.8 {
+		t.Errorf("average precision %v", ap)
+	}
+	bins, ece, err := latenttruth.Calibration(c.Dataset, fit.Result, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 10 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	// LTM's posterior should be reasonably calibrated on model-generated
+	// data; belief-score methods are not probabilities at all.
+	if ece > 0.25 || math.IsNaN(ece) {
+		t.Errorf("ECE = %v", ece)
+	}
+	brier, err := latenttruth.Brier(c.Dataset, fit.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brier > 0.15 {
+		t.Errorf("Brier = %v", brier)
+	}
+}
+
+func TestClusteredThroughFacade(t *testing.T) {
+	c := smallCorpus(t, 3)
+	cl := latenttruth.NewClustered(latenttruth.Config{Seed: 5, Iterations: 50, BurnIn: 10}, 2)
+	out, err := cl.Fit(c.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Assignment) != c.Dataset.NumEntities() {
+		t.Fatalf("assignment covers %d entities", len(out.Assignment))
+	}
+	if err := out.Result.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagnosticsThroughFacade(t *testing.T) {
+	c := smallCorpus(t, 5)
+	mc, err := latenttruth.FitChains(latenttruth.NewLTM(latenttruth.Config{Seed: 7}), c.Dataset, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Chains) != 3 || len(mc.RHat) != c.Dataset.NumFacts() {
+		t.Fatalf("multi-chain shape: %d chains, %d R-hats", len(mc.Chains), len(mc.RHat))
+	}
+	if mc.MaxRHat < 1 {
+		t.Fatalf("MaxRHat = %v", mc.MaxRHat)
+	}
+	ci, err := latenttruth.BootstrapMetrics(c.Dataset, mc.Result, 0.5, 200, 0.95, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ci.Accuracy.Lower <= ci.Accuracy.Mean && ci.Accuracy.Mean <= ci.Accuracy.Upper) {
+		t.Fatalf("accuracy CI disordered: %+v", ci.Accuracy)
+	}
+}
+
+func TestOnlineRefitThroughFacade(t *testing.T) {
+	c := smallCorpus(t, 4)
+	o, err := latenttruth.NewOnline(latenttruth.Config{
+		Priors: latenttruth.DefaultPriors(300), Seed: 6, Iterations: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := latenttruth.SplitEntities(c.Dataset, 2)
+	if _, err := o.Step(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Refit(c.Dataset); err != nil {
+		t.Fatal(err)
+	}
+	if o.FactsSeen() != c.Dataset.NumFacts() {
+		t.Fatalf("FactsSeen = %d after refit", o.FactsSeen())
+	}
+}

@@ -1,0 +1,77 @@
+// Package baselines implements every comparison method of the paper's
+// evaluation (§6.2, Table 7): Voting, TruthFinder [14], HubAuthority [9,10],
+// AvgLog [10,11], Investment [10], PooledInvestment [10,11], and
+// 3-Estimates [7]. All methods satisfy model.Method and output per-fact
+// truth probabilities so they can be swept over thresholds (Figure 2) and
+// ranked by AUC (Figure 3).
+//
+// The original fact-finders were designed for single-truth settings and
+// emit unbounded belief scores, not probabilities. Following the paper's
+// adaptation, positive-claim-only methods see only positive claims, and
+// belief scores are mapped to [0,1] in the way that preserves each
+// method's published behaviour at threshold 0.5 (optimistic for
+// TruthFinder/Investment, conservative for HubAuthority/AvgLog/
+// PooledInvestment); the mapping used is documented on each type.
+package baselines
+
+import (
+	"latenttruth/internal/model"
+)
+
+// common precomputes the positive-claim bipartite structure shared by the
+// fact-finder baselines.
+type common struct {
+	ds *model.Dataset
+	// factSources[f] lists sources with a positive claim on f.
+	factSources [][]int
+	// sourceFacts[s] lists facts source s positively claims.
+	sourceFacts [][]int
+}
+
+func newCommon(ds *model.Dataset) *common {
+	c := &common{
+		ds:          ds,
+		factSources: make([][]int, ds.NumFacts()),
+		sourceFacts: make([][]int, ds.NumSources()),
+	}
+	for _, cl := range ds.Claims {
+		if cl.Observation {
+			c.factSources[cl.Fact] = append(c.factSources[cl.Fact], cl.Source)
+			c.sourceFacts[cl.Source] = append(c.sourceFacts[cl.Source], cl.Fact)
+		}
+	}
+	return c
+}
+
+// maxAbsDelta returns the largest absolute element-wise difference between
+// a and b, used for convergence checks.
+func maxAbsDelta(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// normalizeMax divides xs by its maximum when positive, leaving xs
+// untouched otherwise, and returns the maximum.
+func normalizeMax(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	if m > 0 {
+		for i := range xs {
+			xs[i] /= m
+		}
+	}
+	return m
+}

@@ -1,0 +1,357 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"latenttruth/internal/core"
+	"latenttruth/internal/model"
+	"latenttruth/internal/synth"
+)
+
+// table1 returns the paper's running example dataset.
+func table1(t *testing.T) *model.Dataset {
+	t.Helper()
+	return synth.Table1Example().Dataset
+}
+
+// syntheticDS draws a medium synthetic dataset for behavioural tests.
+func syntheticDS(t *testing.T, seed int64) *model.Dataset {
+	t.Helper()
+	ds, _, err := synth.PaperSynthetic(synth.PaperSyntheticConfig{
+		NumFacts: 400, NumSources: 12,
+		Alpha0: [2]float64{5, 95}, Alpha1: [2]float64{85, 15},
+		Beta: [2]float64{10, 10}, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func accuracy(ds *model.Dataset, res *model.Result) float64 {
+	correct := 0
+	for f, v := range ds.Labels {
+		if (res.Prob[f] >= 0.5) == v {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(ds.Labels))
+}
+
+func TestAllMethodsProduceValidResults(t *testing.T) {
+	ds := syntheticDS(t, 1)
+	for _, m := range All(core.Config{Seed: 1}) {
+		res, err := m.Infer(ds)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if len(res.Prob) != ds.NumFacts() {
+			t.Fatalf("%s: %d scores for %d facts", m.Name(), len(res.Prob), ds.NumFacts())
+		}
+		if err := res.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if res.Method != m.Name() {
+			t.Fatalf("%s: result reports method %q", m.Name(), res.Method)
+		}
+	}
+}
+
+func TestVotingExactFractions(t *testing.T) {
+	ds := table1(t)
+	res, err := NewVoting().Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim table (Table 3): Daniel 3/3, Emma 2/3, Rupert 1/3,
+	// Johnny@HP 1/3, Johnny@P4 1/1.
+	want := map[string]float64{
+		"Daniel Radcliffe": 1,
+		"Emma Watson":      2.0 / 3,
+		"Rupert Grint":     1.0 / 3,
+	}
+	for attr, w := range want {
+		f := ds.FactIndex("Harry Potter", attr)
+		if math.Abs(res.Prob[f]-w) > 1e-12 {
+			t.Errorf("vote(%s) = %v, want %v", attr, res.Prob[f], w)
+		}
+	}
+	if f := ds.FactIndex("Pirates 4", "Johnny Depp"); res.Prob[f] != 1 {
+		t.Errorf("vote(Pirates) = %v", res.Prob[f])
+	}
+}
+
+func TestVotingIllustratesThresholdDilemma(t *testing.T) {
+	// The paper's Example 1: at threshold 1/2, voting rejects both Rupert
+	// (true) and Johnny@HP (false); at 1/3 it accepts both. No threshold
+	// separates them.
+	ds := table1(t)
+	res, err := NewVoting().Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rupert := ds.FactIndex("Harry Potter", "Rupert Grint")
+	johnny := ds.FactIndex("Harry Potter", "Johnny Depp")
+	if res.Prob[rupert] != res.Prob[johnny] {
+		t.Fatalf("voting separates Rupert (%v) from Johnny (%v)",
+			res.Prob[rupert], res.Prob[johnny])
+	}
+}
+
+func TestTruthFinderAlwaysAboveHalf(t *testing.T) {
+	// σ(f) >= 0 implies conf(f) = 1/(1+exp(-γσ)) >= 0.5: the structural
+	// reason TruthFinder floods Table 7 with positives.
+	ds := syntheticDS(t, 2)
+	res, err := NewTruthFinder().Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, p := range res.Prob {
+		hasPos := false
+		for _, ci := range ds.ClaimsByFact[f] {
+			if ds.Claims[ci].Observation {
+				hasPos = true
+			}
+		}
+		if hasPos && p < 0.5 {
+			t.Fatalf("fact %d with positive support scored %v < 0.5", f, p)
+		}
+	}
+}
+
+func TestTruthFinderMoreSupportMoreConfidence(t *testing.T) {
+	ds := table1(t)
+	res, err := NewTruthFinder().Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	daniel := ds.FactIndex("Harry Potter", "Daniel Radcliffe")
+	rupert := ds.FactIndex("Harry Potter", "Rupert Grint")
+	if res.Prob[daniel] <= res.Prob[rupert] {
+		t.Fatalf("3-source fact (%v) not above 1-source fact (%v)",
+			res.Prob[daniel], res.Prob[rupert])
+	}
+}
+
+func TestInvestmentOptimistic(t *testing.T) {
+	ds := syntheticDS(t, 3)
+	res, err := NewInvestment().Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	below := 0
+	for _, p := range res.Prob {
+		if p < 0.5 {
+			below++
+		}
+	}
+	if below != 0 {
+		t.Fatalf("Investment scored %d facts below 0.5; the adaptation should be optimistic", below)
+	}
+}
+
+func TestHubAuthorityConservative(t *testing.T) {
+	ds := syntheticDS(t, 4)
+	res, err := NewHubAuthority().Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global max normalization: exactly one fact (the argmax) scores 1.
+	max := 0.0
+	for _, p := range res.Prob {
+		if p > max {
+			max = p
+		}
+	}
+	if math.Abs(max-1) > 1e-9 {
+		t.Fatalf("max score %v, want 1", max)
+	}
+}
+
+func TestHubAuthorityOrdersBySupport(t *testing.T) {
+	ds := table1(t)
+	res, err := NewHubAuthority().Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	daniel := ds.FactIndex("Harry Potter", "Daniel Radcliffe")
+	rupert := ds.FactIndex("Harry Potter", "Rupert Grint")
+	if res.Prob[daniel] <= res.Prob[rupert] {
+		t.Fatal("authority ordering violated")
+	}
+}
+
+func TestAvgLogSingleClaimSourcesGetZeroTrust(t *testing.T) {
+	// A source with exactly one claim has log(1) = 0 trust, so a fact
+	// supported only by such sources scores 0.
+	db := model.NewRawDB()
+	db.Add("e1", "a", "lonely") // lonely claims only this fact
+	db.Add("e2", "b", "busy")   // busy claims two facts
+	db.Add("e3", "c", "busy")
+	ds := model.Build(db)
+	res, err := NewAvgLog().Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := ds.FactIndex("e1", "a")
+	if res.Prob[fa] != 0 {
+		t.Fatalf("lonely-supported fact scored %v, want 0", res.Prob[fa])
+	}
+}
+
+func TestPooledInvestmentSharesWithinEntity(t *testing.T) {
+	ds := syntheticDS(t, 5)
+	res, err := NewPooledInvestment().Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pooled shares within each entity sum to at most 1 (exactly 1 when
+	// any fact of the entity has support).
+	for e, facts := range ds.FactsByEntity {
+		sum := 0.0
+		for _, f := range facts {
+			sum += res.Prob[f]
+		}
+		if sum > 1+1e-9 {
+			t.Fatalf("entity %d pooled shares sum to %v", e, sum)
+		}
+	}
+}
+
+func TestPooledInvestmentSingleCandidateDominates(t *testing.T) {
+	// An entity with a single supported fact gives it the whole pool.
+	db := model.NewRawDB()
+	db.Add("e", "only", "s1")
+	db.Add("e2", "x", "s1") // keep s1 busy elsewhere too
+	ds := model.Build(db)
+	res, err := NewPooledInvestment().Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ds.FactIndex("e", "only")
+	if math.Abs(res.Prob[f]-1) > 1e-9 {
+		t.Fatalf("single candidate share %v, want 1", res.Prob[f])
+	}
+}
+
+func TestThreeEstimatesPerfectSources(t *testing.T) {
+	// When all sources agree with the truth, 3-Estimates must recover it.
+	db := model.NewRawDB()
+	for e := 0; e < 20; e++ {
+		for s := 0; s < 4; s++ {
+			db.Add(entityName(e), "good", sourceName(s))
+		}
+	}
+	ds := model.Build(db)
+	res, err := NewThreeEstimates().Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, p := range res.Prob {
+		if p < 0.9 {
+			t.Fatalf("unanimous fact %d scored %v", f, p)
+		}
+	}
+}
+
+func TestThreeEstimatesUsesNegativeClaims(t *testing.T) {
+	// A fact asserted by one source but denied by three consistent ones
+	// should score below one asserted by all.
+	ds := table1(t)
+	res, err := NewThreeEstimates().Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	daniel := ds.FactIndex("Harry Potter", "Daniel Radcliffe")
+	johnny := ds.FactIndex("Harry Potter", "Johnny Depp")
+	if res.Prob[daniel] <= res.Prob[johnny] {
+		t.Fatalf("3-Estimates: unanimous fact %v not above contested %v",
+			res.Prob[daniel], res.Prob[johnny])
+	}
+}
+
+func TestThreeEstimatesAccuracyOnSynthetic(t *testing.T) {
+	ds := syntheticDS(t, 6)
+	res, err := NewThreeEstimates().Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(ds, res); acc < 0.9 {
+		t.Fatalf("3-Estimates accuracy %v on easy synthetic", acc)
+	}
+}
+
+func TestRenormalize(t *testing.T) {
+	xs := []float64{0.2, 0.4, 0.6}
+	renormalize(xs, 0.001)
+	if math.Abs(xs[0]-0.001) > 1e-12 || math.Abs(xs[2]-0.999) > 1e-12 {
+		t.Fatalf("renormalized to %v", xs)
+	}
+	if math.Abs(xs[1]-0.5) > 1e-12 {
+		t.Fatalf("midpoint %v, want 0.5", xs[1])
+	}
+	// Constant input untouched.
+	ys := []float64{0.3, 0.3}
+	renormalize(ys, 0.001)
+	if ys[0] != 0.3 || ys[1] != 0.3 {
+		t.Fatalf("constant input changed: %v", ys)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"LTM", "3-Estimates", "Voting", "TruthFinder", "Investment",
+		"LTMpos", "HubAuthority", "AvgLog", "PooledInvestment"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	for _, n := range want {
+		m, err := ByName(n, core.Config{})
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", n, err)
+		}
+		if m.Name() != n {
+			t.Fatalf("ByName(%s).Name() = %s", n, m.Name())
+		}
+	}
+	if _, err := ByName("nope", core.Config{}); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+}
+
+func TestBaselinesRankEasySynthetic(t *testing.T) {
+	// All reasonable methods should beat coin-flipping on easy data at
+	// their respective operating points; the score-ranking methods should
+	// order true facts above false ones (sanity on scores, not thresholds).
+	ds := syntheticDS(t, 7)
+	for _, m := range []model.Method{NewVoting(), NewThreeEstimates(), NewTruthFinder(), NewAvgLog(), NewHubAuthority()} {
+		res, err := m.Infer(ds)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		// Mean score of true facts must exceed mean score of false facts.
+		var st, sf, nt, nf float64
+		for f, v := range ds.Labels {
+			if v {
+				st += res.Prob[f]
+				nt++
+			} else {
+				sf += res.Prob[f]
+				nf++
+			}
+		}
+		if st/nt <= sf/nf {
+			t.Errorf("%s: true-fact mean score %v <= false-fact mean %v",
+				m.Name(), st/nt, sf/nf)
+		}
+	}
+}
+
+func entityName(i int) string { return "e" + string(rune('A'+i%26)) + string(rune('0'+i/26)) }
+func sourceName(i int) string { return "s" + string(rune('0'+i)) }

@@ -1,0 +1,112 @@
+package baselines
+
+import (
+	"math"
+
+	"latenttruth/internal/model"
+)
+
+// PooledInvestment implements the PooledInvestment fact-finder of
+// Pasternack & Roth with growth exponent g = 1.4 (the published setting).
+// Sources invest trust uniformly across claims as in Investment; the
+// linear belief H(f) is then pooled within each mutual-exclusion set —
+// here, the facts of the same entity, the natural adaptation for
+// multi-valued attributes — and redistributed superlinearly:
+//
+//	B_i(f) = H_i(f) · G(H_i(f)) / Σ_{f'∈mutex(f)} G(H_i(f'))
+//
+// The final probability of a fact is its pooled share
+// G(H(f)) / Σ_{f'∈mutex(f)} G(H(f')), so an entity's probability mass sums
+// to one across its candidate attributes. When an entity genuinely has
+// several true attributes each share falls below 0.5 — which is why the
+// paper finds PooledInvestment the most conservative method in Table 7
+// (perfect precision, recall as low as 0.025).
+type PooledInvestment struct {
+	// Growth is the pooling exponent g (default 1.4).
+	Growth float64
+	// MaxIterations bounds the fixpoint loop (default 100).
+	MaxIterations int
+	// Tolerance stops iteration early when beliefs change less (default 1e-9).
+	Tolerance float64
+}
+
+// NewPooledInvestment returns the baseline with the published settings.
+func NewPooledInvestment() *PooledInvestment {
+	return &PooledInvestment{Growth: 1.4, MaxIterations: 100, Tolerance: 1e-9}
+}
+
+// Name implements model.Method.
+func (*PooledInvestment) Name() string { return "PooledInvestment" }
+
+// Infer runs the pooled investment fixpoint.
+func (pi *PooledInvestment) Infer(ds *model.Dataset) (*model.Result, error) {
+	c := newCommon(ds)
+	nS, nF := ds.NumSources(), ds.NumFacts()
+	trust := make([]float64, nS)
+	for s := range trust {
+		trust[s] = 1
+	}
+	linear := make([]float64, nF) // H(f)
+	belief := make([]float64, nF) // B(f)
+	share := make([]float64, nF)  // pooled share, the output probability
+	prev := make([]float64, nF)
+	for iter := 0; iter < pi.MaxIterations; iter++ {
+		for f := range linear {
+			linear[f] = 0
+		}
+		for s := range trust {
+			facts := c.sourceFacts[s]
+			if len(facts) == 0 {
+				continue
+			}
+			inv := trust[s] / float64(len(facts))
+			for _, f := range facts {
+				linear[f] += inv
+			}
+		}
+		// Pool within each entity's facts.
+		copy(prev, belief)
+		for _, facts := range pi.mutexSets(c) {
+			total := 0.0
+			for _, f := range facts {
+				total += math.Pow(linear[f], pi.Growth)
+			}
+			for _, f := range facts {
+				if total > 0 {
+					share[f] = math.Pow(linear[f], pi.Growth) / total
+				} else {
+					share[f] = 0
+				}
+				belief[f] = linear[f] * share[f] * float64(len(facts))
+			}
+		}
+		// Returns to sources, proportional to invested share as in Investment.
+		next := make([]float64, nS)
+		for s := range trust {
+			facts := c.sourceFacts[s]
+			if len(facts) == 0 {
+				continue
+			}
+			inv := trust[s] / float64(len(facts))
+			sum := 0.0
+			for _, f := range facts {
+				if linear[f] > 0 {
+					sum += belief[f] * inv / linear[f]
+				}
+			}
+			next[s] = sum
+		}
+		normalizeMean(next)
+		trust = next
+		if maxAbsDelta(prev, belief) < pi.Tolerance {
+			break
+		}
+	}
+	res := &model.Result{Method: pi.Name(), Prob: share}
+	return res, res.Validate()
+}
+
+// mutexSets returns the mutual-exclusion sets: the facts of each entity.
+func (pi *PooledInvestment) mutexSets(c *common) [][]int {
+	return c.ds.FactsByEntity
+}

@@ -1,0 +1,47 @@
+package baselines
+
+import (
+	"fmt"
+
+	"latenttruth/internal/core"
+	"latenttruth/internal/model"
+)
+
+// All returns the batch methods of the paper's evaluation in Table 7's
+// row order (LTMinc is excluded: it is a prediction protocol that needs a
+// previously fitted model, and is driven by the experiments harness).
+func All(ltmCfg core.Config) []model.Method {
+	return []model.Method{
+		core.New(ltmCfg),
+		NewThreeEstimates(),
+		NewVoting(),
+		NewTruthFinder(),
+		NewInvestment(),
+		core.NewPos(ltmCfg),
+		NewHubAuthority(),
+		NewAvgLog(),
+		NewPooledInvestment(),
+	}
+}
+
+// ByName returns the method with the given display name (as reported by
+// Name), constructing LTM variants with ltmCfg. Recognized names:
+// LTM, LTMpos, 3-Estimates, Voting, TruthFinder, Investment,
+// HubAuthority, AvgLog, PooledInvestment.
+func ByName(name string, ltmCfg core.Config) (model.Method, error) {
+	for _, m := range All(ltmCfg) {
+		if m.Name() == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("baselines: unknown method %q", name)
+}
+
+// Names lists the display names returned by All, in order.
+func Names() []string {
+	names := make([]string, 0, 9)
+	for _, m := range All(core.Config{}) {
+		names = append(names, m.Name())
+	}
+	return names
+}

@@ -1,0 +1,173 @@
+package baselines
+
+import (
+	"latenttruth/internal/model"
+)
+
+// ThreeEstimates implements the 3-Estimates algorithm of Galland,
+// Abiteboul, Marian & Senellart (WSDM 2010). Unlike the positive-only
+// fact-finders it consumes negative claims too, and it estimates three
+// mutually dependent quantities: the truth value t_f of each fact, the
+// error factor ε_s of each source (a scalar accuracy-style quality, the
+// limitation §3.3 discusses), and the difficulty δ_f of each fact, under
+// the factorization
+//
+//	P(source s is wrong about fact f) = ε_s · δ_f .
+//
+// One round alternates three estimates, each the least-squares solution
+// given the other two (err(s,f) is t_f when s denies f, 1−t_f when s
+// asserts it):
+//
+//	t_f = Σ_{s∈S_f} [ o_sf·(1 − ε_s δ_f) + (1−o_sf)·ε_s δ_f ] / |S_f|
+//	δ_f = Σ_{s∈S_f} ε_s·err(s,f) / Σ_{s∈S_f} ε_s²
+//	ε_s = Σ_{f∈F_s} δ_f·err(s,f) / Σ_{f∈F_s} δ_f²
+//
+// After each round ε and δ are linearly renormalized onto [λ, 1−λ]
+// (Galland et al.'s normalization, needed to escape the trivial fixpoint
+// where every source is perfect), and t is clamped to [0, 1]. The truth
+// estimate t_f is the output probability.
+type ThreeEstimates struct {
+	// Rounds is the number of alternation rounds (default 100).
+	Rounds int
+	// Lambda bounds the renormalized range of ε and δ away from the
+	// degenerate endpoints 0 and 1 (default 0.001).
+	Lambda float64
+	// InitialError seeds every source's error factor (default 0.1).
+	InitialError float64
+	// Tolerance stops early when truth estimates move less (default 1e-9).
+	Tolerance float64
+}
+
+// NewThreeEstimates returns the baseline with the published settings.
+func NewThreeEstimates() *ThreeEstimates {
+	return &ThreeEstimates{Rounds: 100, Lambda: 0.001, InitialError: 0.1, Tolerance: 1e-9}
+}
+
+// Name implements model.Method.
+func (*ThreeEstimates) Name() string { return "3-Estimates" }
+
+// Infer runs the three-way alternation over positive and negative claims.
+func (te *ThreeEstimates) Infer(ds *model.Dataset) (*model.Result, error) {
+	nF, nS := ds.NumFacts(), ds.NumSources()
+	truth := make([]float64, nF)
+	diff := make([]float64, nF)
+	eps := make([]float64, nS)
+	for f := range diff {
+		diff[f] = 0.5
+	}
+	for s := range eps {
+		eps[s] = te.InitialError
+	}
+	// Initialize truth from voting.
+	for f := range truth {
+		pos, tot := 0, 0
+		for _, ci := range ds.ClaimsByFact[f] {
+			tot++
+			if ds.Claims[ci].Observation {
+				pos++
+			}
+		}
+		if tot > 0 {
+			truth[f] = float64(pos) / float64(tot)
+		}
+	}
+	prev := make([]float64, nF)
+	for round := 0; round < te.Rounds; round++ {
+		// Truth given ε, δ.
+		copy(prev, truth)
+		for f := range truth {
+			claims := ds.ClaimsByFact[f]
+			if len(claims) == 0 {
+				continue
+			}
+			sum := 0.0
+			for _, ci := range claims {
+				c := ds.Claims[ci]
+				wrong := eps[c.Source] * diff[f]
+				if c.Observation {
+					sum += 1 - wrong
+				} else {
+					sum += wrong
+				}
+			}
+			truth[f] = clamp01(sum / float64(len(claims)))
+		}
+		// Difficulty given t, ε: least squares of err(s,f) ≈ ε_s·δ_f.
+		for f := range diff {
+			num, den := 0.0, 0.0
+			for _, ci := range ds.ClaimsByFact[f] {
+				c := ds.Claims[ci]
+				e := eps[c.Source]
+				num += e * errTerm(c.Observation, truth[f])
+				den += e * e
+			}
+			if den > 0 {
+				diff[f] = clamp01(num / den)
+			}
+		}
+		renormalize(diff, te.Lambda)
+		// Source error given t, δ.
+		for s := 0; s < nS; s++ {
+			num, den := 0.0, 0.0
+			for _, ci := range ds.ClaimsBySource[s] {
+				c := ds.Claims[ci]
+				d := diff[c.Fact]
+				num += d * errTerm(c.Observation, truth[c.Fact])
+				den += d * d
+			}
+			if den > 0 {
+				eps[s] = clamp01(num / den)
+			}
+		}
+		renormalize(eps, te.Lambda)
+		if maxAbsDelta(prev, truth) < te.Tolerance {
+			break
+		}
+	}
+	res := &model.Result{Method: te.Name(), Prob: truth}
+	return res, res.Validate()
+}
+
+// errTerm is the observed disagreement between a claim and the current
+// truth estimate: 1−t for a positive claim, t for a negative claim.
+func errTerm(observation bool, t float64) float64 {
+	if observation {
+		return 1 - t
+	}
+	return t
+}
+
+// renormalize linearly rescales xs onto [lambda, 1−lambda]; when all
+// values coincide it leaves them unchanged (already a fixpoint).
+func renormalize(xs []float64, lambda float64) {
+	if len(xs) == 0 {
+		return
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi <= lo {
+		return
+	}
+	span := hi - lo
+	for i := range xs {
+		xs[i] = lambda + (1-2*lambda)*(xs[i]-lo)/span
+	}
+}
+
+// clamp01 limits x to [0, 1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,38 @@
+package baselines
+
+import (
+	"fmt"
+
+	"latenttruth/internal/model"
+)
+
+// Voting scores each fact by the proportion of its claims (positive and
+// negative) that are positive — the paper's strengthened voting baseline
+// (§6.2), which counts votes per individual attribute rather than per
+// concatenated attribute list.
+type Voting struct{}
+
+// NewVoting returns the voting baseline.
+func NewVoting() *Voting { return &Voting{} }
+
+// Name implements model.Method.
+func (*Voting) Name() string { return "Voting" }
+
+// Infer computes the positive-claim fraction of every fact.
+func (v *Voting) Infer(ds *model.Dataset) (*model.Result, error) {
+	res := model.NewResult(v.Name(), ds)
+	for f := range ds.Facts {
+		claims := ds.ClaimsByFact[f]
+		if len(claims) == 0 {
+			return nil, fmt.Errorf("baselines: fact %d has no claims", f)
+		}
+		pos := 0
+		for _, ci := range claims {
+			if ds.Claims[ci].Observation {
+				pos++
+			}
+		}
+		res.Prob[f] = float64(pos) / float64(len(claims))
+	}
+	return res, nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitChainsPoolsAndDiagnoses(t *testing.T) {
+	ds := easySynthetic(t, 300, 71)
+	mc, err := New(Config{Seed: 3}).FitChains(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Chains) != 4 {
+		t.Fatalf("chains = %d", len(mc.Chains))
+	}
+	if len(mc.RHat) != ds.NumFacts() {
+		t.Fatalf("R-hat for %d facts", len(mc.RHat))
+	}
+	// Pooled probabilities are the mean of the chains'.
+	for f := range mc.Prob {
+		sum := 0.0
+		for _, c := range mc.Chains {
+			sum += c[f]
+		}
+		if math.Abs(mc.Prob[f]-sum/4) > 1e-12 {
+			t.Fatalf("fact %d pooled %v vs mean %v", f, mc.Prob[f], sum/4)
+		}
+	}
+	// On easy, well-identified data the chains must mix: the bulk of
+	// facts should show R-hat close to 1 (a handful of genuinely
+	// ambiguous facts may not).
+	bad := 0
+	for _, r := range mc.RHat {
+		if r > 1.2 {
+			bad++
+		}
+	}
+	if bad > ds.NumFacts()/10 {
+		t.Fatalf("%d/%d facts with R-hat > 1.2", bad, ds.NumFacts())
+	}
+	if acc := accuracyOf(t, ds, mc.Prob); acc < 0.97 {
+		t.Fatalf("pooled accuracy %v", acc)
+	}
+}
+
+func TestFitChainsDeterministic(t *testing.T) {
+	ds := easySynthetic(t, 120, 72)
+	a, err := New(Config{Seed: 9}).FitChains(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Seed: 9}).FitChains(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range a.Prob {
+		if a.Prob[f] != b.Prob[f] {
+			t.Fatalf("fact %d pooled prob differs across runs", f)
+		}
+		if a.RHat[f] != b.RHat[f] {
+			t.Fatalf("fact %d R-hat differs across runs", f)
+		}
+	}
+}
+
+func TestFitChainsValidation(t *testing.T) {
+	ds := easySynthetic(t, 50, 73)
+	if _, err := New(Config{Seed: 1}).FitChains(ds, 1); err == nil {
+		t.Fatal("expected error for a single chain")
+	}
+}
+
+func TestFitChainsQualityMatchesSingleChain(t *testing.T) {
+	ds := easySynthetic(t, 300, 74)
+	mc, err := New(Config{Seed: 3}).FitChains(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := New(Config{Seed: 3}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range single.Sensitivity {
+		if d := math.Abs(mc.Sensitivity[s] - single.Sensitivity[s]); d > 0.05 {
+			t.Fatalf("source %d sensitivity differs by %v between pooled and single", s, d)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"latenttruth/internal/model"
+	"latenttruth/internal/stats"
+)
+
+// exactMarginals computes the exact posterior marginals p(t_f = 1 | o) by
+// enumerating all 2^F truth assignments and integrating out θ and φ in
+// closed form (Beta-Bernoulli conjugacy):
+//
+//	p(t | o) ∝ Π_f β_{t_f} · Π_s Π_i B(n_{s,i,1}+α_{i,1}, n_{s,i,0}+α_{i,0})
+//
+// where n_{s,i,j} counts source s's claims with truth label i and
+// observation j under assignment t. This is the ground truth the collapsed
+// Gibbs sampler (Equation 2) must converge to.
+func exactMarginals(ds *model.Dataset, p Priors) []float64 {
+	nF := ds.NumFacts()
+	if nF > 16 {
+		panic("exactMarginals: too many facts to enumerate")
+	}
+	nS := ds.NumSources()
+	logw := make([]float64, 1<<uint(nF))
+	marg := make([]float64, nF)
+	maxLog := math.Inf(-1)
+	counts := make([][2][2]float64, nS)
+	for mask := 0; mask < 1<<uint(nF); mask++ {
+		for s := range counts {
+			counts[s] = [2][2]float64{}
+		}
+		lw := 0.0
+		for f := 0; f < nF; f++ {
+			if mask&(1<<uint(f)) != 0 {
+				lw += math.Log(p.beta(1))
+			} else {
+				lw += math.Log(p.beta(0))
+			}
+		}
+		for _, c := range ds.Claims {
+			i := 0
+			if mask&(1<<uint(c.Fact)) != 0 {
+				i = 1
+			}
+			j := 0
+			if c.Observation {
+				j = 1
+			}
+			counts[c.Source][i][j]++
+		}
+		for s := 0; s < nS; s++ {
+			for i := 0; i <= 1; i++ {
+				a1 := counts[s][i][1] + p.alpha(i, 1)
+				a0 := counts[s][i][0] + p.alpha(i, 0)
+				lw += stats.LogBeta(a1, a0) - stats.LogBeta(p.alpha(i, 1), p.alpha(i, 0))
+			}
+		}
+		logw[mask] = lw
+		if lw > maxLog {
+			maxLog = lw
+		}
+	}
+	var z float64
+	for mask, lw := range logw {
+		w := math.Exp(lw - maxLog)
+		z += w
+		for f := 0; f < nF; f++ {
+			if mask&(1<<uint(f)) != 0 {
+				marg[f] += w
+			}
+		}
+	}
+	for f := range marg {
+		marg[f] /= z
+	}
+	return marg
+}
+
+// exactTestDataset builds a small dataset with interesting structure:
+// 3 entities, 6 facts, 4 sources with asymmetric behaviour.
+func exactTestDataset() *model.Dataset {
+	db := model.NewRawDB()
+	rows := [][3]string{
+		{"e1", "a", "s1"}, {"e1", "a", "s2"}, {"e1", "a", "s3"},
+		{"e1", "b", "s1"},
+		{"e2", "c", "s1"}, {"e2", "c", "s2"},
+		{"e2", "d", "s4"},
+		{"e3", "e", "s2"}, {"e3", "e", "s3"}, {"e3", "e", "s4"},
+		{"e3", "f", "s3"},
+	}
+	for _, r := range rows {
+		db.Add(r[0], r[1], r[2])
+	}
+	return model.Build(db)
+}
+
+// TestGibbsMatchesExactPosterior is the strongest correctness test of the
+// collapsed sampler: with a long chain, the sampled marginals must agree
+// with exact enumeration on every fact.
+func TestGibbsMatchesExactPosterior(t *testing.T) {
+	ds := exactTestDataset()
+	priors := Priors{FP: 2, TN: 8, TP: 6, FN: 4, True: 3, Fls: 5}
+	exact := exactMarginals(ds, priors)
+	cfg := Config{
+		Priors:     priors,
+		Iterations: 60000,
+		BurnIn:     2000,
+		SampleGap:  0,
+		Seed:       17,
+	}
+	fit, err := New(cfg).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range exact {
+		if d := math.Abs(fit.Prob[f] - exact[f]); d > 0.01 {
+			t.Errorf("fact %d: Gibbs %v vs exact %v (|Δ| = %v)",
+				f, fit.Prob[f], exact[f], d)
+		}
+	}
+}
+
+// TestGibbsMatchesExactPosteriorBinary repeats the check with the paper's
+// binary sample averaging, at a looser tolerance (higher variance).
+func TestGibbsMatchesExactPosteriorBinary(t *testing.T) {
+	ds := exactTestDataset()
+	priors := Priors{FP: 2, TN: 8, TP: 6, FN: 4, True: 3, Fls: 5}
+	exact := exactMarginals(ds, priors)
+	cfg := Config{
+		Priors:        priors,
+		Iterations:    60000,
+		BurnIn:        2000,
+		SampleGap:     0,
+		Seed:          23,
+		BinarySamples: true,
+	}
+	fit, err := New(cfg).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range exact {
+		if d := math.Abs(fit.Prob[f] - exact[f]); d > 0.02 {
+			t.Errorf("fact %d: Gibbs %v vs exact %v (|Δ| = %v)",
+				f, fit.Prob[f], exact[f], d)
+		}
+	}
+}
+
+// TestExactMarginalsSanity validates the enumerator itself on a dataset
+// with one fact and symmetric priors: the posterior must favour truth when
+// the only claim is positive and the sensitivity prior is optimistic.
+func TestExactMarginalsSanity(t *testing.T) {
+	db := model.NewRawDB()
+	db.Add("e", "a", "s")
+	ds := model.Build(db)
+	// Symmetric everything: positive claim, sens prior mean = fpr prior
+	// mean = 0.5, uniform truth prior -> marginal exactly 0.5.
+	sym := Priors{FP: 5, TN: 5, TP: 5, FN: 5, True: 7, Fls: 7}
+	m := exactMarginals(ds, sym)
+	if math.Abs(m[0]-0.5) > 1e-12 {
+		t.Fatalf("symmetric marginal %v, want 0.5", m[0])
+	}
+	// Optimistic sensitivity, pessimistic FPR: positive claim implies
+	// truth. p(o=1|t=1) = 0.9, p(o=1|t=0) = 0.1 -> posterior 0.9.
+	skew := Priors{FP: 1, TN: 9, TP: 9, FN: 1, True: 5, Fls: 5}
+	m = exactMarginals(ds, skew)
+	if math.Abs(m[0]-0.9) > 1e-12 {
+		t.Fatalf("skewed marginal %v, want 0.9", m[0])
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"latenttruth/internal/model"
+)
+
+// Incremental is LTMinc (§5.4): it predicts truth on new data directly
+// from previously learned source quality, without any sampling, via the
+// closed-form posterior of Equation 3:
+//
+//	p(t_f = 1 | o, s) ∝ β1 · Π_{c∈Cf} (φ1_{s_c})^{o_c} (1 − φ1_{s_c})^{1−o_c}
+//	p(t_f = 0 | o, s) ∝ β0 · Π_{c∈Cf} (φ0_{s_c})^{o_c} (1 − φ0_{s_c})^{1−o_c}
+//
+// Sources are matched by name; claims from sources never seen during
+// training fall back to the prior means implied by the hyperparameters.
+type Incremental struct {
+	priors Priors
+	// sens and fpr are φ1 and φ0 per known source name.
+	sens map[string]float64
+	fpr  map[string]float64
+}
+
+// NewIncremental builds an LTMinc predictor from a fitted model's quality
+// table. ds must be the dataset the fit was produced on (it supplies the
+// source names).
+func NewIncremental(ds *model.Dataset, fit *FitResult) (*Incremental, error) {
+	if len(fit.Sensitivity) != ds.NumSources() || len(fit.FalsePositiveRate) != ds.NumSources() {
+		return nil, fmt.Errorf("core: fit has %d/%d source parameters for %d sources",
+			len(fit.Sensitivity), len(fit.FalsePositiveRate), ds.NumSources())
+	}
+	inc := &Incremental{
+		priors: fit.Priors,
+		sens:   make(map[string]float64, ds.NumSources()),
+		fpr:    make(map[string]float64, ds.NumSources()),
+	}
+	for s, name := range ds.Sources {
+		inc.sens[name] = fit.Sensitivity[s]
+		inc.fpr[name] = fit.FalsePositiveRate[s]
+	}
+	return inc, nil
+}
+
+// NewIncrementalFromQuality builds an LTMinc predictor from an explicit
+// quality table, e.g. one loaded from disk or supplied as domain knowledge.
+func NewIncrementalFromQuality(quality []model.SourceQuality, priors Priors) (*Incremental, error) {
+	if err := priors.Validate(); err != nil {
+		return nil, err
+	}
+	inc := &Incremental{
+		priors: priors,
+		sens:   make(map[string]float64, len(quality)),
+		fpr:    make(map[string]float64, len(quality)),
+	}
+	for _, q := range quality {
+		if q.Source == "" {
+			return nil, fmt.Errorf("core: quality entry with empty source name")
+		}
+		if !(q.Sensitivity > 0 && q.Sensitivity < 1) || !(q.Specificity > 0 && q.Specificity < 1) {
+			return nil, fmt.Errorf("core: source %q quality (sens=%v, spec=%v) must lie strictly inside (0,1)",
+				q.Source, q.Sensitivity, q.Specificity)
+		}
+		inc.sens[q.Source] = q.Sensitivity
+		inc.fpr[q.Source] = 1 - q.Specificity
+	}
+	return inc, nil
+}
+
+// Name implements model.Method.
+func (inc *Incremental) Name() string { return "LTMinc" }
+
+// Infer computes the closed-form truth posterior of every fact in ds.
+func (inc *Incremental) Infer(ds *model.Dataset) (*model.Result, error) {
+	res := model.NewResult(inc.Name(), ds)
+	// Prior-mean fallbacks for unseen sources.
+	defSens := inc.priors.TP / (inc.priors.TP + inc.priors.FN)
+	defFPR := inc.priors.FP / (inc.priors.FP + inc.priors.TN)
+	lbeta1 := math.Log(inc.priors.True)
+	lbeta0 := math.Log(inc.priors.Fls)
+	for f := range ds.Facts {
+		l1, l0 := lbeta1, lbeta0
+		for _, ci := range ds.ClaimsByFact[f] {
+			c := ds.Claims[ci]
+			name := ds.Sources[c.Source]
+			sens, ok := inc.sens[name]
+			if !ok {
+				sens = defSens
+			}
+			fpr, ok := inc.fpr[name]
+			if !ok {
+				fpr = defFPR
+			}
+			if c.Observation {
+				l1 += math.Log(sens)
+				l0 += math.Log(fpr)
+			} else {
+				l1 += math.Log1p(-sens)
+				l0 += math.Log1p(-fpr)
+			}
+		}
+		res.Prob[f] = 1.0 / (1.0 + math.Exp(l0-l1))
+	}
+	return res, nil
+}
+
+// QualityPriors implements the full incremental re-training hand-off of
+// §5.4: the expected confusion counts accumulated on already-processed
+// data are added to the hyperparameters, so a fresh LTM fit on only the
+// new data starts from the learned quality. prob must be the posterior
+// truth probabilities for ds.
+func QualityPriors(ds *model.Dataset, prob []float64, base Priors) map[string]Priors {
+	out := make(map[string]Priors, ds.NumSources())
+	e := ExpectedCounts(ds, prob)
+	for s, name := range ds.Sources {
+		out[name] = Priors{
+			FP:   base.FP + e[s][0][1],
+			TN:   base.TN + e[s][0][0],
+			TP:   base.TP + e[s][1][1],
+			FN:   base.FN + e[s][1][0],
+			True: base.True,
+			Fls:  base.Fls,
+		}
+	}
+	return out
+}

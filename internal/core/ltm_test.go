@@ -1,0 +1,461 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"latenttruth/internal/model"
+	"latenttruth/internal/synth"
+)
+
+// easySynthetic returns a small, well-separated synthetic dataset drawn
+// from the model's own generative process: 15 reliable sources.
+func easySynthetic(t *testing.T, facts int, seed int64) *model.Dataset {
+	t.Helper()
+	ds, _, err := synth.PaperSynthetic(synth.PaperSyntheticConfig{
+		NumFacts:   facts,
+		NumSources: 15,
+		Alpha0:     [2]float64{5, 95},  // E[FPR] = 0.05
+		Alpha1:     [2]float64{85, 15}, // E[sens] = 0.85
+		Beta:       [2]float64{10, 10},
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func accuracyOf(t *testing.T, ds *model.Dataset, prob []float64) float64 {
+	t.Helper()
+	correct := 0
+	for f, v := range ds.Labels {
+		if (prob[f] >= 0.5) == v {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(ds.Labels))
+}
+
+func TestLTMRecoversSyntheticTruth(t *testing.T) {
+	ds := easySynthetic(t, 800, 3)
+	fit, err := New(Config{Seed: 1}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracyOf(t, ds, fit.Prob); acc < 0.97 {
+		t.Fatalf("accuracy %v on easy synthetic data, want >= 0.97", acc)
+	}
+	if err := fit.Result.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLTMDeterministicGivenSeed(t *testing.T) {
+	ds := easySynthetic(t, 200, 4)
+	a, err := New(Config{Seed: 9}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Seed: 9}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range a.Prob {
+		if a.Prob[f] != b.Prob[f] {
+			t.Fatalf("fact %d: %v vs %v", f, a.Prob[f], b.Prob[f])
+		}
+	}
+}
+
+func TestLTMDifferentSeedsAgreeOnEasyData(t *testing.T) {
+	ds := easySynthetic(t, 400, 5)
+	a, err := New(Config{Seed: 1}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Seed: 2}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disagree := 0
+	for f := range a.Prob {
+		if (a.Prob[f] >= 0.5) != (b.Prob[f] >= 0.5) {
+			disagree++
+		}
+	}
+	if disagree > 8 {
+		t.Fatalf("%d/400 predictions flipped across seeds", disagree)
+	}
+}
+
+func TestLTMProbabilitiesInRange(t *testing.T) {
+	ds := easySynthetic(t, 300, 6)
+	fit, err := New(Config{Seed: 1}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, p := range fit.Prob {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("fact %d probability %v", f, p)
+		}
+	}
+	for s := range fit.Sensitivity {
+		if fit.Sensitivity[s] <= 0 || fit.Sensitivity[s] >= 1 {
+			t.Fatalf("source %d sensitivity %v", s, fit.Sensitivity[s])
+		}
+		if fit.FalsePositiveRate[s] <= 0 || fit.FalsePositiveRate[s] >= 1 {
+			t.Fatalf("source %d FPR %v", s, fit.FalsePositiveRate[s])
+		}
+	}
+}
+
+// TestLTMTable4WithPriorKnowledge is the paper's Example 1 as a regression
+// test: with per-source prior knowledge, LTM reproduces the Table 4 truth
+// (Johnny Depp false in Harry Potter, true in Pirates 4; Rupert Grint
+// true despite minority support).
+func TestLTMTable4WithPriorKnowledge(t *testing.T) {
+	corpus := synth.Table1Example()
+	ds := corpus.Dataset
+	cfg := Config{
+		Priors:     DefaultPriors(ds.NumFacts()),
+		Iterations: 500,
+		Seed:       7,
+		SourcePriors: map[string]Priors{
+			"IMDB":          {TP: 90, FN: 10, FP: 1, TN: 99},
+			"Netflix":       {TP: 30, FN: 70, FP: 1, TN: 99},
+			"BadSource.com": {TP: 50, FN: 50, FP: 30, TN: 70},
+		},
+	}
+	fit, err := New(cfg).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, want := range ds.Labels {
+		got := fit.Prob[f] >= 0.5
+		if got != want {
+			fact := ds.Facts[f]
+			t.Errorf("(%s, %s): p=%.3f, want truth %v",
+				ds.EntityName(fact), fact.Attribute, fit.Prob[f], want)
+		}
+	}
+}
+
+func TestLTMStrongTruthPriorFlipsSmallData(t *testing.T) {
+	// With an overwhelming prior that facts are false, everything should
+	// be predicted false on weak data; with a true prior, true.
+	corpus := synth.Table1Example()
+	ds := corpus.Dataset
+	// Uniform quality priors so individual claims carry little evidence
+	// and the truth prior dominates.
+	base := Priors{FP: 1, TN: 1, TP: 1, FN: 1}
+	base.True, base.Fls = 1, 10000
+	fit, err := New(Config{Priors: base, Seed: 1}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, p := range fit.Prob {
+		if p >= 0.5 {
+			t.Fatalf("fact %d predicted true (p=%v) under overwhelming false prior", f, p)
+		}
+	}
+	base.True, base.Fls = 10000, 1
+	fit, err = New(Config{Priors: base, Seed: 1}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, p := range fit.Prob {
+		if p < 0.5 {
+			t.Fatalf("fact %d predicted false (p=%v) under overwhelming true prior", f, p)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ds := easySynthetic(t, 50, 7)
+	cases := []Config{
+		{Iterations: -1},
+		{Iterations: 10, BurnIn: 10},
+		{Iterations: 10, BurnIn: -1},
+		{Iterations: 10, SampleGap: -2},
+		{Priors: Priors{FP: -1, TN: 1, TP: 1, FN: 1, True: 1, Fls: 1}},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg).Fit(ds); err == nil {
+			t.Errorf("case %d: expected config error", i)
+		}
+	}
+}
+
+func TestSourcePriorValidation(t *testing.T) {
+	ds := easySynthetic(t, 50, 8)
+	cfg := Config{SourcePriors: map[string]Priors{
+		"source00": {TP: -5, FN: 1, FP: 1, TN: 1},
+	}}
+	if _, err := New(cfg).Fit(ds); err == nil || !strings.Contains(err.Error(), "source00") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFitEmptyDataset(t *testing.T) {
+	ds := &model.Dataset{Labels: map[int]bool{}}
+	if _, err := New(Config{}).Fit(ds); err == nil {
+		t.Fatal("expected error on empty dataset")
+	}
+}
+
+func TestDefaultPriors(t *testing.T) {
+	p := DefaultPriors(33526)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Specificity prior mean 0.99.
+	if mean := p.TN / (p.TN + p.FP); math.Abs(mean-0.99) > 1e-9 {
+		t.Fatalf("specificity prior mean %v", mean)
+	}
+	// Prior total on the order of the number of facts (paper: (100, 10000)
+	// for the 33526-fact movie corpus).
+	if total := p.FP + p.TN; total < 5000 || total > 20000 {
+		t.Fatalf("prior total %v out of the paper's scale", total)
+	}
+	// Small datasets get the floor.
+	small := DefaultPriors(10)
+	if small.FP+small.TN != 100 {
+		t.Fatalf("small-data prior total %v, want 100", small.FP+small.TN)
+	}
+	// Uniform sensitivity and truth priors.
+	if p.TP != p.FN || p.True != p.Fls {
+		t.Fatalf("sensitivity/truth priors not uniform: %+v", p)
+	}
+}
+
+func TestPriorsAlphaIndexing(t *testing.T) {
+	p := Priors{FP: 1, TN: 2, TP: 3, FN: 4, True: 5, Fls: 6}
+	if p.alpha(0, 1) != 1 || p.alpha(0, 0) != 2 || p.alpha(1, 1) != 3 || p.alpha(1, 0) != 4 {
+		t.Fatal("alpha indexing wrong")
+	}
+	if p.alphaTotal(0) != 3 || p.alphaTotal(1) != 7 {
+		t.Fatal("alphaTotal wrong")
+	}
+	if p.beta(1) != 5 || p.beta(0) != 6 {
+		t.Fatal("beta indexing wrong")
+	}
+}
+
+func TestGibbsCountsStayConsistent(t *testing.T) {
+	// After running, the internal counts must equal a fresh recount from
+	// the final truth assignment — the bookkeeping invariant of
+	// Algorithm 1's incremental updates.
+	ds := easySynthetic(t, 200, 9)
+	cfg := Config{Seed: 3}.withDefaults(ds.NumFacts())
+	g := newGibbs(ds, cfg)
+	g.run(nil)
+	want := make([][2][2]int, ds.NumSources())
+	for _, c := range ds.Claims {
+		o := 0
+		if c.Observation {
+			o = 1
+		}
+		want[c.Source][int(g.truth[c.Fact])][o]++
+	}
+	for s := range want {
+		if want[s] != g.n[s] {
+			t.Fatalf("source %d counts drifted: have %v, recount %v", s, g.n[s], want[s])
+		}
+	}
+}
+
+func TestGibbsCountInvariantProperty(t *testing.T) {
+	// Property: for any seed and small synthetic dataset, counts remain
+	// consistent and probabilities in range.
+	f := func(seedRaw uint16) bool {
+		ds, _, err := synth.PaperSynthetic(synth.PaperSyntheticConfig{
+			NumFacts: 60, NumSources: 5,
+			Alpha0: [2]float64{10, 90}, Alpha1: [2]float64{80, 20},
+			Beta: [2]float64{10, 10}, Seed: int64(seedRaw) + 1,
+		})
+		if err != nil {
+			return false
+		}
+		cfg := Config{Seed: int64(seedRaw)*7 + 1, Iterations: 30, BurnIn: 5}.withDefaults(ds.NumFacts())
+		g := newGibbs(ds, cfg)
+		g.run(nil)
+		recount := make([][2][2]int, ds.NumSources())
+		for _, c := range ds.Claims {
+			o := 0
+			if c.Observation {
+				o = 1
+			}
+			recount[c.Source][int(g.truth[c.Fact])][o]++
+		}
+		for s := range recount {
+			if recount[s] != g.n[s] {
+				return false
+			}
+		}
+		for _, p := range g.probabilities() {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinarySamplesMatchesExpectation(t *testing.T) {
+	// Binary averaging and Rao-Blackwellized averaging must agree on
+	// confident predictions of easy data.
+	ds := easySynthetic(t, 300, 10)
+	bin, err := New(Config{Seed: 2, BinarySamples: true}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := New(Config{Seed: 2}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flips := 0
+	for f := range bin.Prob {
+		if (bin.Prob[f] >= 0.5) != (rb.Prob[f] >= 0.5) {
+			flips++
+		}
+	}
+	if flips > 6 {
+		t.Fatalf("binary vs RB disagree on %d/300 facts", flips)
+	}
+}
+
+func TestFitCheckpoints(t *testing.T) {
+	ds := easySynthetic(t, 200, 11)
+	cps := []Checkpoint{
+		{Iterations: 7, BurnIn: 2, SampleGap: 0},
+		{Iterations: 20, BurnIn: 5, SampleGap: 0},
+		{Iterations: 100, BurnIn: 20, SampleGap: 4},
+	}
+	results, err := New(Config{Seed: 3}).FitCheckpoints(ds, cps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	// Accuracy should be high at the last checkpoint and not decrease
+	// dramatically from first to last (convergence).
+	last := accuracyOf(t, ds, results[2].Prob)
+	if last < 0.95 {
+		t.Fatalf("checkpoint@100 accuracy %v", last)
+	}
+	for i, r := range results {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+	}
+	// Names encode the iteration counts.
+	if !strings.Contains(results[0].Method, "@7") {
+		t.Fatalf("method name %q", results[0].Method)
+	}
+}
+
+func TestFitCheckpointsValidation(t *testing.T) {
+	ds := easySynthetic(t, 50, 12)
+	m := New(Config{Seed: 1})
+	if _, err := m.FitCheckpoints(ds, nil); err == nil {
+		t.Fatal("expected error for no checkpoints")
+	}
+	if _, err := m.FitCheckpoints(ds, []Checkpoint{{Iterations: 10, BurnIn: 10}}); err == nil {
+		t.Fatal("expected error for burn-in >= iterations")
+	}
+	if _, err := m.FitCheckpoints(ds, []Checkpoint{
+		{Iterations: 20, BurnIn: 2}, {Iterations: 10, BurnIn: 2},
+	}); err == nil {
+		t.Fatal("expected error for unsorted checkpoints")
+	}
+}
+
+func TestCheckpointMatchesDirectRun(t *testing.T) {
+	// A single checkpoint with the default schedule must reproduce the
+	// probabilities of a direct Fit with BinarySamples (checkpoints use
+	// binary accumulation).
+	ds := easySynthetic(t, 150, 13)
+	cfg := Config{Seed: 5, Iterations: 100, BurnIn: 20, SampleGap: 4, BinarySamples: true}
+	direct, err := New(cfg).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCp, err := New(cfg).FitCheckpoints(ds, []Checkpoint{{Iterations: 100, BurnIn: 20, SampleGap: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range direct.Prob {
+		if math.Abs(direct.Prob[f]-viaCp[0].Prob[f]) > 1e-12 {
+			t.Fatalf("fact %d: direct %v vs checkpoint %v", f, direct.Prob[f], viaCp[0].Prob[f])
+		}
+	}
+}
+
+func TestPositiveOnly(t *testing.T) {
+	corpus := synth.Table1Example()
+	pos := PositiveOnly(corpus.Dataset)
+	if pos.NumClaims() != corpus.Dataset.NumPositiveClaims() {
+		t.Fatalf("positive-only claims = %d", pos.NumClaims())
+	}
+	for _, c := range pos.Claims {
+		if !c.Observation {
+			t.Fatal("negative claim survived")
+		}
+	}
+	// Fact table unchanged so ids align.
+	if pos.NumFacts() != corpus.Dataset.NumFacts() {
+		t.Fatal("fact table changed")
+	}
+}
+
+func TestLTMPosPredictsEverythingTrue(t *testing.T) {
+	// The headline ablation: without negative claims, LTMpos cannot
+	// discriminate and predicts essentially everything true (Table 7).
+	ds := easySynthetic(t, 300, 14)
+	res, err := NewPos(Config{Seed: 1}).Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueRate := 0
+	for f := range ds.Facts {
+		// Facts with no positive claims at all have no evidence; skip.
+		hasPos := false
+		for _, ci := range ds.ClaimsByFact[f] {
+			if ds.Claims[ci].Observation {
+				hasPos = true
+				break
+			}
+		}
+		if hasPos && res.Prob[f] >= 0.5 {
+			trueRate++
+		}
+	}
+	withPos := 0
+	for f := range ds.Facts {
+		for _, ci := range ds.ClaimsByFact[f] {
+			if ds.Claims[ci].Observation {
+				withPos++
+				break
+			}
+		}
+	}
+	if float64(trueRate) < 0.95*float64(withPos) {
+		t.Fatalf("LTMpos predicted %d/%d positively-claimed facts true, want nearly all",
+			trueRate, withPos)
+	}
+}
+
+func TestNamesAndInterfaces(t *testing.T) {
+	var _ model.Method = New(Config{})
+	var _ model.Method = NewPos(Config{})
+	if New(Config{}).Name() != "LTM" || NewPos(Config{}).Name() != "LTMpos" {
+		t.Fatal("method names wrong")
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"latenttruth/internal/model"
+)
+
+// LTMPos is the truncated variant evaluated in §6.2 to demonstrate the
+// value of negative claims: it discards every negative claim before
+// running the standard LTM sampler. With only positive observations the
+// model loses the signal that distinguishes false positives from omitted
+// truths, and — as the paper reports — it degenerates to predicting
+// essentially everything true.
+type LTMPos struct {
+	cfg Config
+}
+
+// NewPos returns an LTMpos estimator with the given configuration.
+func NewPos(cfg Config) *LTMPos { return &LTMPos{cfg: cfg} }
+
+// Name implements model.Method.
+func (m *LTMPos) Name() string { return "LTMpos" }
+
+// Infer drops negative claims from ds and runs LTM on the truncation.
+// Fact ids are preserved, so the result aligns with the original dataset.
+func (m *LTMPos) Infer(ds *model.Dataset) (*model.Result, error) {
+	pos := PositiveOnly(ds)
+	fit, err := New(m.cfg).Fit(pos)
+	if err != nil {
+		return nil, err
+	}
+	return &model.Result{Method: m.Name(), Prob: fit.Prob}, nil
+}
+
+// PositiveOnly returns a copy of ds containing only positive claims. The
+// entity, source, and fact tables (and labels) are unchanged, so fact ids
+// remain valid in the original dataset.
+func PositiveOnly(ds *model.Dataset) *model.Dataset {
+	out := &model.Dataset{
+		Entities:      ds.Entities,
+		Sources:       ds.Sources,
+		Facts:         ds.Facts,
+		FactsByEntity: ds.FactsByEntity,
+		Labels:        ds.Labels,
+	}
+	out.Claims = make([]model.Claim, 0, ds.NumClaims())
+	for _, c := range ds.Claims {
+		if c.Observation {
+			out.Claims = append(out.Claims, c)
+		}
+	}
+	out.ClaimsByFact = make([][]int, len(out.Facts))
+	out.ClaimsBySource = make([][]int, len(out.Sources))
+	for i, c := range out.Claims {
+		out.ClaimsByFact[c.Fact] = append(out.ClaimsByFact[c.Fact], i)
+		out.ClaimsBySource[c.Source] = append(out.ClaimsBySource[c.Source], i)
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"latenttruth/internal/model"
+	"latenttruth/internal/stats"
+)
+
+// NaiveLTM is the uncollapsed Gibbs sampler for the same graphical model:
+// instead of integrating out θ (truth probabilities) and φ (source
+// quality) analytically, it samples them explicitly from their Beta
+// conditionals each sweep, then samples every t_f from its Bernoulli
+// conditional. It targets the same posterior as the collapsed sampler but
+// mixes more slowly and costs more per sweep — the design-choice ablation
+// for §5.2's "collapsed Gibbs sampler ... yields even greater efficiency".
+type NaiveLTM struct {
+	cfg Config
+}
+
+// NewNaive returns an uncollapsed-sampler estimator with the given
+// configuration (the same Config as the collapsed LTM).
+func NewNaive(cfg Config) *NaiveLTM { return &NaiveLTM{cfg: cfg} }
+
+// Name implements model.Method.
+func (m *NaiveLTM) Name() string { return "LTM-naive" }
+
+// Infer implements model.Method.
+func (m *NaiveLTM) Infer(ds *model.Dataset) (*model.Result, error) {
+	fit, err := m.Fit(ds)
+	if err != nil {
+		return nil, err
+	}
+	return fit.Result, nil
+}
+
+// Fit runs uncollapsed Gibbs sampling and returns posterior truth
+// probabilities with MAP source quality (computed the same way as the
+// collapsed fit, from the averaged truth probabilities).
+func (m *NaiveLTM) Fit(ds *model.Dataset) (*FitResult, error) {
+	cfg := m.cfg.withDefaults(ds.NumFacts())
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if ds.NumFacts() == 0 {
+		return nil, fmt.Errorf("core: dataset has no facts")
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	nF, nS := ds.NumFacts(), ds.NumSources()
+
+	truth := make([]int8, nF)
+	theta := make([]float64, nF)
+	sens := make([]float64, nS) // φ1
+	fpr := make([]float64, nS)  // φ0
+	// Per-source confusion counts under the current truth assignment.
+	n := make([][2][2]int, nS)
+	apply := func(f, i, delta int) {
+		for _, ci := range ds.ClaimsByFact[f] {
+			c := ds.Claims[ci]
+			o := 0
+			if c.Observation {
+				o = 1
+			}
+			n[c.Source][i][o] += delta
+		}
+	}
+	p := cfg.Priors
+	alphaOf := func(s int) Priors {
+		if sp, ok := cfg.SourcePriors[ds.Sources[s]]; ok {
+			sp.True, sp.Fls = p.True, p.Fls
+			return sp
+		}
+		return p
+	}
+	for f := range truth {
+		if rng.Float64() < 0.5 {
+			truth[f] = 1
+		}
+		apply(f, int(truth[f]), +1)
+	}
+
+	sum := make([]float64, nF)
+	samples := 0
+	for iter := 1; iter <= cfg.Iterations; iter++ {
+		// Sample φ for every source from Beta conditionals.
+		for s := 0; s < nS; s++ {
+			a := alphaOf(s)
+			sens[s] = rng.Beta(float64(n[s][1][1])+a.TP, float64(n[s][1][0])+a.FN)
+			fpr[s] = rng.Beta(float64(n[s][0][1])+a.FP, float64(n[s][0][0])+a.TN)
+			sens[s] = clampOpen(sens[s])
+			fpr[s] = clampOpen(fpr[s])
+		}
+		// Sample θ and t for every fact.
+		for f := range truth {
+			cur := int(truth[f])
+			theta[f] = rng.Beta(p.True+float64(cur), p.Fls+float64(1-cur))
+			theta[f] = clampOpen(theta[f])
+			l1 := math.Log(theta[f])
+			l0 := math.Log1p(-theta[f])
+			for _, ci := range ds.ClaimsByFact[f] {
+				c := ds.Claims[ci]
+				if c.Observation {
+					l1 += math.Log(sens[c.Source])
+					l0 += math.Log(fpr[c.Source])
+				} else {
+					l1 += math.Log1p(-sens[c.Source])
+					l0 += math.Log1p(-fpr[c.Source])
+				}
+			}
+			pTrue := 1.0 / (1.0 + math.Exp(l0-l1))
+			next := 0
+			if rng.Float64() < pTrue {
+				next = 1
+			}
+			if next != cur {
+				apply(f, cur, -1)
+				truth[f] = int8(next)
+				apply(f, next, +1)
+			}
+		}
+		if iter > cfg.BurnIn && (iter-cfg.BurnIn-1)%(cfg.SampleGap+1) == 0 {
+			samples++
+			for f, v := range truth {
+				sum[f] += float64(v)
+			}
+		}
+	}
+	prob := make([]float64, nF)
+	if samples == 0 {
+		for f, v := range truth {
+			prob[f] = float64(v)
+		}
+	} else {
+		for f := range prob {
+			prob[f] = sum[f] / float64(samples)
+		}
+	}
+	res := &model.Result{Method: m.Name(), Prob: prob}
+	fit := &FitResult{Result: res, SamplesKept: samples, Priors: p}
+	fit.Quality, fit.Sensitivity, fit.FalsePositiveRate = estimateQuality(ds, prob, cfg)
+	return fit, nil
+}
+
+// clampOpen keeps a probability strictly inside (0, 1) so its logs are
+// finite.
+func clampOpen(x float64) float64 {
+	const eps = 1e-12
+	if x < eps {
+		return eps
+	}
+	if x > 1-eps {
+		return 1 - eps
+	}
+	return x
+}

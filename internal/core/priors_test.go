@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"latenttruth/internal/synth"
+)
+
+// TestSourcePriorsUniformEquivalence: supplying every source's prior
+// explicitly equal to the global prior must be bit-identical to supplying
+// no per-source priors at all (same seed, same sampler path).
+func TestSourcePriorsUniformEquivalence(t *testing.T) {
+	ds := easySynthetic(t, 250, 61)
+	base := Config{Seed: 5}
+	plain, err := New(base).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withMap := base
+	withMap.Priors = plain.Priors // the defaults resolved at fit time
+	withMap.SourcePriors = make(map[string]Priors, ds.NumSources())
+	for _, name := range ds.Sources {
+		withMap.SourcePriors[name] = plain.Priors
+	}
+	mapped, err := New(withMap).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range plain.Prob {
+		if plain.Prob[f] != mapped.Prob[f] {
+			t.Fatalf("fact %d: %v vs %v", f, plain.Prob[f], mapped.Prob[f])
+		}
+	}
+	for s := range plain.Sensitivity {
+		if plain.Sensitivity[s] != mapped.Sensitivity[s] {
+			t.Fatalf("source %d sensitivity differs", s)
+		}
+	}
+}
+
+// TestSourcePriorsSteerInference: a strong per-source prior stating a
+// source fabricates should measurably lower that source's inferred
+// specificity relative to the uninformed fit, and weaken its positives.
+func TestSourcePriorsSteerInference(t *testing.T) {
+	ds := easySynthetic(t, 250, 62)
+	name := ds.Sources[0]
+	base := Config{Seed: 5}
+	plain, err := New(base).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased := base
+	biased.Priors = plain.Priors
+	biased.SourcePriors = map[string]Priors{
+		// Overwhelming prior: source 0 has a 60% false positive rate.
+		name: {FP: 6000, TN: 4000, TP: 50, FN: 50},
+	}
+	skew, err := New(biased).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew.Quality[0].Specificity >= plain.Quality[0].Specificity {
+		t.Fatalf("prior did not lower specificity: %v vs %v",
+			skew.Quality[0].Specificity, plain.Quality[0].Specificity)
+	}
+	if skew.Quality[0].Specificity > 0.55 {
+		t.Fatalf("specificity %v despite overwhelming fabrication prior",
+			skew.Quality[0].Specificity)
+	}
+}
+
+// TestDefaultPriorsMatchPaperSettings pins the published hyperparameters:
+// the paper uses α0=(10, 1000) for the 2420-fact book data and
+// α0=(100, 10000) for the 33526-fact movie data.
+func TestDefaultPriorsMatchPaperSettings(t *testing.T) {
+	book := DefaultPriors(2420)
+	if math.Abs(book.FP-8.07) > 0.1 || math.Abs(book.TN-798.6) > 1 {
+		t.Fatalf("book-scale priors (%v, %v), want ≈(10, 1000) scale", book.FP, book.TN)
+	}
+	movie := DefaultPriors(33526)
+	if movie.FP < 80 || movie.FP > 130 || movie.TN < 8000 || movie.TN > 13000 {
+		t.Fatalf("movie-scale priors (%v, %v), want ≈(100, 10000) scale", movie.FP, movie.TN)
+	}
+	// α1 = (50, 50) and β = (10, 10) exactly as published.
+	if movie.TP != 50 || movie.FN != 50 || movie.True != 10 || movie.Fls != 10 {
+		t.Fatalf("uniform priors %+v, want TP=FN=50, True=Fls=10", movie)
+	}
+}
+
+// TestQualityPriorCarryOver: fitting the second half of a dataset with
+// per-source priors carried from the first half must preserve the quality
+// ranking learned there even before seeing much new evidence.
+func TestQualityPriorCarryOver(t *testing.T) {
+	ds, _, err := synth.PaperSynthetic(synth.PaperSyntheticConfig{
+		NumFacts: 800, NumSources: 8,
+		Alpha0: [2]float64{10, 90}, Alpha1: [2]float64{60, 40},
+		Beta: [2]float64{10, 10}, Seed: 63,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := New(Config{Seed: 2}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carried := QualityPriors(ds, first.Prob, first.Priors)
+	cfg := Config{Seed: 3, Priors: first.Priors, SourcePriors: carried, Iterations: 5, BurnIn: 1}
+	// Only five iterations on the SAME data: the carried priors dominate,
+	// and inferred quality must correlate with the first fit's.
+	second, err := New(cfg).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range first.Sensitivity {
+		if d := math.Abs(first.Sensitivity[s] - second.Sensitivity[s]); d > 0.1 {
+			t.Errorf("source %d sensitivity drifted %v despite carried priors", s, d)
+		}
+	}
+}

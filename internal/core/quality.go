@@ -1,0 +1,79 @@
+package core
+
+import (
+	"sort"
+
+	"latenttruth/internal/model"
+)
+
+// EstimateQuality implements the MAP source-quality read-off of §5.3.
+// Given posterior truth probabilities p(t_f = 1) for every fact, the
+// expected confusion counts of source s are
+//
+//	E[n_{s,i,j}] = Σ_{c: s_c = s, o_c = j} p(t_{f_c} = i)
+//
+// and the Beta-posterior MAP estimates follow in closed form:
+//
+//	sensitivity(s) = (E[n_{s,1,1}] + α1,1) / (E[n_{s,1,·}] + α1,·)
+//	specificity(s) = (E[n_{s,0,0}] + α0,0) / (E[n_{s,0,·}] + α0,·)
+//	precision(s)   = (E[n_{s,1,1}] + α1,1) / (E[n_{s,·,1}] + α0,1 + α1,1)
+//	accuracy(s)    = (E[n_{s,1,1}] + E[n_{s,0,0}] + α1,1 + α0,0) / (E[n_s] + α)
+//
+// It returns the per-source quality table plus the raw model parameters:
+// sens[s] = φ1_s and fpr[s] = φ0_s.
+func EstimateQuality(ds *model.Dataset, prob []float64, p Priors) (quality []model.SourceQuality, sens, fpr []float64) {
+	return estimateQuality(ds, prob, Config{Priors: p})
+}
+
+// estimateQuality is EstimateQuality with per-source prior overrides.
+func estimateQuality(ds *model.Dataset, prob []float64, cfg Config) (quality []model.SourceQuality, sens, fpr []float64) {
+	nSources := ds.NumSources()
+	e := ExpectedCounts(ds, prob)
+	quality = make([]model.SourceQuality, nSources)
+	sens = make([]float64, nSources)
+	fpr = make([]float64, nSources)
+	for s := 0; s < nSources; s++ {
+		p := cfg.Priors
+		if sp, ok := cfg.SourcePriors[ds.Sources[s]]; ok {
+			sp.True, sp.Fls = p.True, p.Fls
+			p = sp
+		}
+		tp, fn := e[s][1][1], e[s][1][0]
+		fp, tn := e[s][0][1], e[s][0][0]
+		sens[s] = (tp + p.TP) / (tp + fn + p.TP + p.FN)
+		fpr[s] = (fp + p.FP) / (fp + tn + p.FP + p.TN)
+		quality[s] = model.SourceQuality{
+			Source:      ds.Sources[s],
+			Sensitivity: sens[s],
+			Specificity: 1 - fpr[s],
+			Precision:   (tp + p.TP) / (tp + fp + p.TP + p.FP),
+			Accuracy:    (tp + tn + p.TP + p.TN) / (tp + tn + fp + fn + p.TP + p.TN + p.FP + p.FN),
+		}
+	}
+	return quality, sens, fpr
+}
+
+// ExpectedCounts returns, for each source s, the expected confusion counts
+// E[n_{s,i,j}] under the posterior truth probabilities prob: index [s][i][j]
+// with i the truth label and j the observation.
+func ExpectedCounts(ds *model.Dataset, prob []float64) [][2][2]float64 {
+	e := make([][2][2]float64, ds.NumSources())
+	for _, c := range ds.Claims {
+		pt := prob[c.Fact]
+		o := 0
+		if c.Observation {
+			o = 1
+		}
+		e[c.Source][1][o] += pt
+		e[c.Source][0][o] += 1 - pt
+	}
+	return e
+}
+
+// RankedQuality returns a copy of quality sorted by decreasing sensitivity,
+// the presentation order of Table 8.
+func RankedQuality(quality []model.SourceQuality) []model.SourceQuality {
+	out := append([]model.SourceQuality(nil), quality...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Sensitivity > out[j].Sensitivity })
+	return out
+}

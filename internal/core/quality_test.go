@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"latenttruth/internal/model"
+	"latenttruth/internal/synth"
+)
+
+// handDataset builds a tiny dataset with known claim structure for
+// hand-computing expected counts: two facts, two sources, full coverage.
+func handDataset(t *testing.T) *model.Dataset {
+	t.Helper()
+	db := model.NewRawDB()
+	db.Add("e1", "x", "A") // A asserts fact 0
+	db.Add("e1", "y", "B") // B asserts fact 1; A denies 1, B denies 0
+	ds := model.Build(db)
+	if ds.NumFacts() != 2 || ds.NumClaims() != 4 {
+		t.Fatalf("unexpected shape: %d facts %d claims", ds.NumFacts(), ds.NumClaims())
+	}
+	return ds
+}
+
+func TestExpectedCountsHandComputed(t *testing.T) {
+	ds := handDataset(t)
+	// prob[0] = 0.8, prob[1] = 0.25.
+	prob := []float64{0.8, 0.25}
+	e := ExpectedCounts(ds, prob)
+	a := ds.SourceIndex("A")
+	b := ds.SourceIndex("B")
+	// Source A: positive on fact0 (p=.8) -> E[n_{1,1}] += .8, E[n_{0,1}] += .2;
+	// negative on fact1 (p=.25) -> E[n_{1,0}] += .25, E[n_{0,0}] += .75.
+	if !close(e[a][1][1], 0.8) || !close(e[a][0][1], 0.2) ||
+		!close(e[a][1][0], 0.25) || !close(e[a][0][0], 0.75) {
+		t.Fatalf("source A counts %v", e[a])
+	}
+	// Source B: negative on fact0, positive on fact1.
+	if !close(e[b][1][0], 0.8) || !close(e[b][0][0], 0.2) ||
+		!close(e[b][1][1], 0.25) || !close(e[b][0][1], 0.75) {
+		t.Fatalf("source B counts %v", e[b])
+	}
+}
+
+func TestEstimateQualityClosedForm(t *testing.T) {
+	ds := handDataset(t)
+	prob := []float64{1, 0} // fact0 true, fact1 false, no uncertainty
+	p := Priors{FP: 1, TN: 9, TP: 2, FN: 2, True: 1, Fls: 1}
+	quality, sens, fpr := EstimateQuality(ds, prob, p)
+	a := ds.SourceIndex("A")
+	// A: TP=1 (fact0 positive), FN=0, FP=0, TN=1 (fact1 negative).
+	wantSens := (1 + p.TP) / (1 + 0 + p.TP + p.FN)
+	wantFPR := (0 + p.FP) / (0 + 1 + p.FP + p.TN)
+	if !close(sens[a], wantSens) || !close(fpr[a], wantFPR) {
+		t.Fatalf("A: sens %v (want %v), fpr %v (want %v)", sens[a], wantSens, fpr[a], wantFPR)
+	}
+	wantPrec := (1 + p.TP) / (1 + 0 + p.TP + p.FP)
+	if !close(quality[a].Precision, wantPrec) {
+		t.Fatalf("A precision %v want %v", quality[a].Precision, wantPrec)
+	}
+	if !close(quality[a].Specificity, 1-fpr[a]) {
+		t.Fatal("specificity != 1-fpr")
+	}
+	// B is A's mirror image: positive on the false fact, negative on the
+	// true one.
+	b := ds.SourceIndex("B")
+	wantSensB := (0 + p.TP) / (0 + 1 + p.TP + p.FN)
+	wantFPRB := (1 + p.FP) / (1 + 0 + p.FP + p.TN)
+	if !close(sens[b], wantSensB) || !close(fpr[b], wantFPRB) {
+		t.Fatalf("B: sens %v (want %v), fpr %v (want %v)", sens[b], wantSensB, fpr[b], wantFPRB)
+	}
+}
+
+func TestQualityRecoversGeneratorParameters(t *testing.T) {
+	// On dense synthetic data with many facts, inferred quality should be
+	// close to the generator's drawn quality for every source.
+	cfg := synth.PaperSyntheticConfig{
+		NumFacts: 3000, NumSources: 10,
+		Alpha0: [2]float64{10, 90}, Alpha1: [2]float64{70, 30},
+		Beta: [2]float64{10, 10}, Seed: 21,
+	}
+	ds, gen, err := synth.PaperSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := New(Config{Seed: 2, Priors: Priors{
+		FP: 10, TN: 990, TP: 50, FN: 50, True: 10, Fls: 10,
+	}}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, g := range gen {
+		if d := math.Abs(fit.Quality[s].Sensitivity - g.Sensitivity); d > 0.08 {
+			t.Errorf("source %d sensitivity off by %v (inferred %v, true %v)",
+				s, d, fit.Quality[s].Sensitivity, g.Sensitivity)
+		}
+		if d := math.Abs(fit.Quality[s].Specificity - g.Specificity); d > 0.08 {
+			t.Errorf("source %d specificity off by %v (inferred %v, true %v)",
+				s, d, fit.Quality[s].Specificity, g.Specificity)
+		}
+	}
+}
+
+func TestRankedQuality(t *testing.T) {
+	in := []model.SourceQuality{
+		{Source: "low", Sensitivity: 0.2},
+		{Source: "high", Sensitivity: 0.9},
+		{Source: "mid", Sensitivity: 0.5},
+	}
+	out := RankedQuality(in)
+	if out[0].Source != "high" || out[1].Source != "mid" || out[2].Source != "low" {
+		t.Fatalf("order: %v %v %v", out[0].Source, out[1].Source, out[2].Source)
+	}
+	// Input untouched.
+	if in[0].Source != "low" {
+		t.Fatal("RankedQuality mutated input")
+	}
+}
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-12 }

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"latenttruth/internal/model"
+)
+
+func TestNaiveGibbsMatchesExactPosterior(t *testing.T) {
+	// The uncollapsed sampler targets the same posterior; with a long
+	// chain its marginals must also agree with exact enumeration (it
+	// mixes more slowly, hence the longer chain and looser tolerance).
+	ds := exactTestDataset()
+	priors := Priors{FP: 2, TN: 8, TP: 6, FN: 4, True: 3, Fls: 5}
+	exact := exactMarginals(ds, priors)
+	cfg := Config{
+		Priors:     priors,
+		Iterations: 120000,
+		BurnIn:     5000,
+		SampleGap:  0,
+		Seed:       31,
+	}
+	fit, err := NewNaive(cfg).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range exact {
+		if d := math.Abs(fit.Prob[f] - exact[f]); d > 0.02 {
+			t.Errorf("fact %d: naive %v vs exact %v (|Δ| = %v)",
+				f, fit.Prob[f], exact[f], d)
+		}
+	}
+}
+
+func TestNaiveAgreesWithCollapsedOnEasyData(t *testing.T) {
+	ds := easySynthetic(t, 300, 41)
+	collapsed, err := New(Config{Seed: 5}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NewNaive(Config{Seed: 5, Iterations: 200, BurnIn: 50}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flips := 0
+	for f := range collapsed.Prob {
+		if (collapsed.Prob[f] >= 0.5) != (naive.Prob[f] >= 0.5) {
+			flips++
+		}
+	}
+	if flips > 9 {
+		t.Fatalf("collapsed and naive disagree on %d/300 facts", flips)
+	}
+}
+
+func TestNaiveName(t *testing.T) {
+	var m model.Method = NewNaive(Config{})
+	if m.Name() != "LTM-naive" {
+		t.Fatalf("name = %q", m.Name())
+	}
+}
+
+func TestEMRecoversSyntheticTruth(t *testing.T) {
+	ds := easySynthetic(t, 600, 42)
+	fit, err := NewEM(Config{}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracyOf(t, ds, fit.Prob); acc < 0.95 {
+		t.Fatalf("EM accuracy %v on easy synthetic", acc)
+	}
+	if err := fit.Result.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEMIsDeterministic(t *testing.T) {
+	ds := easySynthetic(t, 200, 43)
+	a, err := NewEM(Config{}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEM(Config{}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range a.Prob {
+		if a.Prob[f] != b.Prob[f] {
+			t.Fatalf("EM not deterministic at fact %d", f)
+		}
+	}
+}
+
+func TestEMAgreesWithGibbs(t *testing.T) {
+	ds := easySynthetic(t, 400, 44)
+	em, err := NewEM(Config{}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gibbs, err := New(Config{Seed: 2}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flips := 0
+	for f := range em.Prob {
+		if (em.Prob[f] >= 0.5) != (gibbs.Prob[f] >= 0.5) {
+			flips++
+		}
+	}
+	if flips > 12 {
+		t.Fatalf("EM and Gibbs disagree on %d/400 facts", flips)
+	}
+	// Quality estimates must agree closely too.
+	for s := range em.Sensitivity {
+		if d := math.Abs(em.Sensitivity[s] - gibbs.Sensitivity[s]); d > 0.1 {
+			t.Fatalf("source %d sensitivity differs by %v", s, d)
+		}
+	}
+}
+
+func TestEMValidation(t *testing.T) {
+	if _, err := NewEM(Config{Priors: Priors{FP: -1}}).Fit(easySynthetic(t, 50, 45)); err == nil {
+		t.Fatal("expected prior validation error")
+	}
+	if _, err := NewEM(Config{}).Fit(&model.Dataset{Labels: map[int]bool{}}); err == nil {
+		t.Fatal("expected empty-dataset error")
+	}
+	var m model.Method = NewEM(Config{})
+	if m.Name() != "LTM-EM" {
+		t.Fatalf("name = %q", m.Name())
+	}
+}

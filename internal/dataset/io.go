@@ -1,0 +1,244 @@
+// Package dataset reads and writes the library's on-disk formats, all CSV:
+//
+//   - triples: entity,attribute,source — the raw database of Definition 1;
+//   - labels: entity,attribute,truth — the human-labeled evaluation subset;
+//   - truth tables: entity,attribute,probability,predicted — a method's
+//     output at a threshold (Definition 4, Table 4);
+//   - quality tables: source,sensitivity,specificity,precision,accuracy —
+//     the §5.3 read-off (Table 8).
+//
+// All readers are strict about column counts and value syntax, and report
+// the offending line number in errors.
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"latenttruth/internal/model"
+)
+
+// TriplesHeader is the canonical header of a triples file.
+var TriplesHeader = []string{"entity", "attribute", "source"}
+
+// ReadTriples parses a triples CSV into a raw database. A header row equal
+// to TriplesHeader is skipped if present. Duplicate triples are tolerated
+// (the raw database de-duplicates).
+func ReadTriples(r io.Reader) (*model.RawDB, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	db := model.NewRawDB()
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading triples: %w", err)
+		}
+		line++
+		if line == 1 && rec[0] == TriplesHeader[0] && rec[1] == TriplesHeader[1] && rec[2] == TriplesHeader[2] {
+			continue
+		}
+		if rec[0] == "" || rec[1] == "" || rec[2] == "" {
+			return nil, fmt.Errorf("dataset: triples line %d: empty field", line)
+		}
+		db.Add(rec[0], rec[1], rec[2])
+	}
+	if db.Len() == 0 {
+		return nil, fmt.Errorf("dataset: triples input contains no rows")
+	}
+	return db, nil
+}
+
+// WriteTriples writes the raw database with a header row.
+func WriteTriples(w io.Writer, db *model.RawDB) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(TriplesHeader); err != nil {
+		return fmt.Errorf("dataset: writing triples header: %w", err)
+	}
+	for _, r := range db.Rows() {
+		if err := cw.Write([]string{r.Entity, r.Attribute, r.Source}); err != nil {
+			return fmt.Errorf("dataset: writing triple: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LabelsHeader is the canonical header of a labels file.
+var LabelsHeader = []string{"entity", "attribute", "truth"}
+
+// ReadLabels parses a labels CSV and applies the labels to ds, matching
+// facts by entity and attribute name. Labels referencing unknown facts are
+// an error (they indicate a dataset/labels mismatch). Truth values accept
+// strconv.ParseBool syntax.
+func ReadLabels(r io.Reader, ds *model.Dataset) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	index := make(map[[2]string]int, ds.NumFacts())
+	for _, f := range ds.Facts {
+		index[[2]string{ds.Entities[f.Entity], f.Attribute}] = f.ID
+	}
+	if ds.Labels == nil {
+		ds.Labels = make(map[int]bool)
+	}
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("dataset: reading labels: %w", err)
+		}
+		line++
+		if line == 1 && rec[0] == LabelsHeader[0] && rec[1] == LabelsHeader[1] && rec[2] == LabelsHeader[2] {
+			continue
+		}
+		f, ok := index[[2]string{rec[0], rec[1]}]
+		if !ok {
+			return fmt.Errorf("dataset: labels line %d: no fact (%s, %s) in dataset", line, rec[0], rec[1])
+		}
+		v, err := strconv.ParseBool(rec[2])
+		if err != nil {
+			return fmt.Errorf("dataset: labels line %d: bad truth value %q", line, rec[2])
+		}
+		ds.Labels[f] = v
+	}
+	return nil
+}
+
+// WriteLabels writes ds's labels with entity and attribute names.
+func WriteLabels(w io.Writer, ds *model.Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(LabelsHeader); err != nil {
+		return fmt.Errorf("dataset: writing labels header: %w", err)
+	}
+	for _, f := range ds.LabeledFacts() {
+		fact := ds.Facts[f]
+		rec := []string{ds.Entities[fact.Entity], fact.Attribute, strconv.FormatBool(ds.Labels[f])}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing label: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TruthHeader is the canonical header of a truth-table file.
+var TruthHeader = []string{"entity", "attribute", "probability", "predicted"}
+
+// WriteTruth writes a method's result as a truth table at the given
+// threshold, in fact-id order.
+func WriteTruth(w io.Writer, ds *model.Dataset, res *model.Result, threshold float64) error {
+	if len(res.Prob) != ds.NumFacts() {
+		return fmt.Errorf("dataset: result has %d scores for %d facts", len(res.Prob), ds.NumFacts())
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(TruthHeader); err != nil {
+		return fmt.Errorf("dataset: writing truth header: %w", err)
+	}
+	for _, f := range ds.Facts {
+		rec := []string{
+			ds.Entities[f.Entity],
+			f.Attribute,
+			strconv.FormatFloat(res.Prob[f.ID], 'f', 6, 64),
+			strconv.FormatBool(res.Predict(f.ID, threshold)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing truth row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// QualityHeader is the canonical header of a source-quality file.
+var QualityHeader = []string{"source", "sensitivity", "specificity", "precision", "accuracy"}
+
+// WriteQuality writes a source-quality table (Table 8 format plus
+// precision and accuracy).
+func WriteQuality(w io.Writer, quality []model.SourceQuality) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(QualityHeader); err != nil {
+		return fmt.Errorf("dataset: writing quality header: %w", err)
+	}
+	ff := func(x float64) string { return strconv.FormatFloat(x, 'f', 6, 64) }
+	for _, q := range quality {
+		rec := []string{q.Source, ff(q.Sensitivity), ff(q.Specificity), ff(q.Precision), ff(q.Accuracy)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing quality row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadQuality parses a source-quality CSV (as written by WriteQuality).
+func ReadQuality(r io.Reader) ([]model.SourceQuality, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	var out []model.SourceQuality
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading quality: %w", err)
+		}
+		line++
+		if line == 1 && rec[0] == QualityHeader[0] {
+			continue
+		}
+		q := model.SourceQuality{Source: rec[0]}
+		for i, dst := range []*float64{&q.Sensitivity, &q.Specificity, &q.Precision, &q.Accuracy} {
+			v, err := strconv.ParseFloat(rec[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: quality line %d column %s: %w", line, QualityHeader[i+1], err)
+			}
+			*dst = v
+		}
+		out = append(out, q)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dataset: quality input contains no rows")
+	}
+	return out, nil
+}
+
+// LoadTriplesFile reads a triples CSV from path and builds the dataset.
+func LoadTriplesFile(path string) (*model.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	db, err := ReadTriples(f)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", path, err)
+	}
+	return model.Build(db), nil
+}
+
+// SaveFile writes the output of write to path, creating or truncating it.
+func SaveFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dataset: closing %s: %w", path, err)
+	}
+	return nil
+}

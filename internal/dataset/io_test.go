@@ -1,0 +1,206 @@
+package dataset
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"latenttruth/internal/model"
+)
+
+func sampleDB() *model.RawDB {
+	db := model.NewRawDB()
+	db.Add("Harry Potter", "Daniel Radcliffe", "IMDB")
+	db.Add("Harry Potter", "Emma Watson", "IMDB")
+	db.Add("Harry Potter", "Emma Watson", "BadSource.com")
+	db.Add("Pirates 4", "Johnny Depp", "Hulu.com")
+	return db
+}
+
+func TestTriplesRoundTrip(t *testing.T) {
+	db := sampleDB()
+	var buf bytes.Buffer
+	if err := WriteTriples(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != db.Len() {
+		t.Fatalf("round trip lost rows: %d vs %d", got.Len(), db.Len())
+	}
+	for i, r := range db.Rows() {
+		if got.Rows()[i] != r {
+			t.Fatalf("row %d: %v vs %v", i, got.Rows()[i], r)
+		}
+	}
+}
+
+func TestReadTriplesWithoutHeader(t *testing.T) {
+	in := "e1,a1,s1\ne2,a2,s2\n"
+	db, err := ReadTriples(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("rows = %d", db.Len())
+	}
+}
+
+func TestReadTriplesQuotedFields(t *testing.T) {
+	in := "entity,attribute,source\n\"Book, The\",\"Smith, J.\",shop\n"
+	db, err := ReadTriples(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Rows()[0].Entity != "Book, The" || db.Rows()[0].Attribute != "Smith, J." {
+		t.Fatalf("row = %+v", db.Rows()[0])
+	}
+}
+
+func TestReadTriplesErrors(t *testing.T) {
+	cases := map[string]string{
+		"wrong column count": "a,b\n",
+		"empty field":        "e,,s\n",
+		"empty input":        "",
+		"header only":        "entity,attribute,source\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTriples(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLabelsRoundTrip(t *testing.T) {
+	ds := model.Build(sampleDB())
+	ds.Labels[0] = true
+	ds.Labels[2] = false
+	var buf bytes.Buffer
+	if err := WriteLabels(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	ds2 := model.Build(sampleDB())
+	if err := ReadLabels(&buf, ds2); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds2.Labels) != 2 || ds2.Labels[0] != true || ds2.Labels[2] != false {
+		t.Fatalf("labels = %v", ds2.Labels)
+	}
+}
+
+func TestReadLabelsUnknownFact(t *testing.T) {
+	ds := model.Build(sampleDB())
+	in := "entity,attribute,truth\nNope,Nothing,true\n"
+	if err := ReadLabels(strings.NewReader(in), ds); err == nil ||
+		!strings.Contains(err.Error(), "no fact") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadLabelsBadBool(t *testing.T) {
+	ds := model.Build(sampleDB())
+	in := "Harry Potter,Daniel Radcliffe,maybe\n"
+	if err := ReadLabels(strings.NewReader(in), ds); err == nil ||
+		!strings.Contains(err.Error(), "bad truth value") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteTruth(t *testing.T) {
+	ds := model.Build(sampleDB())
+	res := model.NewResult("m", ds)
+	res.Prob = []float64{0.9, 0.4, 1}
+	var buf bytes.Buffer
+	if err := WriteTruth(&buf, ds, res, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 facts
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], "0.900000,true") {
+		t.Fatalf("line 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "0.400000,false") {
+		t.Fatalf("line 2 = %q", lines[2])
+	}
+}
+
+func TestWriteTruthSizeMismatch(t *testing.T) {
+	ds := model.Build(sampleDB())
+	res := &model.Result{Method: "m", Prob: []float64{0.5}}
+	if err := WriteTruth(&bytes.Buffer{}, ds, res, 0.5); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+func TestQualityRoundTrip(t *testing.T) {
+	in := []model.SourceQuality{
+		{Source: "imdb", Sensitivity: 0.91, Specificity: 0.89, Precision: 0.95, Accuracy: 0.9},
+		{Source: "netflix", Sensitivity: 0.89, Specificity: 0.93, Precision: 0.97, Accuracy: 0.91},
+	}
+	var buf bytes.Buffer
+	if err := WriteQuality(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadQuality(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	for i := range in {
+		if got[i].Source != in[i].Source ||
+			math.Abs(got[i].Sensitivity-in[i].Sensitivity) > 1e-9 ||
+			math.Abs(got[i].Specificity-in[i].Specificity) > 1e-9 ||
+			math.Abs(got[i].Precision-in[i].Precision) > 1e-9 ||
+			math.Abs(got[i].Accuracy-in[i].Accuracy) > 1e-9 {
+			t.Fatalf("row %d: %+v vs %+v", i, got[i], in[i])
+		}
+	}
+}
+
+func TestReadQualityErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"header only":  "source,sensitivity,specificity,precision,accuracy\n",
+		"bad float":    "s,x,0.5,0.5,0.5\n",
+		"wrong fields": "s,0.5\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadQuality(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLoadTriplesFileAndSaveFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "triples.csv")
+	db := sampleDB()
+	if err := SaveFile(path, func(w io.Writer) error {
+		return WriteTriples(w, db)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadTriplesFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumFacts() != 3 {
+		t.Fatalf("facts = %d", ds.NumFacts())
+	}
+	if _, err := LoadTriplesFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package eval
+
+import (
+	"testing"
+
+	"latenttruth/internal/model"
+)
+
+func TestBootstrapMetricsBracketsPoint(t *testing.T) {
+	ds := table1Dataset()
+	res := model.NewResult("m", ds)
+	res.Prob = []float64{0.9, 0.7, 0.4, 0.6, 0.95} // one FN (fact 2), one FP (fact 3)
+	ci, err := BootstrapMetrics(ds, res, 0.5, 500, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range map[string]struct {
+		lo, mid, hi float64
+	}{
+		"precision": {ci.Precision.Lower, ci.Precision.Mean, ci.Precision.Upper},
+		"recall":    {ci.Recall.Lower, ci.Recall.Mean, ci.Recall.Upper},
+		"accuracy":  {ci.Accuracy.Lower, ci.Accuracy.Mean, ci.Accuracy.Upper},
+		"f1":        {ci.F1.Lower, ci.F1.Mean, ci.F1.Upper},
+	} {
+		if !(c.lo <= c.mid && c.mid <= c.hi) {
+			t.Errorf("%s interval disordered: [%v, %v] around %v", name, c.lo, c.hi, c.mid)
+		}
+		if c.lo < 0 || c.hi > 1 {
+			t.Errorf("%s interval [%v, %v] outside [0,1]", name, c.lo, c.hi)
+		}
+	}
+	if ci.Resamples != 500 {
+		t.Fatalf("resamples = %d", ci.Resamples)
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	ds := table1Dataset()
+	res := model.NewResult("m", ds)
+	res.Prob = []float64{0.9, 0.7, 0.4, 0.6, 0.95}
+	a, err := BootstrapMetrics(ds, res, 0.5, 200, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapMetrics(ds, res, 0.5, 200, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accuracy != b.Accuracy || a.F1 != b.F1 {
+		t.Fatal("bootstrap not deterministic for equal seeds")
+	}
+}
+
+func TestBootstrapPerfectPredictorDegenerate(t *testing.T) {
+	ds := table1Dataset()
+	res := model.NewResult("oracle", ds)
+	for f, v := range ds.Labels {
+		if v {
+			res.Prob[f] = 1
+		}
+	}
+	ci, err := BootstrapMetrics(ds, res, 0.5, 200, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A perfect predictor is perfect on every resample.
+	if ci.Accuracy.Lower != 1 || ci.Accuracy.Upper != 1 {
+		t.Fatalf("oracle accuracy interval [%v, %v]", ci.Accuracy.Lower, ci.Accuracy.Upper)
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	ds := table1Dataset()
+	res := model.NewResult("m", ds)
+	if _, err := BootstrapMetrics(ds, res, 0.5, 5, 0.95, 1); err == nil {
+		t.Fatal("expected too-few-resamples error")
+	}
+	if _, err := BootstrapMetrics(ds, res, 0.5, 100, 1.5, 1); err == nil {
+		t.Fatal("expected bad-level error")
+	}
+	empty := table1Dataset()
+	empty.Labels = map[int]bool{}
+	if _, err := BootstrapMetrics(empty, res, 0.5, 100, 0.95, 1); err == nil {
+		t.Fatal("expected no-labels error")
+	}
+}

@@ -1,0 +1,161 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"latenttruth/internal/model"
+)
+
+// PRPoint is one operating point of a precision–recall curve.
+type PRPoint struct {
+	Recall    float64
+	Precision float64
+}
+
+// PrecisionRecall computes the precision–recall curve over the labeled
+// subset by sweeping the decision threshold across every distinct score
+// (ties processed as blocks). Points are ordered by increasing recall.
+// It returns an error when labels are missing or contain no positives.
+func PrecisionRecall(ds *model.Dataset, r *model.Result) ([]PRPoint, error) {
+	labeled := ds.LabeledFacts()
+	if len(labeled) == 0 {
+		return nil, fmt.Errorf("eval: dataset has no labeled facts")
+	}
+	type scored struct {
+		score float64
+		truth bool
+	}
+	pos := 0
+	items := make([]scored, 0, len(labeled))
+	for _, f := range labeled {
+		if ds.Labels[f] {
+			pos++
+		}
+		items = append(items, scored{r.Prob[f], ds.Labels[f]})
+	}
+	if pos == 0 {
+		return nil, fmt.Errorf("eval: precision-recall needs positive labels")
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].score > items[j].score })
+	var curve []PRPoint
+	tp, fp := 0, 0
+	i := 0
+	for i < len(items) {
+		j := i
+		for j < len(items) && items[j].score == items[i].score {
+			if items[j].truth {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		curve = append(curve, PRPoint{
+			Recall:    float64(tp) / float64(pos),
+			Precision: float64(tp) / float64(tp+fp),
+		})
+		i = j
+	}
+	return curve, nil
+}
+
+// AveragePrecision returns the area under the precision–recall curve via
+// the step-wise interpolation standard in information retrieval
+// (precision at each recall increment, averaged over positives).
+func AveragePrecision(ds *model.Dataset, r *model.Result) (float64, error) {
+	curve, err := PrecisionRecall(ds, r)
+	if err != nil {
+		return 0, err
+	}
+	ap := 0.0
+	prevRecall := 0.0
+	for _, p := range curve {
+		ap += (p.Recall - prevRecall) * p.Precision
+		prevRecall = p.Recall
+	}
+	if ap < 0 || ap > 1+1e-12 || math.IsNaN(ap) {
+		return 0, fmt.Errorf("eval: computed AP %v out of range", ap)
+	}
+	return math.Min(ap, 1), nil
+}
+
+// CalibrationBin is one bin of a reliability diagram.
+type CalibrationBin struct {
+	// Low and High bound the predicted-probability bin [Low, High).
+	Low, High float64
+	// MeanPredicted is the average score of facts in the bin.
+	MeanPredicted float64
+	// FractionTrue is the empirical truth rate of facts in the bin.
+	FractionTrue float64
+	// Count is the number of labeled facts in the bin.
+	Count int
+}
+
+// Calibration bins the labeled facts by predicted probability into `bins`
+// equal-width bins and reports the reliability diagram plus the expected
+// calibration error (ECE): the count-weighted mean |confidence − truth
+// rate|. A well-calibrated probabilistic method (LTM's posterior, unlike
+// the belief-score baselines) should show FractionTrue ≈ MeanPredicted in
+// every populated bin.
+func Calibration(ds *model.Dataset, r *model.Result, bins int) ([]CalibrationBin, float64, error) {
+	if bins <= 0 {
+		return nil, 0, fmt.Errorf("eval: need a positive bin count, got %d", bins)
+	}
+	labeled := ds.LabeledFacts()
+	if len(labeled) == 0 {
+		return nil, 0, fmt.Errorf("eval: dataset has no labeled facts")
+	}
+	out := make([]CalibrationBin, bins)
+	for b := range out {
+		out[b].Low = float64(b) / float64(bins)
+		out[b].High = float64(b+1) / float64(bins)
+	}
+	sumPred := make([]float64, bins)
+	sumTrue := make([]int, bins)
+	for _, f := range labeled {
+		p := r.Prob[f]
+		b := int(p * float64(bins))
+		if b >= bins { // p == 1 lands in the last bin
+			b = bins - 1
+		}
+		out[b].Count++
+		sumPred[b] += p
+		if ds.Labels[f] {
+			sumTrue[b]++
+		}
+	}
+	ece := 0.0
+	total := float64(len(labeled))
+	for b := range out {
+		if out[b].Count == 0 {
+			continue
+		}
+		n := float64(out[b].Count)
+		out[b].MeanPredicted = sumPred[b] / n
+		out[b].FractionTrue = float64(sumTrue[b]) / n
+		ece += n / total * math.Abs(out[b].MeanPredicted-out[b].FractionTrue)
+	}
+	return out, ece, nil
+}
+
+// Brier returns the Brier score of a result over the labeled subset: the
+// mean squared difference between predicted probability and truth
+// (lower is better; 0.25 for a constant 0.5 predictor).
+func Brier(ds *model.Dataset, r *model.Result) (float64, error) {
+	labeled := ds.LabeledFacts()
+	if len(labeled) == 0 {
+		return 0, fmt.Errorf("eval: dataset has no labeled facts")
+	}
+	sum := 0.0
+	for _, f := range labeled {
+		y := 0.0
+		if ds.Labels[f] {
+			y = 1
+		}
+		d := r.Prob[f] - y
+		sum += d * d
+	}
+	return sum / float64(len(labeled)), nil
+}

@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"latenttruth/internal/model"
+)
+
+func TestPrecisionRecallPerfectRanking(t *testing.T) {
+	ds := table1Dataset()
+	res := model.NewResult("m", ds)
+	res.Prob = []float64{0.9, 0.8, 0.7, 0.1, 0.95}
+	curve, err := PrecisionRecall(ds, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All positives rank above the single negative: precision 1 until
+	// recall 1.
+	for _, p := range curve[:len(curve)-1] {
+		if p.Precision != 1 {
+			t.Fatalf("precision %v at recall %v", p.Precision, p.Recall)
+		}
+	}
+	last := curve[len(curve)-1]
+	if last.Recall != 1 {
+		t.Fatalf("final recall %v", last.Recall)
+	}
+	ap, err := AveragePrecision(ds, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(ap, 1) {
+		t.Fatalf("AP of perfect ranking = %v", ap)
+	}
+}
+
+func TestAveragePrecisionHandComputed(t *testing.T) {
+	// 4 true, 1 false; false ranked second. Ranking: T F T T T.
+	ds := table1Dataset()
+	res := model.NewResult("m", ds)
+	// Labels: facts 0,1,2,4 true; 3 false.
+	res.Prob = []float64{0.9, 0.7, 0.6, 0.8, 0.5}
+	// Order: f0(T,.9), f3(F,.8), f1(T,.7), f2(T,.6), f4(T,.5).
+	// Recall steps at T items: 1/4@P=1, 2/4@P=2/3, 3/4@P=3/4, 4/4@P=4/5.
+	want := 0.25*1 + 0.25*(2.0/3) + 0.25*0.75 + 0.25*0.8
+	ap, err := AveragePrecision(ds, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ap-want) > 1e-12 {
+		t.Fatalf("AP = %v, want %v", ap, want)
+	}
+}
+
+func TestPrecisionRecallErrors(t *testing.T) {
+	ds := table1Dataset()
+	ds.Labels = map[int]bool{}
+	res := model.NewResult("m", ds)
+	if _, err := PrecisionRecall(ds, res); err == nil {
+		t.Fatal("expected no-labels error")
+	}
+	ds = table1Dataset()
+	for f := range ds.Labels {
+		ds.Labels[f] = false
+	}
+	if _, err := PrecisionRecall(ds, res); err == nil {
+		t.Fatal("expected no-positives error")
+	}
+}
+
+func TestCalibrationPerfectlyCalibrated(t *testing.T) {
+	// Construct a dataset where predicted probability equals empirical
+	// truth rate within each bin exactly.
+	db := model.NewRawDB()
+	for i := 0; i < 10; i++ {
+		db.Add(entity(i), "a", "s")
+	}
+	ds := model.Build(db)
+	res := model.NewResult("m", ds)
+	// 10 facts at p=0.3: exactly 3 true.
+	for f := 0; f < 10; f++ {
+		res.Prob[f] = 0.3
+		ds.Labels[f] = f < 3
+	}
+	bins, ece, err := Calibration(ds, res, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ece) > 1e-12 {
+		t.Fatalf("ECE = %v for perfectly calibrated predictions", ece)
+	}
+	// The 0.3 bin holds everything.
+	found := false
+	for _, b := range bins {
+		if b.Count == 10 {
+			found = true
+			if !almostEqual(b.MeanPredicted, 0.3) || !almostEqual(b.FractionTrue, 0.3) {
+				t.Fatalf("bin %+v", b)
+			}
+		} else if b.Count != 0 {
+			t.Fatalf("stray bin %+v", b)
+		}
+	}
+	if !found {
+		t.Fatal("populated bin missing")
+	}
+}
+
+func TestCalibrationOverconfident(t *testing.T) {
+	db := model.NewRawDB()
+	for i := 0; i < 10; i++ {
+		db.Add(entity(i), "a", "s")
+	}
+	ds := model.Build(db)
+	res := model.NewResult("m", ds)
+	// Claims 0.95 confidence but only half are true: ECE ≈ 0.45.
+	for f := 0; f < 10; f++ {
+		res.Prob[f] = 0.95
+		ds.Labels[f] = f%2 == 0
+	}
+	_, ece, err := Calibration(ds, res, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ece-0.45) > 1e-12 {
+		t.Fatalf("ECE = %v, want 0.45", ece)
+	}
+}
+
+func TestCalibrationEdges(t *testing.T) {
+	ds := table1Dataset()
+	res := model.NewResult("m", ds)
+	res.Prob = []float64{0, 0.5, 1, 1, 1} // p = 1 must land in the last bin
+	if _, _, err := Calibration(ds, res, 0); err == nil {
+		t.Fatal("expected bin-count error")
+	}
+	bins, _, err := Calibration(ds, res, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bins[3].Count != 3 {
+		t.Fatalf("last bin count = %d, want 3", bins[3].Count)
+	}
+}
+
+func TestBrier(t *testing.T) {
+	ds := table1Dataset()
+	res := model.NewResult("m", ds)
+	// Perfect predictions: Brier 0.
+	for f, v := range ds.Labels {
+		if v {
+			res.Prob[f] = 1
+		}
+	}
+	b, err := Brier(ds, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0 {
+		t.Fatalf("perfect Brier = %v", b)
+	}
+	// Constant 0.5: Brier 0.25.
+	for f := range res.Prob {
+		res.Prob[f] = 0.5
+	}
+	if b, err = Brier(ds, res); err != nil || !almostEqual(b, 0.25) {
+		t.Fatalf("constant Brier = %v (%v)", b, err)
+	}
+}
+
+func entity(i int) string {
+	return "ent" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+}

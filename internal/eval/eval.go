@@ -1,0 +1,249 @@
+// Package eval implements the paper's evaluation machinery (§3.1, §6.2):
+// per-source and per-method confusion matrices, the derived quality
+// measures (precision, recall/sensitivity, specificity, false positive
+// rate, accuracy, F1), threshold sweeps for Figure 2, and ROC curves with
+// area-under-curve for Figure 3.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"latenttruth/internal/model"
+)
+
+// Confusion is the 2×2 confusion matrix of Table 5.
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// Add accumulates one (prediction, truth) outcome.
+func (m *Confusion) Add(predicted, truth bool) {
+	switch {
+	case predicted && truth:
+		m.TP++
+	case predicted && !truth:
+		m.FP++
+	case !predicted && truth:
+		m.FN++
+	default:
+		m.TN++
+	}
+}
+
+// Total returns the number of accumulated outcomes.
+func (m Confusion) Total() int { return m.TP + m.FP + m.FN + m.TN }
+
+// Precision returns TP/(TP+FP); by the paper's convention an empty
+// denominator yields 1 (a method that asserts nothing makes no false
+// assertions).
+func (m Confusion) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 1
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall returns TP/(TP+FN), the sensitivity. An empty denominator yields 1.
+func (m Confusion) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 1
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// Specificity returns TN/(TN+FP). An empty denominator yields 1.
+func (m Confusion) Specificity() float64 {
+	if m.TN+m.FP == 0 {
+		return 1
+	}
+	return float64(m.TN) / float64(m.TN+m.FP)
+}
+
+// FalsePositiveRate returns FP/(FP+TN) = 1 − Specificity. An empty
+// denominator yields 0.
+func (m Confusion) FalsePositiveRate() float64 {
+	if m.TN+m.FP == 0 {
+		return 0
+	}
+	return float64(m.FP) / float64(m.FP+m.TN)
+}
+
+// Accuracy returns (TP+TN)/total. An empty matrix yields 0.
+func (m Confusion) Accuracy() float64 {
+	t := m.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(m.TP+m.TN) / float64(t)
+}
+
+// F1 returns the harmonic mean of precision and recall (0 when both TP
+// counts vanish).
+func (m Confusion) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Metrics bundles the five columns of Table 7 for one method on one
+// dataset.
+type Metrics struct {
+	Method    string
+	Precision float64
+	Recall    float64
+	FPR       float64
+	Accuracy  float64
+	F1        float64
+}
+
+// String renders the metrics in Table 7's column order.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%-18s P=%.3f R=%.3f FPR=%.3f Acc=%.3f F1=%.3f",
+		m.Method, m.Precision, m.Recall, m.FPR, m.Accuracy, m.F1)
+}
+
+// ConfusionAt builds the confusion matrix of a result against the labeled
+// subset of ds at the given probability threshold. It returns an error if
+// the dataset has no labels.
+func ConfusionAt(ds *model.Dataset, r *model.Result, threshold float64) (Confusion, error) {
+	if len(ds.Labels) == 0 {
+		return Confusion{}, fmt.Errorf("eval: dataset has no labeled facts")
+	}
+	var m Confusion
+	for _, f := range ds.LabeledFacts() {
+		m.Add(r.Predict(f, threshold), ds.Labels[f])
+	}
+	return m, nil
+}
+
+// Evaluate computes Table 7-style metrics for a result at a threshold.
+func Evaluate(ds *model.Dataset, r *model.Result, threshold float64) (Metrics, error) {
+	m, err := ConfusionAt(ds, r, threshold)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{
+		Method:    r.Method,
+		Precision: m.Precision(),
+		Recall:    m.Recall(),
+		FPR:       m.FalsePositiveRate(),
+		Accuracy:  m.Accuracy(),
+		F1:        m.F1(),
+	}, nil
+}
+
+// SweepPoint is one point of a threshold sweep (Figure 2).
+type SweepPoint struct {
+	Threshold float64
+	Accuracy  float64
+	F1        float64
+}
+
+// ThresholdSweep evaluates accuracy and F1 at each threshold, in order.
+func ThresholdSweep(ds *model.Dataset, r *model.Result, thresholds []float64) ([]SweepPoint, error) {
+	pts := make([]SweepPoint, 0, len(thresholds))
+	for _, t := range thresholds {
+		m, err := ConfusionAt(ds, r, t)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, SweepPoint{Threshold: t, Accuracy: m.Accuracy(), F1: m.F1()})
+	}
+	return pts, nil
+}
+
+// ROCPoint is one operating point of a ROC curve.
+type ROCPoint struct {
+	FPR float64 // false positive rate (x axis)
+	TPR float64 // true positive rate / recall (y axis)
+}
+
+// ROC computes the ROC curve of a result over the labeled subset by
+// sweeping the decision threshold across every distinct score. The curve
+// starts at (0,0) and ends at (1,1) and points are ordered by increasing
+// FPR. It returns an error if labels are missing or are all of one class.
+func ROC(ds *model.Dataset, r *model.Result) ([]ROCPoint, error) {
+	labeled := ds.LabeledFacts()
+	if len(labeled) == 0 {
+		return nil, fmt.Errorf("eval: dataset has no labeled facts")
+	}
+	pos, neg := 0, 0
+	type scored struct {
+		score float64
+		truth bool
+	}
+	items := make([]scored, 0, len(labeled))
+	for _, f := range labeled {
+		t := ds.Labels[f]
+		if t {
+			pos++
+		} else {
+			neg++
+		}
+		items = append(items, scored{score: r.Prob[f], truth: t})
+	}
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("eval: ROC needs both classes, have %d positive and %d negative", pos, neg)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].score > items[j].score })
+	curve := []ROCPoint{{0, 0}}
+	tp, fp := 0, 0
+	i := 0
+	for i < len(items) {
+		// Process ties as one block so the curve is threshold-faithful.
+		j := i
+		for j < len(items) && items[j].score == items[i].score {
+			if items[j].truth {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		curve = append(curve, ROCPoint{
+			FPR: float64(fp) / float64(neg),
+			TPR: float64(tp) / float64(pos),
+		})
+		i = j
+	}
+	return curve, nil
+}
+
+// AUC returns the area under the ROC curve of a result via the trapezoid
+// rule, equivalently the probability a random true fact outranks a random
+// false one (ties counted half).
+func AUC(ds *model.Dataset, r *model.Result) (float64, error) {
+	curve, err := ROC(ds, r)
+	if err != nil {
+		return 0, err
+	}
+	area := 0.0
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	if area < 0 || area > 1+1e-12 || math.IsNaN(area) {
+		return 0, fmt.Errorf("eval: computed AUC %v out of range", area)
+	}
+	return math.Min(area, 1), nil
+}
+
+// SourceConfusions grades every source as a classifier against the labeled
+// facts (§3.1): for each labeled fact the source claims, the claim
+// observation is the prediction and the label is the truth. Sources with
+// no claims on labeled facts get empty matrices.
+func SourceConfusions(ds *model.Dataset) []Confusion {
+	out := make([]Confusion, ds.NumSources())
+	for _, f := range ds.LabeledFacts() {
+		truth := ds.Labels[f]
+		for _, ci := range ds.ClaimsByFact[f] {
+			c := ds.Claims[ci]
+			out[c.Source].Add(c.Observation, truth)
+		}
+	}
+	return out
+}

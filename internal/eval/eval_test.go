@@ -1,0 +1,277 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"latenttruth/internal/model"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+// table1Dataset rebuilds the paper's running example with Table 4 labels.
+func table1Dataset() *model.Dataset {
+	db := model.NewRawDB()
+	rows := [][3]string{
+		{"Harry Potter", "Daniel Radcliffe", "IMDB"},
+		{"Harry Potter", "Emma Watson", "IMDB"},
+		{"Harry Potter", "Rupert Grint", "IMDB"},
+		{"Harry Potter", "Daniel Radcliffe", "Netflix"},
+		{"Harry Potter", "Daniel Radcliffe", "BadSource.com"},
+		{"Harry Potter", "Emma Watson", "BadSource.com"},
+		{"Harry Potter", "Johnny Depp", "BadSource.com"},
+		{"Pirates 4", "Johnny Depp", "Hulu.com"},
+	}
+	for _, r := range rows {
+		db.Add(r[0], r[1], r[2])
+	}
+	ds := model.Build(db)
+	// Table 4: facts 0,1,2 true; 3 (Johnny@HP) false; 4 (Johnny@P4) true.
+	for f, v := range map[int]bool{0: true, 1: true, 2: true, 3: false, 4: true} {
+		ds.Labels[f] = v
+	}
+	return ds
+}
+
+func TestConfusionCounting(t *testing.T) {
+	var m Confusion
+	m.Add(true, true)
+	m.Add(true, false)
+	m.Add(false, true)
+	m.Add(false, false)
+	if m.TP != 1 || m.FP != 1 || m.FN != 1 || m.TN != 1 || m.Total() != 4 {
+		t.Fatalf("confusion = %+v", m)
+	}
+	if !almostEqual(m.Precision(), 0.5) || !almostEqual(m.Recall(), 0.5) ||
+		!almostEqual(m.Specificity(), 0.5) || !almostEqual(m.Accuracy(), 0.5) ||
+		!almostEqual(m.F1(), 0.5) || !almostEqual(m.FalsePositiveRate(), 0.5) {
+		t.Fatalf("derived metrics wrong: %+v", m)
+	}
+}
+
+// TestTable6SourceQuality reproduces the paper's Table 6 exactly: the
+// confusion matrices and quality measures of IMDB, Netflix and
+// BadSource.com graded against the Table 4 truth.
+func TestTable6SourceQuality(t *testing.T) {
+	ds := table1Dataset()
+	cs := SourceConfusions(ds)
+	want := map[string]struct {
+		m                               Confusion
+		precision, accuracy, sens, spec float64
+	}{
+		"IMDB":          {Confusion{TP: 3, FP: 0, FN: 0, TN: 1}, 1, 1, 1, 1},
+		"Netflix":       {Confusion{TP: 1, FP: 0, FN: 2, TN: 1}, 1, 0.5, 1.0 / 3, 1},
+		"BadSource.com": {Confusion{TP: 2, FP: 1, FN: 1, TN: 0}, 2.0 / 3, 0.5, 2.0 / 3, 0},
+	}
+	for name, w := range want {
+		s := ds.SourceIndex(name)
+		if s < 0 {
+			t.Fatalf("source %s missing", name)
+		}
+		got := cs[s]
+		if got != w.m {
+			t.Errorf("%s confusion = %+v, want %+v", name, got, w.m)
+		}
+		if !almostEqual(got.Precision(), w.precision) {
+			t.Errorf("%s precision = %v, want %v", name, got.Precision(), w.precision)
+		}
+		if !almostEqual(got.Accuracy(), w.accuracy) {
+			t.Errorf("%s accuracy = %v, want %v", name, got.Accuracy(), w.accuracy)
+		}
+		if !almostEqual(got.Recall(), w.sens) {
+			t.Errorf("%s sensitivity = %v, want %v", name, got.Recall(), w.sens)
+		}
+		if !almostEqual(got.Specificity(), w.spec) {
+			t.Errorf("%s specificity = %v, want %v", name, got.Specificity(), w.spec)
+		}
+	}
+}
+
+func TestEvaluatePerfectPredictor(t *testing.T) {
+	ds := table1Dataset()
+	res := model.NewResult("oracle", ds)
+	for f, v := range ds.Labels {
+		if v {
+			res.Prob[f] = 1
+		}
+	}
+	m, err := Evaluate(ds, res, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Precision != 1 || m.Recall != 1 || m.FPR != 0 || m.Accuracy != 1 || m.F1 != 1 {
+		t.Fatalf("oracle metrics = %+v", m)
+	}
+}
+
+func TestEvaluateAllTruePredictor(t *testing.T) {
+	ds := table1Dataset()
+	res := model.NewResult("optimist", ds)
+	for f := range res.Prob {
+		res.Prob[f] = 1
+	}
+	m, err := Evaluate(ds, res, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 of 5 labeled facts are true.
+	if !almostEqual(m.Precision, 0.8) || m.Recall != 1 || m.FPR != 1 || !almostEqual(m.Accuracy, 0.8) {
+		t.Fatalf("optimist metrics = %+v", m)
+	}
+}
+
+func TestEvaluateNoLabelsError(t *testing.T) {
+	ds := table1Dataset()
+	ds.Labels = map[int]bool{}
+	res := model.NewResult("m", ds)
+	if _, err := Evaluate(ds, res, 0.5); err == nil || !strings.Contains(err.Error(), "no labeled") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestThresholdSweepMonotoneRecall(t *testing.T) {
+	ds := table1Dataset()
+	res := model.NewResult("m", ds)
+	res.Prob = []float64{0.9, 0.7, 0.55, 0.4, 0.95}
+	ths := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	pts, err := ThresholdSweep(ds, res, ths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(ths) {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// At threshold 0.5 predictions are TTTF T -> perfect.
+	if !almostEqual(pts[2].Accuracy, 1) {
+		t.Fatalf("accuracy@0.5 = %v", pts[2].Accuracy)
+	}
+	// At 0.1 everything is true -> accuracy 0.8.
+	if !almostEqual(pts[0].Accuracy, 0.8) {
+		t.Fatalf("accuracy@0.1 = %v", pts[0].Accuracy)
+	}
+}
+
+func TestROCPerfectRanking(t *testing.T) {
+	ds := table1Dataset()
+	res := model.NewResult("m", ds)
+	res.Prob = []float64{0.9, 0.8, 0.7, 0.1, 0.95}
+	auc, err := AUC(ds, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(auc, 1) {
+		t.Fatalf("AUC of perfect ranking = %v", auc)
+	}
+	curve, err := ROC(ds, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := curve[0], curve[len(curve)-1]
+	if first.FPR != 0 || first.TPR != 0 || last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("curve endpoints: %+v ... %+v", first, last)
+	}
+}
+
+func TestROCInvertedRanking(t *testing.T) {
+	ds := table1Dataset()
+	res := model.NewResult("m", ds)
+	res.Prob = []float64{0.1, 0.2, 0.3, 0.9, 0.05}
+	auc, err := AUC(ds, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(auc, 0) {
+		t.Fatalf("AUC of inverted ranking = %v", auc)
+	}
+}
+
+func TestAUCConstantScoresIsHalf(t *testing.T) {
+	ds := table1Dataset()
+	res := model.NewResult("m", ds)
+	for f := range res.Prob {
+		res.Prob[f] = 0.5
+	}
+	auc, err := AUC(ds, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(auc, 0.5) {
+		t.Fatalf("AUC of constant scores = %v, want 0.5 (ties half-counted)", auc)
+	}
+}
+
+func TestROCSingleClassError(t *testing.T) {
+	ds := table1Dataset()
+	for f := range ds.Labels {
+		ds.Labels[f] = true
+	}
+	res := model.NewResult("m", ds)
+	if _, err := ROC(ds, res); err == nil || !strings.Contains(err.Error(), "both classes") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestAUCEqualsPairwiseProbability cross-validates the trapezoid AUC
+// against the Mann-Whitney pairwise definition on random score vectors.
+func TestAUCEqualsPairwiseProbability(t *testing.T) {
+	ds := table1Dataset()
+	f := func(raw [5]uint8) bool {
+		res := model.NewResult("m", ds)
+		for i, v := range raw {
+			res.Prob[i] = float64(v%101) / 100
+		}
+		auc, err := AUC(ds, res)
+		if err != nil {
+			return false
+		}
+		// Pairwise: over (true, false) pairs, count score_true > score_false
+		// as 1, ties as 1/2.
+		var num, den float64
+		for _, fp := range ds.LabeledFacts() {
+			if !ds.Labels[fp] {
+				continue
+			}
+			for _, fn := range ds.LabeledFacts() {
+				if ds.Labels[fn] {
+					continue
+				}
+				den++
+				switch {
+				case res.Prob[fp] > res.Prob[fn]:
+					num++
+				case res.Prob[fp] == res.Prob[fn]:
+					num += 0.5
+				}
+			}
+		}
+		return math.Abs(auc-num/den) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyDenominatorConventions(t *testing.T) {
+	var m Confusion // empty
+	if m.Precision() != 1 || m.Recall() != 1 || m.Specificity() != 1 {
+		t.Fatal("empty-denominator conventions broken")
+	}
+	if m.FalsePositiveRate() != 0 {
+		t.Fatal("empty FPR should be 0")
+	}
+	if m.Accuracy() != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{Method: "LTM", Precision: 1, Recall: 0.5, FPR: 0, Accuracy: 0.75, F1: 2.0 / 3}
+	s := m.String()
+	for _, want := range []string{"LTM", "P=1.000", "R=0.500", "Acc=0.750"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

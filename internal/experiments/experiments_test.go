@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"latenttruth/internal/core"
+	"latenttruth/internal/synth"
+)
+
+// testCorpus builds a small conflict-rich corpus cheap enough for unit
+// tests while exercising the same code paths as the full corpora.
+func testCorpus(t *testing.T, name string, seed int64) *synth.Corpus {
+	t.Helper()
+	spec := synth.CorpusSpec{
+		Name: name, NumEntities: 400,
+		TrueAttrWeights:   []float64{0.5, 0.4, 0.1},
+		FalseCandWeights:  []float64{0.4, 0.4, 0.2},
+		LabelEntities:     60,
+		Seed:              seed,
+		HotCandidateProb:  0.3,
+		HotCandidateBoost: 4,
+		Sources: []synth.SourceProfile{
+			{Name: "wide", Coverage: 0.8, Sensitivity: 0.9, FPR: 0.08},
+			{Name: "tidy", Coverage: 0.5, Sensitivity: 0.85, FPR: 0.02},
+			{Name: "messy", Coverage: 0.6, Sensitivity: 0.8, FPR: 0.3},
+			{Name: "lazy", Coverage: 0.5, Sensitivity: 0.5, FPR: 0.02, PositionDecay: 0.5},
+			{Name: "meh", Coverage: 0.4, Sensitivity: 0.7, FPR: 0.1},
+		},
+	}
+	c, err := synth.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// fastCfg keeps LTM cheap in tests.
+func fastCfg() Config {
+	return Config{
+		Seed:    11,
+		Repeats: 2,
+		LTM:     core.Config{Iterations: 60, BurnIn: 10, SampleGap: 1, Seed: 3},
+	}
+}
+
+func TestRunTable7(t *testing.T) {
+	c := testCorpus(t, "t7", 1)
+	tbl, err := RunTable7(c, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10 (LTMinc + 9 batch methods)", len(tbl.Rows))
+	}
+	if tbl.Rows[0].Method != "LTMinc" || tbl.Rows[1].Method != "LTM" {
+		t.Fatalf("row order: %s, %s", tbl.Rows[0].Method, tbl.Rows[1].Method)
+	}
+	byName := map[string]float64{}
+	for _, r := range tbl.Rows {
+		if r.Accuracy < 0 || r.Accuracy > 1 || r.F1 < 0 || r.F1 > 1 {
+			t.Fatalf("%s metrics out of range: %+v", r.Method, r)
+		}
+		byName[r.Method] = r.Accuracy
+	}
+	// The paper's headline: LTM beats voting on conflict-rich data.
+	if byName["LTM"] <= byName["Voting"]-0.02 {
+		t.Errorf("LTM accuracy %v not ahead of Voting %v", byName["LTM"], byName["Voting"])
+	}
+	out := tbl.Render()
+	for _, want := range []string{"Table 7", "Method", "LTM", "Voting", "Accuracy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTable8(t *testing.T) {
+	c := testCorpus(t, "t8", 2)
+	tbl, err := RunTable8(c, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Sorted by decreasing inferred sensitivity.
+	for i := 1; i < len(tbl.Rows); i++ {
+		if tbl.Rows[i-1].Sensitivity < tbl.Rows[i].Sensitivity {
+			t.Fatal("Table 8 not sorted by sensitivity")
+		}
+	}
+	// Quality inference must correlate with generator truth.
+	if tbl.SensSpearman < 0.5 {
+		t.Errorf("sensitivity Spearman = %v", tbl.SensSpearman)
+	}
+	if tbl.SpecSpearman < 0.5 {
+		t.Errorf("specificity Spearman = %v", tbl.SpecSpearman)
+	}
+	if tbl.SensMAE > 0.25 || tbl.SpecMAE > 0.25 {
+		t.Errorf("MAE too large: sens %v spec %v", tbl.SensMAE, tbl.SpecMAE)
+	}
+	if !strings.Contains(tbl.Render(), "Spearman") {
+		t.Fatal("render missing agreement line")
+	}
+}
+
+func TestRunTable9AndFigure6(t *testing.T) {
+	c := testCorpus(t, "t9", 3)
+	cfg := fastCfg()
+	cfg.Repeats = 1
+	cfg.Table9Sizes = []int{100, 200, 300, 400}
+	tbl, err := RunTable9(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("methods = %d", len(tbl.Rows))
+	}
+	if len(tbl.Sizes) != 4 || len(tbl.Claims) != 4 {
+		t.Fatalf("sizes/claims: %v %v", tbl.Sizes, tbl.Claims)
+	}
+	for _, r := range tbl.Rows {
+		if len(r.Seconds) != 4 {
+			t.Fatalf("%s has %d timings", r.Method, len(r.Seconds))
+		}
+		for _, s := range r.Seconds {
+			if s < 0 {
+				t.Fatalf("%s negative runtime", r.Method)
+			}
+		}
+	}
+	if len(tbl.LTMSeconds) != 4 {
+		t.Fatal("LTM seconds not captured")
+	}
+	// Claims grow with size.
+	for i := 1; i < len(tbl.Claims); i++ {
+		if tbl.Claims[i] <= tbl.Claims[i-1] {
+			t.Fatalf("claims not increasing: %v", tbl.Claims)
+		}
+	}
+	fig, err := RunFigure6(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Fit.Slope <= 0 {
+		t.Fatalf("runtime slope %v not positive", fig.Fit.Slope)
+	}
+	if !strings.Contains(fig.Render(), "R^2") {
+		t.Fatal("figure 6 render missing fit line")
+	}
+}
+
+func TestRunFigure2(t *testing.T) {
+	c := testCorpus(t, "f2", 4)
+	fig, err := RunFigure2(c, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Thresholds) != 19 {
+		t.Fatalf("thresholds = %d", len(fig.Thresholds))
+	}
+	if len(fig.Methods) != 10 || len(fig.Accuracy) != 10 {
+		t.Fatalf("methods = %d", len(fig.Methods))
+	}
+	for i, accs := range fig.Accuracy {
+		for j, a := range accs {
+			if a < 0 || a > 1 {
+				t.Fatalf("%s accuracy[%d] = %v", fig.Methods[i], j, a)
+			}
+		}
+	}
+	if !strings.Contains(fig.Render(), "0.50") {
+		t.Fatal("render missing thresholds")
+	}
+}
+
+func TestRunFigure3(t *testing.T) {
+	corpora := &Corpora{Book: testCorpus(t, "f3b", 5), Movie: testCorpus(t, "f3m", 6)}
+	fig, err := RunFigure3(corpora, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Methods) != 10 {
+		t.Fatalf("methods = %d", len(fig.Methods))
+	}
+	// Sorted by decreasing mean AUC.
+	for i := 1; i < len(fig.Methods); i++ {
+		prev := fig.BookAUC[i-1] + fig.MovieAUC[i-1]
+		cur := fig.BookAUC[i] + fig.MovieAUC[i]
+		if cur > prev+1e-12 {
+			t.Fatal("Figure 3 not sorted by mean AUC")
+		}
+	}
+	// LTM must be in the upper half of the ranking.
+	for i, m := range fig.Methods {
+		if m == "LTM" && i > 4 {
+			t.Errorf("LTM ranked %d of %d by AUC", i+1, len(fig.Methods))
+		}
+	}
+}
+
+func TestRunFigure4(t *testing.T) {
+	cfg := fastCfg()
+	cfg.SyntheticFacts = 400
+	cfg.SyntheticSources = 12
+	fig, err := RunFigure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.VaryingSensitivity) != 9 || len(fig.VaryingSpecificity) != 9 {
+		t.Fatalf("points: %d / %d", len(fig.VaryingSensitivity), len(fig.VaryingSpecificity))
+	}
+	// The paper's finding: accuracy near 1 at high quality, degrading as
+	// quality drops, with a faster drop for specificity than sensitivity.
+	sens, spec := fig.VaryingSensitivity, fig.VaryingSpecificity
+	if sens[8].Accuracy < 0.9 || spec[8].Accuracy < 0.9 {
+		t.Errorf("high-quality accuracy: sens %v spec %v", sens[8].Accuracy, spec[8].Accuracy)
+	}
+	if spec[0].Accuracy > 0.75 {
+		t.Errorf("accuracy %v at specificity 0.1, expected collapse", spec[0].Accuracy)
+	}
+	// LTM tolerates low sensitivity better than low specificity (mean
+	// over the degraded half).
+	var sensLow, specLow float64
+	for i := 0; i < 4; i++ {
+		sensLow += sens[i].Accuracy
+		specLow += spec[i].Accuracy
+	}
+	if sensLow <= specLow {
+		t.Errorf("low-sensitivity mean %v not above low-specificity mean %v", sensLow/4, specLow/4)
+	}
+}
+
+func TestRunFigure5(t *testing.T) {
+	c := testCorpus(t, "f5", 7)
+	cfg := fastCfg()
+	cfg.Repeats = 3
+	fig, err := RunFigure5(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 7 {
+		t.Fatalf("points = %d", len(fig.Points))
+	}
+	if fig.Points[0].Iterations != 7 || fig.Points[6].Iterations != 500 {
+		t.Fatalf("iteration schedule wrong: %+v", fig.Points)
+	}
+	for _, p := range fig.Points {
+		ci := p.Accuracy
+		if !(ci.Lower <= ci.Mean && ci.Mean <= ci.Upper) {
+			t.Fatalf("CI disordered at %d iterations: %+v", p.Iterations, ci)
+		}
+		if ci.Mean < 0 || ci.Mean > 1 {
+			t.Fatalf("mean accuracy %v", ci.Mean)
+		}
+	}
+	// Converged accuracy must be at least as good as the 7-iteration one
+	// (allowing noise).
+	if fig.Points[6].Accuracy.Mean < fig.Points[0].Accuracy.Mean-0.05 {
+		t.Fatalf("accuracy degraded with iterations: %v -> %v",
+			fig.Points[0].Accuracy.Mean, fig.Points[6].Accuracy.Mean)
+	}
+}
+
+func TestHoldoutSplit(t *testing.T) {
+	c := testCorpus(t, "split", 8)
+	train, test := holdoutSplit(c.Dataset)
+	if train.NumEntities()+test.NumEntities() != c.Dataset.NumEntities() {
+		t.Fatal("split lost entities")
+	}
+	if len(train.Labels) != 0 {
+		t.Fatalf("train has %d labels", len(train.Labels))
+	}
+	if len(test.Labels) != len(c.Dataset.Labels) {
+		t.Fatalf("test labels %d of %d", len(test.Labels), len(c.Dataset.Labels))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.WithDefaults()
+	if cfg.Seed == 0 || cfg.Repeats == 0 || cfg.Threshold != 0.5 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.SyntheticFacts != 10000 || cfg.SyntheticSources != 20 {
+		t.Fatalf("synthetic defaults: %+v", cfg)
+	}
+	if len(cfg.Table9Sizes) != 5 {
+		t.Fatalf("table9 sizes: %v", cfg.Table9Sizes)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	tb := table{title: "T", header: []string{"A", "LongHeader"}}
+	tb.addRow("x", "1")
+	tb.addRow("longer-cell")
+	out := tb.render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "LongHeader") {
+		t.Fatalf("header line %q", lines[1])
+	}
+}

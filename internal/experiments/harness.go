@@ -1,0 +1,179 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section (§6) on the simulated corpora:
+//
+//	Table 7  — per-method inference quality at threshold 0.5
+//	Table 8  — LTM source quality on the movie data (+ quantitative check)
+//	Table 9  — runtime vs entity count per method
+//	Figure 2 — accuracy vs decision threshold per method
+//	Figure 3 — AUC per method per dataset
+//	Figure 4 — LTM accuracy under degraded synthetic source quality
+//	Figure 5 — convergence: accuracy vs Gibbs iterations, 95% CIs
+//	Figure 6 — LTM runtime vs number of claims, linear fit R²
+//
+// Each experiment is a pure function from a configuration to a result
+// struct with a Render method producing an aligned text table; cmd/
+// experiments and the root bench suite are thin wrappers around these.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"latenttruth/internal/baselines"
+	"latenttruth/internal/core"
+	"latenttruth/internal/eval"
+	"latenttruth/internal/model"
+	"latenttruth/internal/stats"
+	"latenttruth/internal/store"
+	"latenttruth/internal/synth"
+)
+
+// Config controls the experiment harness.
+type Config struct {
+	// Seed drives corpus generation and all samplers (default 42).
+	Seed int64
+	// Repeats is the number of repetitions for runtime and convergence
+	// experiments (the paper uses 10; default 10).
+	Repeats int
+	// LTM configures the Latent Truth Model fits. Zero-valued fields take
+	// the paper's defaults (100 iterations, burn-in 20, sample gap 4,
+	// priors scaled to the dataset).
+	LTM core.Config
+	// Threshold is the unsupervised decision threshold (default 0.5).
+	Threshold float64
+	// SyntheticFacts and SyntheticSources override the size of the §6.1.1
+	// synthetic dataset used by Figure 4 (defaults: the paper's 10,000
+	// facts and 20 sources). Reduced sizes keep unit tests fast.
+	SyntheticFacts   int
+	SyntheticSources int
+	// Table9Sizes overrides the entity subsample sizes of Table 9 /
+	// Figure 6 (default: the paper's 3k/6k/9k/12k/15k).
+	Table9Sizes []int
+}
+
+// WithDefaults returns cfg with unset fields filled.
+func (c Config) WithDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 10
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.5
+	}
+	if c.SyntheticFacts == 0 {
+		c.SyntheticFacts = 10000
+	}
+	if c.SyntheticSources == 0 {
+		c.SyntheticSources = 20
+	}
+	if len(c.Table9Sizes) == 0 {
+		c.Table9Sizes = []int{3000, 6000, 9000, 12000, 15000}
+	}
+	return c
+}
+
+// Corpora bundles the two evaluation corpora.
+type Corpora struct {
+	Book  *synth.Corpus
+	Movie *synth.Corpus
+}
+
+// LoadCorpora generates both corpora from the configured seed.
+func LoadCorpora(cfg Config) (*Corpora, error) {
+	cfg = cfg.WithDefaults()
+	book, err := synth.BookCorpus(cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: book corpus: %w", err)
+	}
+	movie, err := synth.MovieCorpus(cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: movie corpus: %w", err)
+	}
+	return &Corpora{Book: book, Movie: movie}, nil
+}
+
+// holdoutSplit partitions a corpus dataset into the unlabeled training
+// part and the labeled evaluation part, the LTMinc protocol of §6.2: LTM
+// learns source quality on everything except the labeled entities, then
+// predicts the labeled entities with Equation 3.
+func holdoutSplit(ds *model.Dataset) (train, test *model.Dataset) {
+	labeledEntity := make(map[int]bool)
+	for f := range ds.Labels {
+		labeledEntity[ds.Facts[f].Entity] = true
+	}
+	train = store.FilterEntities(ds, func(e int, _ string) bool { return !labeledEntity[e] })
+	test = store.FilterEntities(ds, func(e int, _ string) bool { return labeledEntity[e] })
+	return train, test
+}
+
+// runLTMinc executes the LTMinc protocol and returns the result on the
+// held-out labeled dataset (whose labels drive evaluation).
+func runLTMinc(ds *model.Dataset, ltmCfg core.Config) (*model.Result, *model.Dataset, error) {
+	train, test := holdoutSplit(ds)
+	if train.NumFacts() == 0 || test.NumFacts() == 0 {
+		return nil, nil, fmt.Errorf("experiments: degenerate holdout split (%d train, %d test facts)",
+			train.NumFacts(), test.NumFacts())
+	}
+	fit, err := core.New(ltmCfg).Fit(train)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: LTMinc training: %w", err)
+	}
+	inc, err := core.NewIncremental(train, fit)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := inc.Infer(test)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, test, nil
+}
+
+// methodRun is one evaluated method: its result plus the dataset whose
+// labels the metrics refer to (the full corpus for batch methods, the
+// holdout for LTMinc).
+type methodRun struct {
+	name    string
+	res     *model.Result
+	ds      *model.Dataset
+	elapsed time.Duration
+}
+
+// runAllMethods executes LTMinc plus every batch method on ds, in the
+// paper's Table 7 row order.
+func runAllMethods(ds *model.Dataset, cfg Config) ([]methodRun, error) {
+	cfg = cfg.WithDefaults()
+	var runs []methodRun
+	start := time.Now()
+	incRes, incDS, err := runLTMinc(ds, cfg.LTM)
+	if err != nil {
+		return nil, err
+	}
+	runs = append(runs, methodRun{name: "LTMinc", res: incRes, ds: incDS, elapsed: time.Since(start)})
+	for _, m := range baselines.All(cfg.LTM) {
+		start := time.Now()
+		res, err := m.Infer(ds)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", m.Name(), err)
+		}
+		runs = append(runs, methodRun{name: m.Name(), res: res, ds: ds, elapsed: time.Since(start)})
+	}
+	return runs, nil
+}
+
+// corpusRNG derives the rng used for corpus subsampling.
+func corpusRNG(cfg Config, label int64) *stats.RNG {
+	return stats.NewRNG(cfg.Seed).Split(label)
+}
+
+// evaluateRun computes Table 7 metrics for one method run.
+func evaluateRun(r methodRun, threshold float64) (eval.Metrics, error) {
+	m, err := eval.Evaluate(r.ds, r.res, threshold)
+	if err != nil {
+		return eval.Metrics{}, fmt.Errorf("experiments: evaluating %s: %w", r.name, err)
+	}
+	m.Method = r.name
+	return m, nil
+}

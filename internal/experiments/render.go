@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// table renders rows as an aligned, pipe-less text table: header row,
+// separator, data rows. Cells are left-aligned strings; numeric formatting
+// is the caller's responsibility.
+type table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+// addRow appends a data row, padding or truncating to the header width.
+func (t *table) addRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// render produces the aligned text form.
+func (t *table) render() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// f3 formats a float with three decimals, the paper's table precision.
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// f4 formats a float with four decimals.
+func f4(x float64) string { return fmt.Sprintf("%.4f", x) }

@@ -1,0 +1,115 @@
+// Package integrate turns inferred truth back into the data-integration
+// end product the paper's introduction motivates: one merged record per
+// entity carrying the attribute values predicted true, plus a conflict
+// report explaining how each disputed value was resolved and which sources
+// supported or contradicted it.
+package integrate
+
+import (
+	"fmt"
+	"sort"
+
+	"latenttruth/internal/model"
+)
+
+// Attribute is one attribute value of a merged record.
+type Attribute struct {
+	Value string
+	// Probability is the method's truth probability for this value.
+	Probability float64
+	// Supporters and Deniers are the names of sources with positive and
+	// negative claims on this value, sorted.
+	Supporters []string
+	Deniers    []string
+}
+
+// Record is the merged record of one entity: its attribute values
+// predicted true at the integration threshold, ordered by decreasing
+// probability (ties broken by value).
+type Record struct {
+	Entity     string
+	Attributes []Attribute
+	// Rejected lists the candidate values predicted false, same ordering.
+	Rejected []Attribute
+}
+
+// Merge builds merged records for every entity of ds from a method's
+// result at the given threshold. Entities appear in dataset order.
+func Merge(ds *model.Dataset, res *model.Result, threshold float64) ([]Record, error) {
+	if len(res.Prob) != ds.NumFacts() {
+		return nil, fmt.Errorf("integrate: result has %d scores for %d facts", len(res.Prob), ds.NumFacts())
+	}
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("integrate: threshold %v outside [0,1]", threshold)
+	}
+	records := make([]Record, 0, ds.NumEntities())
+	for e, facts := range ds.FactsByEntity {
+		rec := Record{Entity: ds.Entities[e]}
+		for _, f := range facts {
+			attr := Attribute{
+				Value:       ds.Facts[f].Attribute,
+				Probability: res.Prob[f],
+			}
+			for _, ci := range ds.ClaimsByFact[f] {
+				c := ds.Claims[ci]
+				if c.Observation {
+					attr.Supporters = append(attr.Supporters, ds.Sources[c.Source])
+				} else {
+					attr.Deniers = append(attr.Deniers, ds.Sources[c.Source])
+				}
+			}
+			sort.Strings(attr.Supporters)
+			sort.Strings(attr.Deniers)
+			if res.Predict(f, threshold) {
+				rec.Attributes = append(rec.Attributes, attr)
+			} else {
+				rec.Rejected = append(rec.Rejected, attr)
+			}
+		}
+		sortAttrs(rec.Attributes)
+		sortAttrs(rec.Rejected)
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+// sortAttrs orders by decreasing probability, then value.
+func sortAttrs(attrs []Attribute) {
+	sort.SliceStable(attrs, func(i, j int) bool {
+		if attrs[i].Probability != attrs[j].Probability {
+			return attrs[i].Probability > attrs[j].Probability
+		}
+		return attrs[i].Value < attrs[j].Value
+	})
+}
+
+// Conflict describes an entity on which sources disagreed: some candidate
+// value was both supported and denied, or multiple candidates competed.
+type Conflict struct {
+	Entity string
+	// Accepted and Rejected are the resolved candidate values.
+	Accepted []Attribute
+	Rejected []Attribute
+}
+
+// Conflicts returns the subset of merged records where resolution actually
+// discarded or disambiguated information: entities with at least one
+// rejected candidate or one denied accepted value.
+func Conflicts(records []Record) []Conflict {
+	var out []Conflict
+	for _, r := range records {
+		contested := len(r.Rejected) > 0
+		if !contested {
+			for _, a := range r.Attributes {
+				if len(a.Deniers) > 0 {
+					contested = true
+					break
+				}
+			}
+		}
+		if contested {
+			out = append(out, Conflict{Entity: r.Entity, Accepted: r.Attributes, Rejected: r.Rejected})
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package integrate
+
+import (
+	"strings"
+	"testing"
+
+	"latenttruth/internal/model"
+	"latenttruth/internal/synth"
+)
+
+func table1Result() (*model.Dataset, *model.Result) {
+	ds := synth.Table1Example().Dataset
+	res := model.NewResult("test", ds)
+	for f, v := range ds.Labels {
+		if v {
+			res.Prob[f] = 0.95
+		} else {
+			res.Prob[f] = 0.1
+		}
+	}
+	return ds, res
+}
+
+func TestMergeTable1(t *testing.T) {
+	ds, res := table1Result()
+	records, err := Merge(ds, res, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("records = %d", len(records))
+	}
+	byEntity := map[string]Record{}
+	for _, r := range records {
+		byEntity[r.Entity] = r
+	}
+	hp := byEntity["Harry Potter"]
+	if len(hp.Attributes) != 3 || len(hp.Rejected) != 1 {
+		t.Fatalf("Harry Potter: %d accepted, %d rejected", len(hp.Attributes), len(hp.Rejected))
+	}
+	if hp.Rejected[0].Value != "Johnny Depp" {
+		t.Fatalf("rejected %q", hp.Rejected[0].Value)
+	}
+	p4 := byEntity["Pirates 4"]
+	if len(p4.Attributes) != 1 || p4.Attributes[0].Value != "Johnny Depp" {
+		t.Fatalf("Pirates 4 record wrong: %+v", p4)
+	}
+}
+
+func TestMergeSupportLists(t *testing.T) {
+	ds, res := table1Result()
+	records, err := Merge(ds, res, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emma Attribute
+	for _, r := range records {
+		for _, a := range r.Attributes {
+			if a.Value == "Emma Watson" {
+				emma = a
+			}
+		}
+	}
+	wantSup := []string{"BadSource.com", "IMDB"}
+	wantDen := []string{"Netflix"}
+	if strings.Join(emma.Supporters, "|") != strings.Join(wantSup, "|") {
+		t.Fatalf("supporters = %v", emma.Supporters)
+	}
+	if strings.Join(emma.Deniers, "|") != strings.Join(wantDen, "|") {
+		t.Fatalf("deniers = %v", emma.Deniers)
+	}
+}
+
+func TestMergeOrdering(t *testing.T) {
+	ds, res := table1Result()
+	// Distinct probabilities force a deterministic order check.
+	res.Prob[0], res.Prob[1], res.Prob[2] = 0.99, 0.7, 0.9
+	records, err := Merge(ds, res, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hp Record
+	for _, r := range records {
+		if r.Entity == "Harry Potter" {
+			hp = r
+		}
+	}
+	for i := 1; i < len(hp.Attributes); i++ {
+		if hp.Attributes[i-1].Probability < hp.Attributes[i].Probability {
+			t.Fatalf("accepted attributes unsorted: %+v", hp.Attributes)
+		}
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	ds, res := table1Result()
+	if _, err := Merge(ds, res, 1.5); err == nil {
+		t.Fatal("expected threshold error")
+	}
+	bad := &model.Result{Method: "m", Prob: []float64{0.5}}
+	if _, err := Merge(ds, bad, 0.5); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	ds, res := table1Result()
+	records, err := Merge(ds, res, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflicts := Conflicts(records)
+	// Harry Potter has a rejected value and denied accepted values;
+	// Pirates 4 is uncontested.
+	if len(conflicts) != 1 || conflicts[0].Entity != "Harry Potter" {
+		t.Fatalf("conflicts = %+v", conflicts)
+	}
+}
+
+func TestConflictsIncludesDeniedAccepted(t *testing.T) {
+	// An entity with no rejected values but a denied accepted value is
+	// still contested.
+	db := model.NewRawDB()
+	db.Add("e", "a", "s1")
+	db.Add("e", "b", "s1")
+	db.Add("e", "a", "s2") // s2 denies b
+	ds := model.Build(db)
+	res := model.NewResult("m", ds)
+	res.Prob[0], res.Prob[1] = 0.9, 0.9 // accept both
+	records, err := Merge(ds, res, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflicts := Conflicts(records)
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %d, want 1", len(conflicts))
+	}
+}

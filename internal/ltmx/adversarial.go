@@ -1,0 +1,192 @@
+// Package ltmx implements the extensions the paper sketches in §7
+// (Discussions): iterative filtering of adversarial sources, joint
+// inference over multiple attribute types with a shared quality prior, and
+// a real-valued (Gaussian) observation variant for numeric attributes.
+// These go beyond the evaluated system and are benchmarked separately as
+// ablations.
+package ltmx
+
+import (
+	"fmt"
+
+	"latenttruth/internal/core"
+	"latenttruth/internal/model"
+)
+
+// AdversarialFilter implements §7's "Adversarial sources" remedy: run LTM,
+// remove sources whose inferred specificity or precision falls below the
+// configured floors (their presence artificially inflates the specificity
+// of benign sources), and re-run on the surviving claims, iterating until
+// no source is removed or MaxRounds is reached.
+type AdversarialFilter struct {
+	// Config configures the underlying LTM fits.
+	Config core.Config
+	// MinSpecificity and MinPrecision are the §7 removal floors.
+	MinSpecificity float64
+	MinPrecision   float64
+	// MaxRounds bounds the iteration (default 5).
+	MaxRounds int
+}
+
+// NewAdversarialFilter returns a filter with sensible floors: sources less
+// than 50% specific or 50% precise are presumed adversarial.
+func NewAdversarialFilter(cfg core.Config) *AdversarialFilter {
+	return &AdversarialFilter{Config: cfg, MinSpecificity: 0.5, MinPrecision: 0.5, MaxRounds: 5}
+}
+
+// FilterResult reports one adversarial-filtering run.
+type FilterResult struct {
+	// Fit is the final LTM fit on the surviving dataset.
+	Fit *core.FitResult
+	// Dataset is the surviving dataset the fit refers to.
+	Dataset *model.Dataset
+	// Removed lists the names of sources removed, in removal order.
+	Removed []string
+	// Rounds is the number of LTM fits performed.
+	Rounds int
+}
+
+// Run executes the iterative filter on ds.
+func (af *AdversarialFilter) Run(ds *model.Dataset) (*FilterResult, error) {
+	if af.MinSpecificity < 0 || af.MinSpecificity > 1 || af.MinPrecision < 0 || af.MinPrecision > 1 {
+		return nil, fmt.Errorf("ltmx: removal floors (%v, %v) outside [0,1]", af.MinSpecificity, af.MinPrecision)
+	}
+	maxRounds := af.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 5
+	}
+	cur := ds
+	out := &FilterResult{}
+	for round := 0; round < maxRounds; round++ {
+		fit, err := core.New(af.Config).Fit(cur)
+		if err != nil {
+			return nil, fmt.Errorf("ltmx: round %d: %w", round, err)
+		}
+		out.Fit, out.Dataset, out.Rounds = fit, cur, round+1
+		bad := make(map[string]bool)
+		for _, q := range fit.Quality {
+			if q.Specificity < af.MinSpecificity || q.Precision < af.MinPrecision {
+				bad[q.Source] = true
+			}
+		}
+		if len(bad) == 0 {
+			return out, nil
+		}
+		for _, q := range fit.Quality {
+			if bad[q.Source] {
+				out.Removed = append(out.Removed, q.Source)
+			}
+		}
+		next, err := removeSources(cur, bad)
+		if err != nil {
+			return nil, err
+		}
+		if next.NumFacts() == 0 {
+			return nil, fmt.Errorf("ltmx: removing %d sources emptied the dataset", len(out.Removed))
+		}
+		cur = next
+	}
+	// Final fit on the last surviving dataset.
+	fit, err := core.New(af.Config).Fit(cur)
+	if err != nil {
+		return nil, fmt.Errorf("ltmx: final fit: %w", err)
+	}
+	out.Fit, out.Dataset, out.Rounds = fit, cur, out.Rounds+1
+	return out, nil
+}
+
+// removeSources drops all positive assertions by the named sources and
+// rebuilds the dataset from the remaining raw rows. Facts left with no
+// positive claims disappear; entities left with no facts disappear.
+func removeSources(ds *model.Dataset, bad map[string]bool) (*model.Dataset, error) {
+	db := model.NewRawDB()
+	for _, c := range ds.Claims {
+		if !c.Observation || bad[ds.Sources[c.Source]] {
+			continue
+		}
+		f := ds.Facts[c.Fact]
+		db.Add(ds.Entities[f.Entity], f.Attribute, ds.Sources[c.Source])
+	}
+	if db.Len() == 0 {
+		return &model.Dataset{Labels: map[int]bool{}}, nil
+	}
+	next := model.Build(db)
+	// Carry labels over by (entity, attribute) name.
+	byName := make(map[[2]string]bool, len(ds.Labels))
+	for f, v := range ds.Labels {
+		fact := ds.Facts[f]
+		byName[[2]string{ds.Entities[fact.Entity], fact.Attribute}] = v
+	}
+	for _, f := range next.Facts {
+		if v, ok := byName[[2]string{next.Entities[f.Entity], f.Attribute}]; ok {
+			next.Labels[f.ID] = v
+		}
+	}
+	if err := next.Validate(); err != nil {
+		return nil, fmt.Errorf("ltmx: rebuilt dataset invalid: %w", err)
+	}
+	return next, nil
+}
+
+// InjectAdversary returns a copy of ds plus an adversarial source that
+// positively asserts `perEntity` fabricated attributes on every entity it
+// covers (a fraction `coverage` of entities, deterministic by stride).
+// It is used by tests and ablation benches to exercise the filter.
+func InjectAdversary(ds *model.Dataset, name string, coverage float64, perEntity int) (*model.Dataset, error) {
+	if coverage <= 0 || coverage > 1 || perEntity <= 0 {
+		return nil, fmt.Errorf("ltmx: adversary coverage %v / perEntity %d invalid", coverage, perEntity)
+	}
+	db := model.NewRawDB()
+	for _, c := range ds.Claims {
+		if !c.Observation {
+			continue
+		}
+		f := ds.Facts[c.Fact]
+		db.Add(ds.Entities[f.Entity], f.Attribute, ds.Sources[c.Source])
+	}
+	stride := int(1 / coverage)
+	if stride < 1 {
+		stride = 1
+	}
+	for e := 0; e < ds.NumEntities(); e += stride {
+		for k := 0; k < perEntity; k++ {
+			db.Add(ds.Entities[e], fmt.Sprintf("fabricated-%d", k), name)
+		}
+	}
+	next := model.Build(db)
+	byName := make(map[[2]string]bool, len(ds.Labels))
+	for f, v := range ds.Labels {
+		fact := ds.Facts[f]
+		byName[[2]string{ds.Entities[fact.Entity], fact.Attribute}] = v
+	}
+	for _, f := range next.Facts {
+		key := [2]string{next.Entities[f.Entity], f.Attribute}
+		if v, ok := byName[key]; ok {
+			next.Labels[f.ID] = v
+		} else if len(f.Attribute) > 11 && f.Attribute[:11] == "fabricated-" {
+			// Fabricated attributes are false by construction; label the
+			// ones on entities that already had labels.
+			if entityLabeled(ds, next.Entities[f.Entity]) {
+				next.Labels[f.ID] = false
+			}
+		}
+	}
+	return next, nil
+}
+
+// entityLabeled reports whether any fact of the named entity is labeled in
+// the original dataset.
+func entityLabeled(ds *model.Dataset, entity string) bool {
+	for e, name := range ds.Entities {
+		if name != entity {
+			continue
+		}
+		for _, f := range ds.FactsByEntity[e] {
+			if _, ok := ds.Labels[f]; ok {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,339 @@
+package ltmx
+
+import (
+	"fmt"
+	"math"
+
+	"latenttruth/internal/core"
+	"latenttruth/internal/model"
+	"latenttruth/internal/stats"
+	"latenttruth/internal/store"
+)
+
+// Clustered implements §7's "Entity-specific quality" extension: a source
+// may be reliable for one kind of entity and unreliable for another (the
+// paper's example: IMDB accurate on horror movies but not dramas). The
+// entities are partitioned into K clusters, each cluster gets its own LTM
+// fit (hence cluster-specific source quality), and the partition itself is
+// inferred jointly by alternating:
+//
+//  1. fit LTM within each cluster and refresh the global truth estimates
+//     from the per-cluster posteriors;
+//  2. reassign every entity to the cluster under whose source quality its
+//     claims have the highest marginal likelihood (truth integrated out
+//     per fact with the β prior, Equation 3's evidence term).
+//
+// The partition is only partially identifiable without labels: an entity
+// carrying few facts simply does not pin down which regime produced it
+// (assignment with the *generating* parameters and *true* fact truths is
+// itself imperfect), so expect purity well below 1 on small entities while
+// cluster-specific quality and end-to-end accuracy still improve.
+//
+// The partition is initialized by seeded k-means over per-entity source
+// agreement signatures (how often each source agrees with a flat LTM
+// fit's truth estimates on the entity's facts) — a symmetric split such
+// as round-robin gives every cluster the same mixture, leaving the
+// alternation with no gradient to descend. Everything is seeded, so the
+// procedure is fully reproducible.
+type Clustered struct {
+	// Config configures the per-cluster LTM fits.
+	Config core.Config
+	// Clusters is K, the number of entity clusters (required, >= 2).
+	Clusters int
+	// Rounds is the number of fit/reassign alternations (default 10;
+	// the alternation stops early once no entity moves).
+	Rounds int
+}
+
+// NewClustered returns a clustered integrator with K clusters.
+func NewClustered(cfg core.Config, k int) *Clustered {
+	return &Clustered{Config: cfg, Clusters: k, Rounds: 10}
+}
+
+// ClusteredResult is the output of a clustered fit.
+type ClusteredResult struct {
+	// Assignment[e] is the cluster of entity e (indexed as in the input
+	// dataset).
+	Assignment []int
+	// Fits[k] is the final LTM fit of cluster k, over Datasets[k].
+	Fits     []*core.FitResult
+	Datasets []*model.Dataset
+	// Result carries per-fact truth probabilities mapped back to the
+	// input dataset's fact ids.
+	Result *model.Result
+	// Rounds is the number of alternations actually performed.
+	Rounds int
+}
+
+// Fit runs the alternation on ds.
+func (cl *Clustered) Fit(ds *model.Dataset) (*ClusteredResult, error) {
+	k := cl.Clusters
+	if k < 2 {
+		return nil, fmt.Errorf("ltmx: clustered fit needs at least 2 clusters, got %d", k)
+	}
+	if k > ds.NumEntities() {
+		return nil, fmt.Errorf("ltmx: %d clusters for %d entities", k, ds.NumEntities())
+	}
+	rounds := cl.Rounds
+	if rounds <= 0 {
+		rounds = 10
+	}
+	assign, prob, err := cl.initialAssignment(ds, k)
+	if err != nil {
+		return nil, err
+	}
+	// factOf[(entity, attribute)] maps a sub-dataset fact back to ds.
+	factOf := make(map[[2]string]int, ds.NumFacts())
+	for _, f := range ds.Facts {
+		factOf[[2]string{ds.Entities[f.Entity], f.Attribute}] = f.ID
+	}
+	out := &ClusteredResult{Assignment: assign}
+	for round := 0; round < rounds; round++ {
+		out.Rounds = round + 1
+		// Build per-cluster datasets and fit; refresh global truth.
+		out.Datasets = make([]*model.Dataset, k)
+		out.Fits = make([]*core.FitResult, k)
+		for c := 0; c < k; c++ {
+			c := c
+			sub := store.FilterEntities(ds, func(e int, _ string) bool { return assign[e] == c })
+			if sub.NumFacts() == 0 {
+				// Empty cluster: leave nil; members cannot move here this
+				// round and no reassignment uses it.
+				continue
+			}
+			fit, err := core.New(cl.Config).Fit(sub)
+			if err != nil {
+				return nil, fmt.Errorf("ltmx: cluster %d round %d: %w", c, round, err)
+			}
+			out.Datasets[c] = sub
+			out.Fits[c] = fit
+			for _, f := range sub.Facts {
+				prob[factOf[[2]string{sub.Entities[f.Entity], f.Attribute}]] = fit.Prob[f.ID]
+			}
+		}
+		if round == rounds-1 {
+			break
+		}
+		// Reassign entities by marginal likelihood.
+		moved := 0
+		for e := 0; e < ds.NumEntities(); e++ {
+			best, bestLL := assign[e], math.Inf(-1)
+			for c := 0; c < k; c++ {
+				if out.Fits[c] == nil {
+					continue
+				}
+				ll := entityLogLikelihood(ds, e, out.Datasets[c], out.Fits[c])
+				if ll > bestLL {
+					best, bestLL = c, ll
+				}
+			}
+			if best != assign[e] {
+				assign[e] = best
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	res := &model.Result{Method: "LTM-clustered", Prob: prob}
+	out.Result = res
+	out.Assignment = assign
+	return out, nil
+}
+
+// initialAssignment seeds the partition: fit LTM flat, build each
+// entity's signature vector (per source, the fraction of the entity's
+// facts on which the source's claim agrees with the flat truth estimate;
+// 0.5 when the source makes no claim), and run seeded k-means on the
+// signatures.
+func (cl *Clustered) initialAssignment(ds *model.Dataset, k int) ([]int, []float64, error) {
+	flat, err := core.New(cl.Config).Fit(ds)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ltmx: clustering seed fit: %w", err)
+	}
+	nS := ds.NumSources()
+	sig := make([][]float64, ds.NumEntities())
+	agree := make([]float64, nS)
+	count := make([]float64, nS)
+	for e := range sig {
+		for s := 0; s < nS; s++ {
+			agree[s], count[s] = 0, 0
+		}
+		for _, f := range ds.FactsByEntity[e] {
+			truth := flat.Prob[f] >= 0.5
+			for _, ci := range ds.ClaimsByFact[f] {
+				c := ds.Claims[ci]
+				count[c.Source]++
+				if c.Observation == truth {
+					agree[c.Source]++
+				}
+			}
+		}
+		v := make([]float64, nS)
+		for s := 0; s < nS; s++ {
+			if count[s] > 0 {
+				v[s] = agree[s] / count[s]
+			} else {
+				v[s] = 0.5
+			}
+		}
+		sig[e] = v
+	}
+	seed := cl.Config.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	prob := append([]float64(nil), flat.Prob...)
+	return kmeans(sig, k, stats.NewRNG(seed).Split(101)), prob, nil
+}
+
+// kmeans is a small deterministic Lloyd's algorithm with k-means++
+// seeding. Empty clusters are re-seeded from the farthest point.
+func kmeans(points [][]float64, k int, rng *stats.RNG) []int {
+	n := len(points)
+	dim := len(points[0])
+	centers := make([][]float64, 0, k)
+	// k-means++ seeding.
+	first := rng.Intn(n)
+	centers = append(centers, append([]float64(nil), points[first]...))
+	d2 := make([]float64, n)
+	for len(centers) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points coincide with centers; spread arbitrarily.
+			centers = append(centers, append([]float64(nil), points[rng.Intn(n)]...))
+			continue
+		}
+		u := rng.Float64() * total
+		acc := 0.0
+		pick := n - 1
+		for i, d := range d2 {
+			acc += d
+			if u < acc {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, append([]float64(nil), points[pick]...))
+	}
+	assign := make([]int, n)
+	for iter := 0; iter < 25; iter++ {
+		moved := 0
+		for i, p := range points {
+			best, bestD := assign[i], math.Inf(1)
+			for c := range centers {
+				if d := sqDist(p, centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if best != assign[i] {
+				assign[i] = best
+				moved++
+			}
+		}
+		// Recompute centers.
+		counts := make([]int, k)
+		for c := range centers {
+			for j := 0; j < dim; j++ {
+				centers[c][j] = 0
+			}
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, x := range p {
+				centers[c][j] += x
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster from the farthest point.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := sqDist(p, centers[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centers[c], points[far])
+				continue
+			}
+			for j := range centers[c] {
+				centers[c][j] /= float64(counts[c])
+			}
+		}
+		if moved == 0 && iter > 0 {
+			break
+		}
+	}
+	return assign
+}
+
+// sqDist is the squared Euclidean distance.
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// entityLogLikelihood scores entity e's claims under cluster fit `fit`
+// (whose source indexes refer to sub) by the marginal likelihood: for
+// each fact of e the truth is integrated out with the β prior,
+//
+//	p(o_f | c) = Σ_{t∈{0,1}} β_t/(β1+β0) · Π_{cl∈Cf} p(o_cl | φ^t) .
+//
+// Sources absent from the cluster fall back to the priors' means.
+func entityLogLikelihood(ds *model.Dataset, e int, sub *model.Dataset, fit *core.FitResult) float64 {
+	p := fit.Priors
+	defSens := p.TP / (p.TP + p.FN)
+	defFPR := p.FP / (p.FP + p.TN)
+	sens := func(name string) float64 {
+		if s := sub.SourceIndex(name); s >= 0 {
+			return fit.Sensitivity[s]
+		}
+		return defSens
+	}
+	fpr := func(name string) float64 {
+		if s := sub.SourceIndex(name); s >= 0 {
+			return fit.FalsePositiveRate[s]
+		}
+		return defFPR
+	}
+	lprior1 := math.Log(p.True) - math.Log(p.True+p.Fls)
+	lprior0 := math.Log(p.Fls) - math.Log(p.True+p.Fls)
+	total := 0.0
+	for _, f := range ds.FactsByEntity[e] {
+		l1, l0 := lprior1, lprior0
+		for _, ci := range ds.ClaimsByFact[f] {
+			c := ds.Claims[ci]
+			name := ds.Sources[c.Source]
+			s1, s0 := sens(name), fpr(name)
+			if c.Observation {
+				l1 += math.Log(s1)
+				l0 += math.Log(s0)
+			} else {
+				l1 += math.Log1p(-s1)
+				l0 += math.Log1p(-s0)
+			}
+		}
+		m := l1
+		if l0 > m {
+			m = l0
+		}
+		total += m + math.Log(math.Exp(l1-m)+math.Exp(l0-m))
+	}
+	return total
+}

@@ -1,0 +1,177 @@
+package ltmx
+
+import (
+	"testing"
+
+	"latenttruth/internal/core"
+	"latenttruth/internal/model"
+	"latenttruth/internal/store"
+	"latenttruth/internal/synth"
+)
+
+// twoRegimeCorpus builds a dataset whose sources behave very differently
+// on two entity populations (e.g. horror vs drama): source "x" is expert
+// on regime A and terrible on regime B, source "y" the reverse, and "z"
+// mediocre everywhere. Entity names encode the regime for evaluation.
+func twoRegimeCorpus(t *testing.T) (*model.Dataset, map[int]bool, []int) {
+	t.Helper()
+	mk := func(name string, seed int64, xSens, xFPR, ySens, yFPR float64) *synth.Corpus {
+		spec := synth.CorpusSpec{
+			Name: name, NumEntities: 150,
+			// Several facts per entity: per-entity regime signal scales
+			// with the number of claims an entity carries.
+			TrueAttrWeights:  []float64{0.1, 0.2, 0.3, 0.4},
+			FalseCandWeights: []float64{0.2, 0.4, 0.4},
+			LabelEntities:    20,
+			Seed:             seed,
+			Sources: []synth.SourceProfile{
+				{Name: "x", Coverage: 0.95, Sensitivity: xSens, FPR: xFPR},
+				{Name: "y", Coverage: 0.95, Sensitivity: ySens, FPR: yFPR},
+				{Name: "z", Coverage: 0.9, Sensitivity: 0.6, FPR: 0.15},
+			},
+		}
+		c, err := synth.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a := mk("regimeA", 1, 0.95, 0.02, 0.45, 0.40)
+	b := mk("regimeB", 2, 0.45, 0.40, 0.95, 0.02)
+	merged, err := store.Merge(a.Dataset, b.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full generated truth per fact of the merged dataset.
+	truth := make(map[int]bool, merged.NumFacts())
+	ta, err := a.TruthOf(a.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := b.TruthOf(b.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range merged.Facts {
+		name := merged.Entities[f.Entity]
+		var v bool
+		if fa := a.Dataset.FactIndex(name, f.Attribute); fa >= 0 {
+			v = ta[fa]
+		} else if fb := b.Dataset.FactIndex(name, f.Attribute); fb >= 0 {
+			v = tb[fb]
+		} else {
+			t.Fatalf("fact (%s, %s) in neither regime", name, f.Attribute)
+		}
+		truth[f.ID] = v
+	}
+	// True regime per entity: 0 for A, 1 for B (by name prefix).
+	regime := make([]int, merged.NumEntities())
+	for e, name := range merged.Entities {
+		if len(name) >= 7 && name[:7] == "regimeB" {
+			regime[e] = 1
+		}
+	}
+	return merged, truth, regime
+}
+
+func accuracyAgainst(truth map[int]bool, prob []float64) float64 {
+	correct := 0
+	for f, v := range truth {
+		if (prob[f] >= 0.5) == v {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truth))
+}
+
+func TestClusteredRecoversRegimes(t *testing.T) {
+	ds, truth, regime := twoRegimeCorpus(t)
+	cfg := core.Config{Seed: 9, Iterations: 80, BurnIn: 15}
+	cl := NewClustered(cfg, 2)
+	out, err := cl.Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster purity: the discovered partition must align with the true
+	// regimes (up to label permutation).
+	agree := 0
+	for e := range regime {
+		if out.Assignment[e] == regime[e] {
+			agree++
+		}
+	}
+	purity := float64(agree) / float64(len(regime))
+	if purity < 0.5 {
+		purity = 1 - purity
+	}
+	// Regime membership of a small entity is only partially identifiable
+	// (assignment with the generating parameters themselves reaches ~0.75
+	// here), so the bar is materially-better-than-chance, not purity 1.
+	if purity < 0.7 {
+		t.Errorf("cluster purity %v, want >= 0.7", purity)
+	}
+	// Accuracy: the clustered model must beat a flat fit, which is forced
+	// to average x's and y's contradictory quality.
+	flat, err := core.New(cfg).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatAcc := accuracyAgainst(truth, flat.Prob)
+	clAcc := accuracyAgainst(truth, out.Result.Prob)
+	if clAcc < flatAcc {
+		t.Errorf("clustered accuracy %v below flat %v", clAcc, flatAcc)
+	}
+}
+
+func TestClusteredQualityIsClusterSpecific(t *testing.T) {
+	ds, _, _ := twoRegimeCorpus(t)
+	cl := NewClustered(core.Config{Seed: 9, Iterations: 80, BurnIn: 15}, 2)
+	out, err := cl.Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In one cluster x must dominate y on sensitivity, in the other the
+	// reverse.
+	sensOf := func(c int, name string) float64 {
+		s := out.Datasets[c].SourceIndex(name)
+		if s < 0 {
+			t.Fatalf("source %s missing from cluster %d", name, c)
+		}
+		return out.Fits[c].Sensitivity[s]
+	}
+	d0 := sensOf(0, "x") - sensOf(0, "y")
+	d1 := sensOf(1, "x") - sensOf(1, "y")
+	if d0*d1 >= 0 {
+		t.Errorf("cluster quality not regime-specific: Δ0=%v Δ1=%v", d0, d1)
+	}
+}
+
+func TestClusteredValidation(t *testing.T) {
+	ds, _, _ := twoRegimeCorpus(t)
+	if _, err := NewClustered(core.Config{}, 1).Fit(ds); err == nil {
+		t.Fatal("expected error for K < 2")
+	}
+	if _, err := NewClustered(core.Config{}, ds.NumEntities()+1).Fit(ds); err == nil {
+		t.Fatal("expected error for K > entities")
+	}
+}
+
+func TestClusteredResultCoversAllFacts(t *testing.T) {
+	ds, _, _ := twoRegimeCorpus(t)
+	out, err := NewClustered(core.Config{Seed: 3, Iterations: 40, BurnIn: 10}, 2).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Result.Prob) != ds.NumFacts() {
+		t.Fatalf("result covers %d of %d facts", len(out.Result.Prob), ds.NumFacts())
+	}
+	if err := out.Result.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every entity assigned to a valid cluster.
+	for e, c := range out.Assignment {
+		if c < 0 || c >= 2 {
+			t.Fatalf("entity %d assigned to cluster %d", e, c)
+		}
+	}
+}

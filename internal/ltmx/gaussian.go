@@ -1,0 +1,289 @@
+package ltmx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The real-valued loss extension of §7: for numeric attribute types
+// (release years, runtimes, populations) a 0/1 error model is wrong —
+// "inexact matches of terms, numerical attributes" call for a Gaussian
+// observation model. NumericClaim, GaussianConfig and GaussianTruth
+// implement that variant: each entity has a latent real truth μ_e, each
+// source a latent noise variance σ²_s (its quality — small variance means
+// a reliable source), and every observation is drawn as
+//
+//	v_{s,e} ~ Normal(μ_e, σ²_s) .
+//
+// Inference is expectation-maximization with conjugate priors: a
+// Normal(m0, 1/κ0) prior on each μ_e and an Inverse-Gamma(a0, b0) prior
+// on each σ²_s. The E-step computes each entity's Gaussian posterior
+// (mean m_e, variance V_e); the M-step updates each source's variance
+// from E[(v − μ_e)²] = (v − m_e)² + V_e. Including V_e is essential: a
+// pure MAP alternation (V_e omitted) has a degenerate optimum where a
+// dense source pulls every entity mean onto itself and then claims
+// near-zero variance, whereas the EM fixpoint recovers the generating
+// variances exactly.
+
+// NumericClaim is one numeric assertion: source claims that entity's
+// attribute value is Value.
+type NumericClaim struct {
+	Entity string
+	Source string
+	Value  float64
+}
+
+// GaussianConfig holds the conjugate hyperparameters.
+type GaussianConfig struct {
+	// PriorMeanWeight is κ0, the pseudo-observation count of the entity
+	// mean prior (default 0.01: nearly uninformative, centred on the
+	// per-entity sample mean).
+	PriorMeanWeight float64
+	// VarShape and VarScale are a0 and b0 of the Inverse-Gamma prior on
+	// source variance (defaults 2 and 1: mean variance 1 with infinite
+	// variance of the prior itself — weakly informative).
+	VarShape, VarScale float64
+	// Iterations is the number of coordinate sweeps (default 50).
+	Iterations int
+	// Tolerance stops early when entity means move less (default 1e-9).
+	Tolerance float64
+}
+
+// withDefaults fills unset fields.
+func (c GaussianConfig) withDefaults() GaussianConfig {
+	if c.PriorMeanWeight == 0 {
+		c.PriorMeanWeight = 0.01
+	}
+	if c.VarShape == 0 {
+		c.VarShape = 2
+	}
+	if c.VarScale == 0 {
+		c.VarScale = 1
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 50
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-9
+	}
+	return c
+}
+
+// GaussianResult is the output of GaussianTruth.
+type GaussianResult struct {
+	// Truth maps each entity to its inferred value.
+	Truth map[string]float64
+	// SourceVariance maps each source to its inferred noise variance; the
+	// source-quality analogue (smaller is better).
+	SourceVariance map[string]float64
+	// Iterations is the number of sweeps actually run.
+	Iterations int
+}
+
+// GaussianTruth infers numeric truths and source variances from claims.
+// Every entity needs at least one claim; sources with a single claim are
+// regularized entirely by the prior.
+func GaussianTruth(claims []NumericClaim, cfg GaussianConfig) (*GaussianResult, error) {
+	if len(claims) == 0 {
+		return nil, fmt.Errorf("ltmx: no numeric claims")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.PriorMeanWeight < 0 || cfg.VarShape <= 0 || cfg.VarScale <= 0 {
+		return nil, fmt.Errorf("ltmx: invalid Gaussian hyperparameters %+v", cfg)
+	}
+	// Index entities and sources.
+	entIdx := make(map[string]int)
+	srcIdx := make(map[string]int)
+	var entities, sources []string
+	for _, c := range claims {
+		if c.Entity == "" || c.Source == "" {
+			return nil, fmt.Errorf("ltmx: claim with empty entity or source")
+		}
+		if math.IsNaN(c.Value) || math.IsInf(c.Value, 0) {
+			return nil, fmt.Errorf("ltmx: claim (%s, %s) has non-finite value", c.Entity, c.Source)
+		}
+		if _, ok := entIdx[c.Entity]; !ok {
+			entIdx[c.Entity] = len(entities)
+			entities = append(entities, c.Entity)
+		}
+		if _, ok := srcIdx[c.Source]; !ok {
+			srcIdx[c.Source] = len(sources)
+			sources = append(sources, c.Source)
+		}
+	}
+	type obs struct{ e, s int }
+	idx := make([]obs, len(claims))
+	byEntity := make([][]int, len(entities))
+	bySource := make([][]int, len(sources))
+	for i, c := range claims {
+		idx[i] = obs{entIdx[c.Entity], srcIdx[c.Source]}
+		byEntity[idx[i].e] = append(byEntity[idx[i].e], i)
+		bySource[idx[i].s] = append(bySource[idx[i].s], i)
+	}
+	// Initialize μ at per-entity medians (robust start) and σ² by the
+	// method of moments on pairwise differences: E[(v_s − v_s')²] =
+	// σ²_s + σ²_s' over shared entities identifies the variances with
+	// three or more sources, and starting EM there avoids the mirrored
+	// local optimum where two sources swap noise levels.
+	mu := make([]float64, len(entities))
+	for e, cs := range byEntity {
+		vals := make([]float64, len(cs))
+		for i, ci := range cs {
+			vals[i] = claims[ci].Value
+		}
+		sort.Float64s(vals)
+		mu[e] = vals[len(vals)/2]
+	}
+	values := make([]float64, len(claims))
+	srcs := make([]int, len(claims))
+	for i := range claims {
+		values[i] = claims[i].Value
+		srcs[i] = idx[i].s
+	}
+	sigma2 := initVariances(values, srcs, byEntity, len(sources))
+	prev := make([]float64, len(entities))
+	// postVar[e] is V_e, the posterior variance of μ_e from the E-step.
+	postVar := make([]float64, len(entities))
+	k0 := cfg.PriorMeanWeight
+	iters := 0
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		iters = iter + 1
+		// E-step: Gaussian posterior of each entity mean, centred (with
+		// tiny weight κ0) on the entity's unweighted claim mean.
+		copy(prev, mu)
+		for e, cs := range byEntity {
+			var ws, vs, plain float64
+			for _, ci := range cs {
+				w := 1 / sigma2[idx[ci].s]
+				ws += w
+				vs += w * claims[ci].Value
+				plain += claims[ci].Value
+			}
+			m0 := plain / float64(len(cs))
+			mu[e] = (vs + k0*m0) / (ws + k0)
+			postVar[e] = 1 / (ws + k0)
+		}
+		// M-step: Inverse-Gamma posterior mode with the expected squared
+		// residual E[(v − μ_e)²] = (v − m_e)² + V_e.
+		for s, cs := range bySource {
+			ss := 0.0
+			for _, ci := range cs {
+				e := idx[ci].e
+				d := claims[ci].Value - mu[e]
+				ss += d*d + postVar[e]
+			}
+			n := float64(len(cs))
+			sigma2[s] = (2*cfg.VarScale + ss) / (2*cfg.VarShape + n + 2)
+			if sigma2[s] < 1e-12 {
+				sigma2[s] = 1e-12
+			}
+		}
+		if maxDelta(prev, mu) < cfg.Tolerance {
+			break
+		}
+	}
+	res := &GaussianResult{
+		Truth:          make(map[string]float64, len(entities)),
+		SourceVariance: make(map[string]float64, len(sources)),
+		Iterations:     iters,
+	}
+	for e, name := range entities {
+		res.Truth[name] = mu[e]
+	}
+	for s, name := range sources {
+		res.SourceVariance[name] = sigma2[s]
+	}
+	return res, nil
+}
+
+// initVariances seeds per-source variances by the method of moments:
+// for each source pair sharing entities, the mean squared difference of
+// their values estimates σ²_s + σ²_s'; the resulting linear system is
+// solved by Gauss–Seidel sweeps. Sources with no shared entities start
+// at 1.
+func initVariances(values []float64, srcs []int, byEntity [][]int, nSources int) []float64 {
+	type pair struct{ a, b int }
+	sum := map[pair]float64{}
+	cnt := map[pair]int{}
+	for _, cs := range byEntity {
+		for i := 0; i < len(cs); i++ {
+			for j := i + 1; j < len(cs); j++ {
+				a, b := srcs[cs[i]], srcs[cs[j]]
+				if a == b {
+					continue
+				}
+				if a > b {
+					a, b = b, a
+				}
+				d := values[cs[i]] - values[cs[j]]
+				sum[pair{a, b}] += d * d
+				cnt[pair{a, b}]++
+			}
+		}
+	}
+	// partners[s] lists (other source, D estimate) with enough support.
+	type edge struct {
+		other int
+		d     float64
+	}
+	partners := make([][]edge, nSources)
+	for p, c := range cnt {
+		if c < 3 {
+			continue
+		}
+		d := sum[p] / float64(c)
+		partners[p.a] = append(partners[p.a], edge{p.b, d})
+		partners[p.b] = append(partners[p.b], edge{p.a, d})
+	}
+	x := make([]float64, nSources)
+	for s := range x {
+		if len(partners[s]) == 0 {
+			x[s] = 1
+			continue
+		}
+		// Start at half the smallest pairwise estimate.
+		min := partners[s][0].d
+		for _, e := range partners[s] {
+			if e.d < min {
+				min = e.d
+			}
+		}
+		x[s] = min / 2
+	}
+	const floor = 1e-9
+	for sweep := 0; sweep < 50; sweep++ {
+		for s := range x {
+			if len(partners[s]) == 0 {
+				continue
+			}
+			acc := 0.0
+			for _, e := range partners[s] {
+				r := e.d - x[e.other]
+				if r < floor {
+					r = floor
+				}
+				acc += r
+			}
+			x[s] = acc / float64(len(partners[s]))
+		}
+	}
+	for s := range x {
+		if x[s] < floor {
+			x[s] = floor
+		}
+	}
+	return x
+}
+
+// maxDelta returns the largest absolute element-wise difference.
+func maxDelta(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

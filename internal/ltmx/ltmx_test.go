@@ -1,0 +1,319 @@
+package ltmx
+
+import (
+	"math"
+	"testing"
+
+	"latenttruth/internal/core"
+	"latenttruth/internal/model"
+	"latenttruth/internal/stats"
+	"latenttruth/internal/synth"
+)
+
+// benignCorpus builds a small corpus of honest sources.
+func benignCorpus(t *testing.T, seed int64) *synth.Corpus {
+	t.Helper()
+	spec := synth.CorpusSpec{
+		Name: "benign", NumEntities: 250,
+		TrueAttrWeights:  []float64{0.6, 0.4},
+		FalseCandWeights: []float64{0.6, 0.4},
+		LabelEntities:    30,
+		Seed:             seed,
+		Sources: []synth.SourceProfile{
+			{Name: "a", Coverage: 0.9, Sensitivity: 0.92, FPR: 0.03},
+			{Name: "b", Coverage: 0.8, Sensitivity: 0.85, FPR: 0.05},
+			{Name: "c", Coverage: 0.8, Sensitivity: 0.7, FPR: 0.04},
+		},
+	}
+	c, err := synth.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestInjectAdversary(t *testing.T) {
+	c := benignCorpus(t, 1)
+	before := c.Dataset.NumFacts()
+	ds, err := InjectAdversary(c.Dataset, "evil", 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.SourceIndex("evil") < 0 {
+		t.Fatal("adversary missing")
+	}
+	if ds.NumFacts() <= before {
+		t.Fatal("no fabricated facts added")
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InjectAdversary(c.Dataset, "evil", 0, 1); err == nil {
+		t.Fatal("expected error for zero coverage")
+	}
+}
+
+func TestAdversarialFilterRemovesInjectedSource(t *testing.T) {
+	c := benignCorpus(t, 2)
+	ds, err := InjectAdversary(c.Dataset, "evil", 0.8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af := NewAdversarialFilter(core.Config{Seed: 3})
+	out, err := af.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removedEvil := false
+	for _, name := range out.Removed {
+		if name == "evil" {
+			removedEvil = true
+		}
+		if name == "a" || name == "b" || name == "c" {
+			t.Fatalf("benign source %q removed", name)
+		}
+	}
+	if !removedEvil {
+		t.Fatalf("adversary not removed (removed: %v)", out.Removed)
+	}
+	if out.Dataset.SourceIndex("evil") != -1 {
+		t.Fatal("adversary still in surviving dataset")
+	}
+	// Fabricated facts disappear with their only supporter.
+	for _, f := range out.Dataset.Facts {
+		if len(f.Attribute) >= 11 && f.Attribute[:11] == "fabricated-" {
+			t.Fatalf("fabricated fact %q survived", f.Attribute)
+		}
+	}
+	if out.Rounds < 2 {
+		t.Fatalf("rounds = %d, want at least 2 (remove + refit)", out.Rounds)
+	}
+}
+
+func TestAdversarialFilterNoOpOnCleanData(t *testing.T) {
+	c := benignCorpus(t, 3)
+	af := NewAdversarialFilter(core.Config{Seed: 1})
+	out, err := af.Run(c.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Removed) != 0 {
+		t.Fatalf("removed %v from clean data", out.Removed)
+	}
+	if out.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", out.Rounds)
+	}
+	if out.Dataset != c.Dataset {
+		t.Fatal("clean run should keep the original dataset")
+	}
+}
+
+func TestAdversarialFilterValidation(t *testing.T) {
+	af := NewAdversarialFilter(core.Config{Seed: 1})
+	af.MinSpecificity = 1.5
+	if _, err := af.Run(benignCorpus(t, 4).Dataset); err == nil {
+		t.Fatal("expected floor validation error")
+	}
+}
+
+func TestMultiTypeJointFit(t *testing.T) {
+	// Two attribute types served by the same three sources. Type B is
+	// sparse (low coverage), so cross-type quality transfer should help.
+	mk := func(name string, seed int64, coverageScale float64) *synth.Corpus {
+		spec := synth.CorpusSpec{
+			Name: name, NumEntities: 200,
+			TrueAttrWeights:  []float64{0.6, 0.4},
+			FalseCandWeights: []float64{0.6, 0.4},
+			LabelEntities:    20,
+			Seed:             seed,
+			Sources: []synth.SourceProfile{
+				{Name: "a", Coverage: 0.9 * coverageScale, Sensitivity: 0.92, FPR: 0.03},
+				{Name: "b", Coverage: 0.8 * coverageScale, Sensitivity: 0.8, FPR: 0.3},
+				{Name: "c", Coverage: 0.8 * coverageScale, Sensitivity: 0.55, FPR: 0.05},
+			},
+		}
+		c, err := synth.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	typeA := mk("directors", 5, 1.0)
+	typeB := mk("genres", 6, 0.5)
+	mt := NewMultiType(core.Config{Seed: 7})
+	fits, err := mt.Fit(map[string]*model.Dataset{
+		"directors": typeA.Dataset,
+		"genres":    typeB.Dataset,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fits) != 2 {
+		t.Fatalf("got %d typed fits", len(fits))
+	}
+	// Results are sorted by type name.
+	if fits[0].Type != "directors" || fits[1].Type != "genres" {
+		t.Fatalf("order: %s, %s", fits[0].Type, fits[1].Type)
+	}
+	for _, tf := range fits {
+		if err := tf.Fit.Result.Validate(); err != nil {
+			t.Fatalf("%s: %v", tf.Type, err)
+		}
+	}
+	// The sloppy source "b" must be recognized as low-specificity in both
+	// types, and accuracy on each type must be high.
+	for _, tf := range fits {
+		corpus := typeA
+		if tf.Type == "genres" {
+			corpus = typeB
+		}
+		truth, err := corpus.TruthOf(corpus.Dataset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		correct := 0
+		for f, v := range truth {
+			if (tf.Fit.Prob[f] >= 0.5) == v {
+				correct++
+			}
+		}
+		if acc := float64(correct) / float64(len(truth)); acc < 0.85 {
+			t.Errorf("%s joint accuracy %v", tf.Type, acc)
+		}
+		var bSpec, aSpec float64
+		for _, q := range tf.Fit.Quality {
+			switch q.Source {
+			case "a":
+				aSpec = q.Specificity
+			case "b":
+				bSpec = q.Specificity
+			}
+		}
+		if bSpec >= aSpec {
+			t.Errorf("%s: sloppy source specificity %v >= clean %v", tf.Type, bSpec, aSpec)
+		}
+	}
+}
+
+func TestMultiTypeValidation(t *testing.T) {
+	mt := NewMultiType(core.Config{Seed: 1})
+	if _, err := mt.Fit(nil); err == nil {
+		t.Fatal("expected error for empty type map")
+	}
+}
+
+func TestGaussianTruthRecoversValues(t *testing.T) {
+	// Four sources report noisy numeric values with distinct noise levels.
+	// (Enough entities that the pairwise moments identify the ordering:
+	// with very few entities or an extremely noisy source, the variance
+	// split between two good sources is genuinely not resolvable.)
+	rng := stats.NewRNG(9)
+	truth := map[string]float64{}
+	var claims []NumericClaim
+	for e := 0; e < 600; e++ {
+		name := entityName(e)
+		v := rng.NormFloat64()*10 + 100
+		truth[name] = v
+		claims = append(claims,
+			NumericClaim{Entity: name, Source: "precise", Value: v + rng.NormFloat64()*0.5},
+			NumericClaim{Entity: name, Source: "decent", Value: v + rng.NormFloat64()*1.5},
+			NumericClaim{Entity: name, Source: "fair", Value: v + rng.NormFloat64()*2.2},
+			NumericClaim{Entity: name, Source: "noisy", Value: v + rng.NormFloat64()*3.5},
+		)
+	}
+	res, err := GaussianTruth(claims, GaussianConfig{Iterations: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inferred variances must be ordered by true noise.
+	if !(res.SourceVariance["precise"] < res.SourceVariance["decent"] &&
+		res.SourceVariance["decent"] < res.SourceVariance["fair"] &&
+		res.SourceVariance["fair"] < res.SourceVariance["noisy"]) {
+		t.Fatalf("variance ordering wrong: %+v", res.SourceVariance)
+	}
+	// Each inferred variance must be in the right ballpark of its
+	// generating value.
+	for name, want := range map[string]float64{
+		"precise": 0.25, "decent": 2.25, "fair": 4.84, "noisy": 12.25,
+	} {
+		got := res.SourceVariance[name]
+		if got < want/2 || got > want*2 {
+			t.Errorf("%s variance %v, want near %v", name, got, want)
+		}
+	}
+	// Truth estimates must be close: RMSE near the best achievable
+	// (precision-weighted) error, far below the naive mean's.
+	var se float64
+	for name, v := range truth {
+		d := res.Truth[name] - v
+		se += d * d
+	}
+	rmse := math.Sqrt(se / float64(len(truth)))
+	if rmse > 1.0 {
+		t.Fatalf("RMSE = %v", rmse)
+	}
+}
+
+func TestGaussianTruthWeightsBeatPlainMean(t *testing.T) {
+	rng := stats.NewRNG(10)
+	var claims []NumericClaim
+	truth := map[string]float64{}
+	plainErr, n := 0.0, 0
+	for e := 0; e < 200; e++ {
+		name := entityName(e)
+		v := float64(e)
+		truth[name] = v
+		a := v + rng.NormFloat64()*0.2
+		b := v + rng.NormFloat64()*6
+		c := v + rng.NormFloat64()*6
+		claims = append(claims,
+			NumericClaim{Entity: name, Source: "sharp", Value: a},
+			NumericClaim{Entity: name, Source: "blur1", Value: b},
+			NumericClaim{Entity: name, Source: "blur2", Value: c},
+		)
+		mean := (a + b + c) / 3
+		plainErr += (mean - v) * (mean - v)
+		n++
+	}
+	res, err := GaussianTruth(claims, GaussianConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var modelErr float64
+	for name, v := range truth {
+		d := res.Truth[name] - v
+		modelErr += d * d
+	}
+	if modelErr >= plainErr {
+		t.Fatalf("precision weighting (SSE %v) no better than plain mean (SSE %v)", modelErr, plainErr)
+	}
+}
+
+func TestGaussianTruthValidation(t *testing.T) {
+	if _, err := GaussianTruth(nil, GaussianConfig{}); err == nil {
+		t.Fatal("expected error for no claims")
+	}
+	if _, err := GaussianTruth([]NumericClaim{{Entity: "", Source: "s", Value: 1}}, GaussianConfig{}); err == nil {
+		t.Fatal("expected error for empty entity")
+	}
+	if _, err := GaussianTruth([]NumericClaim{{Entity: "e", Source: "s", Value: math.NaN()}}, GaussianConfig{}); err == nil {
+		t.Fatal("expected error for NaN value")
+	}
+}
+
+func TestGaussianSingleClaimRegularized(t *testing.T) {
+	res, err := GaussianTruth([]NumericClaim{{Entity: "e", Source: "s", Value: 5}}, GaussianConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Truth["e"]-5) > 1e-9 {
+		t.Fatalf("single-claim truth %v", res.Truth["e"])
+	}
+	if v := res.SourceVariance["s"]; v <= 0 || math.IsNaN(v) {
+		t.Fatalf("variance %v", v)
+	}
+}
+
+func entityName(i int) string {
+	return "ent-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+}

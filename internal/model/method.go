@@ -1,0 +1,12 @@
+package model
+
+// Method is the interface implemented by every truth-finding algorithm in
+// the library: the Latent Truth Model, its variants, and all baselines of
+// the paper's evaluation. Infer assigns each fact of the dataset a truth
+// probability in [0, 1]; implementations must not mutate the dataset.
+type Method interface {
+	// Name returns the display name used in tables and reports.
+	Name() string
+	// Infer runs the algorithm over ds and returns per-fact scores.
+	Infer(ds *Dataset) (*Result, error)
+}

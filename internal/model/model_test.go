@@ -1,0 +1,282 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// table1DB reproduces the paper's Table 1 raw database.
+func table1DB() *RawDB {
+	db := NewRawDB()
+	rows := [][3]string{
+		{"Harry Potter", "Daniel Radcliffe", "IMDB"},
+		{"Harry Potter", "Emma Watson", "IMDB"},
+		{"Harry Potter", "Rupert Grint", "IMDB"},
+		{"Harry Potter", "Daniel Radcliffe", "Netflix"},
+		{"Harry Potter", "Daniel Radcliffe", "BadSource.com"},
+		{"Harry Potter", "Emma Watson", "BadSource.com"},
+		{"Harry Potter", "Johnny Depp", "BadSource.com"},
+		{"Pirates 4", "Johnny Depp", "Hulu.com"},
+	}
+	for _, r := range rows {
+		db.Add(r[0], r[1], r[2])
+	}
+	return db
+}
+
+func TestRawDBDeduplicates(t *testing.T) {
+	db := NewRawDB()
+	if !db.Add("e", "a", "s") {
+		t.Fatal("first insert rejected")
+	}
+	if db.Add("e", "a", "s") {
+		t.Fatal("duplicate insert accepted")
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
+
+func TestRawDBPanicsOnEmptyComponent(t *testing.T) {
+	for _, r := range []Row{{"", "a", "s"}, {"e", "", "s"}, {"e", "a", ""}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %v", r)
+				}
+			}()
+			NewRawDB().AddRow(r)
+		}()
+	}
+}
+
+// TestBuildTable3 checks the derived claim table against the paper's
+// Table 3 exactly.
+func TestBuildTable3(t *testing.T) {
+	ds := Build(table1DB())
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumEntities() != 2 || ds.NumSources() != 4 || ds.NumFacts() != 5 {
+		t.Fatalf("sizes: %d entities, %d sources, %d facts",
+			ds.NumEntities(), ds.NumSources(), ds.NumFacts())
+	}
+	// Fact ids follow first appearance: 0 Daniel, 1 Emma, 2 Rupert,
+	// 3 Johnny@HP, 4 Johnny@Pirates (paper Table 2, ids shifted by 1).
+	type claim struct {
+		fact   string
+		source string
+		obs    bool
+	}
+	want := map[claim]bool{
+		{"Daniel Radcliffe", "IMDB", true}:          true,
+		{"Daniel Radcliffe", "Netflix", true}:       true,
+		{"Daniel Radcliffe", "BadSource.com", true}: true,
+		{"Emma Watson", "IMDB", true}:               true,
+		{"Emma Watson", "Netflix", false}:           true,
+		{"Emma Watson", "BadSource.com", true}:      true,
+		{"Rupert Grint", "IMDB", true}:              true,
+		{"Rupert Grint", "Netflix", false}:          true,
+		{"Rupert Grint", "BadSource.com", false}:    true,
+		{"Johnny Depp", "IMDB", false}:              true, // Harry Potter
+		{"Johnny Depp", "Netflix", false}:           true,
+		{"Johnny Depp", "BadSource.com", true}:      true,
+	}
+	// Plus the single Pirates 4 claim.
+	got := 0
+	for _, c := range ds.Claims {
+		f := ds.Facts[c.Fact]
+		if ds.EntityName(f) == "Pirates 4" {
+			if f.Attribute != "Johnny Depp" || ds.Sources[c.Source] != "Hulu.com" || !c.Observation {
+				t.Fatalf("unexpected Pirates 4 claim %+v", c)
+			}
+			continue
+		}
+		key := claim{f.Attribute, ds.Sources[c.Source], c.Observation}
+		if !want[key] {
+			t.Fatalf("unexpected claim %+v", key)
+		}
+		got++
+	}
+	if got != len(want) {
+		t.Fatalf("%d Harry Potter claims, want %d", got, len(want))
+	}
+	if ds.NumClaims() != 13 {
+		t.Fatalf("total claims = %d, want 13 (Table 3)", ds.NumClaims())
+	}
+	// Hulu.com must make no claims about Harry Potter (rule 3 of Def. 3).
+	hulu := ds.SourceIndex("Hulu.com")
+	for _, ci := range ds.ClaimsBySource[hulu] {
+		f := ds.Facts[ds.Claims[ci].Fact]
+		if ds.EntityName(f) != "Pirates 4" {
+			t.Fatalf("Hulu.com claims about %s", ds.EntityName(f))
+		}
+	}
+}
+
+func TestBuildDeterministicOrder(t *testing.T) {
+	a := Build(table1DB())
+	b := Build(table1DB())
+	if len(a.Claims) != len(b.Claims) {
+		t.Fatal("claim counts differ")
+	}
+	for i := range a.Claims {
+		if a.Claims[i] != b.Claims[i] {
+			t.Fatalf("claim %d differs: %+v vs %+v", i, a.Claims[i], b.Claims[i])
+		}
+	}
+}
+
+func TestIndexesConsistent(t *testing.T) {
+	ds := Build(table1DB())
+	for f, claims := range ds.ClaimsByFact {
+		for _, ci := range claims {
+			if ds.Claims[ci].Fact != f {
+				t.Fatalf("ClaimsByFact[%d] contains claim of fact %d", f, ds.Claims[ci].Fact)
+			}
+		}
+	}
+	for s, claims := range ds.ClaimsBySource {
+		for _, ci := range claims {
+			if ds.Claims[ci].Source != s {
+				t.Fatalf("ClaimsBySource[%d] contains claim of source %d", s, ds.Claims[ci].Source)
+			}
+		}
+	}
+	total := 0
+	for _, claims := range ds.ClaimsByFact {
+		total += len(claims)
+	}
+	if total != ds.NumClaims() {
+		t.Fatalf("index covers %d of %d claims", total, ds.NumClaims())
+	}
+}
+
+func TestSourceAndFactIndex(t *testing.T) {
+	ds := Build(table1DB())
+	if ds.SourceIndex("IMDB") < 0 || ds.SourceIndex("nope") != -1 {
+		t.Fatal("SourceIndex wrong")
+	}
+	if f := ds.FactIndex("Harry Potter", "Rupert Grint"); f < 0 || ds.Facts[f].Attribute != "Rupert Grint" {
+		t.Fatal("FactIndex wrong")
+	}
+	if ds.FactIndex("Harry Potter", "nope") != -1 {
+		t.Fatal("FactIndex found nonexistent fact")
+	}
+}
+
+func TestLabeledFactsSorted(t *testing.T) {
+	ds := Build(table1DB())
+	ds.Labels[3] = false
+	ds.Labels[0] = true
+	ds.Labels[2] = true
+	got := ds.LabeledFacts()
+	want := []int{0, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("LabeledFacts = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LabeledFacts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(*Dataset)
+		substr  string
+	}{
+		{"fact id", func(d *Dataset) { d.Facts[1].ID = 7 }, "has id"},
+		{"entity ref", func(d *Dataset) { d.Facts[0].Entity = 99 }, "references entity"},
+		{"claim fact ref", func(d *Dataset) { d.Claims[0].Fact = -1 }, "references fact"},
+		{"claim source ref", func(d *Dataset) { d.Claims[0].Source = 99 }, "references source"},
+		{"duplicate claim", func(d *Dataset) { d.Claims[1] = d.Claims[0] }, "duplicate claim"},
+		{"label ref", func(d *Dataset) { d.Labels[99] = true }, "label references"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ds := Build(table1DB())
+			c.corrupt(ds)
+			err := ds.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.substr) {
+				t.Fatalf("Validate = %v, want error containing %q", err, c.substr)
+			}
+		})
+	}
+}
+
+func TestValidateStrictOnlyViolations(t *testing.T) {
+	// A fact with only negative claims passes ValidateBasic but not
+	// Validate.
+	ds := Build(table1DB())
+	for i, c := range ds.Claims {
+		if c.Fact == 0 && c.Observation {
+			ds.Claims[i].Observation = false
+		}
+	}
+	if err := ds.ValidateBasic(); err != nil {
+		t.Fatalf("ValidateBasic: %v", err)
+	}
+	if err := ds.Validate(); err == nil || !strings.Contains(err.Error(), "no positive claim") {
+		t.Fatalf("Validate = %v", err)
+	}
+}
+
+// TestBuildProperty checks Definitions 2-3 on random raw databases: every
+// (entity, source) pair with any assertion yields claims on ALL the
+// entity's facts, positives exactly where asserted.
+func TestBuildProperty(t *testing.T) {
+	f := func(rows []struct{ E, A, S uint8 }) bool {
+		if len(rows) == 0 {
+			return true
+		}
+		db := NewRawDB()
+		type key struct{ e, a, s string }
+		asserted := map[key]bool{}
+		for _, r := range rows {
+			e := fmt.Sprintf("e%d", r.E%8)
+			a := fmt.Sprintf("a%d", r.A%6)
+			s := fmt.Sprintf("s%d", r.S%5)
+			db.Add(e, a, s)
+			asserted[key{e, a, s}] = true
+		}
+		ds := Build(db)
+		if err := ds.Validate(); err != nil {
+			return false
+		}
+		// Check each claim's observation against the raw assertions.
+		for _, c := range ds.Claims {
+			f := ds.Facts[c.Fact]
+			k := key{ds.EntityName(f), f.Attribute, ds.Sources[c.Source]}
+			if asserted[k] != c.Observation {
+				return false
+			}
+		}
+		// Count claims: for each entity, (#covering sources) x (#facts).
+		wantClaims := 0
+		for _, facts := range ds.FactsByEntity {
+			cover := map[int]bool{}
+			for _, fid := range facts {
+				for _, ci := range ds.ClaimsByFact[fid] {
+					cover[ds.Claims[ci].Source] = true
+				}
+			}
+			wantClaims += len(cover) * len(facts)
+		}
+		return ds.NumClaims() == wantClaims
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumPositiveClaims(t *testing.T) {
+	ds := Build(table1DB())
+	if got := ds.NumPositiveClaims(); got != 8 {
+		t.Fatalf("NumPositiveClaims = %d, want 8 (raw rows)", got)
+	}
+}

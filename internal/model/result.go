@@ -1,0 +1,64 @@
+package model
+
+import "fmt"
+
+// Result is the output of a truth-finding method on a dataset: for every
+// fact, a score in [0, 1] interpreted as the probability (or confidence)
+// that the fact is true. Facts scoring at or above a threshold (0.5 in the
+// paper's unsupervised setting) are predicted true.
+type Result struct {
+	// Method is the display name of the producing algorithm.
+	Method string
+	// Prob[f] is the truth probability of fact f.
+	Prob []float64
+}
+
+// NewResult returns a Result with a zeroed probability vector sized for ds.
+func NewResult(method string, ds *Dataset) *Result {
+	return &Result{Method: method, Prob: make([]float64, ds.NumFacts())}
+}
+
+// Predict reports whether fact f is predicted true at the given threshold,
+// i.e. whether its probability is >= threshold.
+func (r *Result) Predict(f int, threshold float64) bool {
+	return r.Prob[f] >= threshold
+}
+
+// Validate checks that all probabilities are finite and within [0, 1].
+func (r *Result) Validate() error {
+	for f, p := range r.Prob {
+		if !(p >= 0 && p <= 1) { // also catches NaN
+			return fmt.Errorf("model: %s assigns fact %d probability %v", r.Method, f, p)
+		}
+	}
+	return nil
+}
+
+// TruthTable materializes the predicted truth value of every fact at the
+// given threshold, in fact-id order — the paper's output artifact
+// (Definition 4, Table 4).
+func (r *Result) TruthTable(threshold float64) []bool {
+	t := make([]bool, len(r.Prob))
+	for f, p := range r.Prob {
+		t[f] = p >= threshold
+	}
+	return t
+}
+
+// SourceQuality aggregates the two-sided quality estimates of one source
+// (§3, §5.3). FalsePositiveRate is 1−Specificity and FalseNegativeRate is
+// 1−Sensitivity; both are kept explicit because the model parameterizes
+// φ0 as the false positive rate.
+type SourceQuality struct {
+	Source      string
+	Sensitivity float64 // recall: P(claim true | fact true)
+	Specificity float64 // P(claim false | fact false)
+	Precision   float64 // P(fact true | claim true)
+	Accuracy    float64 // P(claim correct)
+}
+
+// FalsePositiveRate returns 1 − Specificity.
+func (q SourceQuality) FalsePositiveRate() float64 { return 1 - q.Specificity }
+
+// FalseNegativeRate returns 1 − Sensitivity.
+func (q SourceQuality) FalseNegativeRate() float64 { return 1 - q.Sensitivity }

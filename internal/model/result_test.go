@@ -1,0 +1,48 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestResultPredictAndTruthTable(t *testing.T) {
+	ds := Build(table1DB())
+	r := NewResult("test", ds)
+	if len(r.Prob) != ds.NumFacts() {
+		t.Fatalf("Prob sized %d", len(r.Prob))
+	}
+	r.Prob = []float64{0.9, 0.5, 0.49, 0.1, 1}
+	if !r.Predict(0, 0.5) || !r.Predict(1, 0.5) || r.Predict(2, 0.5) || r.Predict(3, 0.5) {
+		t.Fatal("Predict threshold semantics wrong (>= threshold is true)")
+	}
+	tt := r.TruthTable(0.5)
+	want := []bool{true, true, false, false, true}
+	for i := range want {
+		if tt[i] != want[i] {
+			t.Fatalf("TruthTable = %v, want %v", tt, want)
+		}
+	}
+}
+
+func TestResultValidate(t *testing.T) {
+	r := &Result{Method: "m", Prob: []float64{0, 0.5, 1}}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{-0.01, 1.01, math.NaN()} {
+		r.Prob[1] = bad
+		if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "probability") {
+			t.Fatalf("Validate(%v) = %v", bad, err)
+		}
+	}
+}
+
+func TestSourceQualityDerived(t *testing.T) {
+	q := SourceQuality{Sensitivity: 0.8, Specificity: 0.95}
+	if !almost(q.FalseNegativeRate(), 0.2) || !almost(q.FalsePositiveRate(), 0.05) {
+		t.Fatalf("derived rates: %v %v", q.FalseNegativeRate(), q.FalsePositiveRate())
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }

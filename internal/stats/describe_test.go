@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Sum(xs) != 10 {
+		t.Fatalf("Sum = %v", Sum(xs))
+	}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Sum(nil) != 0 {
+		t.Fatal("Sum(nil) != 0")
+	}
+}
+
+func TestMeanPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1 denominator: 32/7.
+	want := 32.0 / 7
+	if got := Variance(xs); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(want), 1e-12) {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Fatal("Variance of singleton != 0")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if Min(xs) != 1 || Max(xs) != 9 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if got := Median([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := Median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20}, {0.125, 15},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestQuantileProperty(t *testing.T) {
+	f := func(raw []float64, qRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q := float64(qRaw) / 255
+		v := Quantile(xs, q)
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		return v >= s[0] && v <= s[len(s)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	ci := MeanCI(xs, 0.95)
+	if ci.Mean != 5.5 {
+		t.Fatalf("CI mean = %v", ci.Mean)
+	}
+	if !(ci.Lower < ci.Mean && ci.Mean < ci.Upper) {
+		t.Fatalf("CI not ordered: %+v", ci)
+	}
+	// 95% z = 1.96, se = sd/sqrt(10).
+	se := StdDev(xs) / math.Sqrt(10)
+	wantHalf := 1.959963984540054 * se
+	if !almostEqual(ci.Upper-ci.Mean, wantHalf, 1e-9) {
+		t.Fatalf("CI half-width = %v, want %v", ci.Upper-ci.Mean, wantHalf)
+	}
+	// Wider level -> wider interval.
+	ci99 := MeanCI(xs, 0.99)
+	if ci99.Upper-ci99.Lower <= ci.Upper-ci.Lower {
+		t.Fatal("99% CI not wider than 95% CI")
+	}
+}
+
+func TestMeanCISingleton(t *testing.T) {
+	ci := MeanCI([]float64{4.2}, 0.95)
+	if ci.Lower != 4.2 || ci.Upper != 4.2 {
+		t.Fatalf("singleton CI = %+v", ci)
+	}
+}
+
+func TestMeanCIPanicsOnBadLevel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MeanCI([]float64{1, 2}, 1.5)
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp wrong")
+	}
+}

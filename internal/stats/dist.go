@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bernoulli draws a {0,1} sample that is 1 with probability p.
+// It panics if p is outside [0, 1].
+func (g *RNG) Bernoulli(p float64) int {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("stats: Bernoulli parameter %v outside [0,1]", p))
+	}
+	if g.r.Float64() < p {
+		return 1
+	}
+	return 0
+}
+
+// Gamma draws a sample from the Gamma distribution with shape alpha > 0 and
+// scale 1, using the Marsaglia–Tsang squeeze method, with the standard
+// boosting transform for alpha < 1.
+func (g *RNG) Gamma(alpha float64) float64 {
+	if alpha <= 0 || math.IsNaN(alpha) {
+		panic(fmt.Sprintf("stats: Gamma shape %v must be positive", alpha))
+	}
+	if alpha < 1 {
+		// Boost: if X ~ Gamma(alpha+1) and U ~ Uniform(0,1),
+		// X * U^(1/alpha) ~ Gamma(alpha).
+		u := g.r.Float64()
+		for u == 0 {
+			u = g.r.Float64()
+		}
+		return g.Gamma(alpha+1) * math.Pow(u, 1/alpha)
+	}
+	d := alpha - 1.0/3.0
+	c := 1.0 / math.Sqrt(9.0*d)
+	for {
+		var x, v float64
+		for {
+			x = g.r.NormFloat64()
+			v = 1.0 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := g.r.Float64()
+		if u < 1.0-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1.0-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Beta draws a sample from the Beta(a, b) distribution via two Gamma draws.
+// It panics if a or b is not positive.
+func (g *RNG) Beta(a, b float64) float64 {
+	if a <= 0 || b <= 0 || math.IsNaN(a) || math.IsNaN(b) {
+		panic(fmt.Sprintf("stats: Beta parameters (%v, %v) must be positive", a, b))
+	}
+	x := g.Gamma(a)
+	y := g.Gamma(b)
+	if x == 0 && y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// Binomial draws the number of successes in n Bernoulli(p) trials. For small
+// n it sums individual trials; for large n it uses the BTPE-free inversion
+// by repeated geometric skips, which is adequate for the library's scales.
+func (g *RNG) Binomial(n int, p float64) int {
+	if n < 0 {
+		panic("stats: Binomial n must be non-negative")
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("stats: Binomial parameter %v outside [0,1]", p))
+	}
+	if p == 0 || n == 0 {
+		return 0
+	}
+	if p == 1 {
+		return n
+	}
+	// Exploit symmetry to keep p <= 1/2 for the geometric-skip method.
+	if p > 0.5 {
+		return n - g.Binomial(n, 1-p)
+	}
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if g.r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	// Geometric skip: expected work O(n*p).
+	k := 0
+	i := 0
+	logq := math.Log1p(-p)
+	for {
+		u := g.r.Float64()
+		for u == 0 {
+			u = g.r.Float64()
+		}
+		i += int(math.Log(u)/logq) + 1
+		if i > n {
+			return k
+		}
+		k++
+	}
+}
+
+// Categorical draws an index in {0,...,len(w)-1} with probability
+// proportional to non-negative weights w. It panics if weights are empty,
+// negative, or sum to zero.
+func (g *RNG) Categorical(w []float64) int {
+	if len(w) == 0 {
+		panic("stats: Categorical needs at least one weight")
+	}
+	total := 0.0
+	for i, x := range w {
+		if x < 0 || math.IsNaN(x) {
+			panic(fmt.Sprintf("stats: Categorical weight %d is %v", i, x))
+		}
+		total += x
+	}
+	if total <= 0 {
+		panic("stats: Categorical weights sum to zero")
+	}
+	u := g.r.Float64() * total
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		if u < acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// TruncatedBeta draws from Beta(a, b) conditioned on [lo, hi] by rejection.
+// It is used by the synthetic corpus generators to keep source quality in a
+// prescribed band. It panics on an empty interval.
+func (g *RNG) TruncatedBeta(a, b, lo, hi float64) float64 {
+	if !(lo < hi) || lo < 0 || hi > 1 {
+		panic(fmt.Sprintf("stats: TruncatedBeta interval [%v, %v] invalid", lo, hi))
+	}
+	for i := 0; i < 10000; i++ {
+		x := g.Beta(a, b)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	// Probability mass in the interval is vanishingly small; fall back to a
+	// uniform draw inside it rather than looping forever.
+	return lo + g.r.Float64()*(hi-lo)
+}

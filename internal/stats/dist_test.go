@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBernoulliExtremes(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if g.Bernoulli(0) != 0 {
+			t.Fatal("Bernoulli(0) returned 1")
+		}
+		if g.Bernoulli(1) != 1 {
+			t.Fatal("Bernoulli(1) returned 0")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	g := NewRNG(2)
+	n, hits := 200000, 0
+	for i := 0; i < n; i++ {
+		hits += g.Bernoulli(0.7)
+	}
+	p := float64(hits) / float64(n)
+	if math.Abs(p-0.7) > 0.01 {
+		t.Fatalf("Bernoulli(0.7) frequency %v", p)
+	}
+}
+
+func TestBernoulliPanicsOutOfRange(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for p=%v", p)
+				}
+			}()
+			NewRNG(1).Bernoulli(p)
+		}()
+	}
+}
+
+// moments draws n samples and returns mean and variance.
+func moments(n int, draw func() float64) (mean, variance float64) {
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := draw()
+		sum += x
+		sumsq += x * x
+	}
+	mean = sum / float64(n)
+	variance = sumsq/float64(n) - mean*mean
+	return mean, variance
+}
+
+func TestGammaMoments(t *testing.T) {
+	g := NewRNG(3)
+	for _, alpha := range []float64{0.5, 1, 2.5, 10} {
+		mean, variance := moments(200000, func() float64 { return g.Gamma(alpha) })
+		if math.Abs(mean-alpha) > 0.05*alpha+0.02 {
+			t.Errorf("Gamma(%v) mean %v, want %v", alpha, mean, alpha)
+		}
+		if math.Abs(variance-alpha) > 0.15*alpha+0.05 {
+			t.Errorf("Gamma(%v) variance %v, want %v", alpha, variance, alpha)
+		}
+	}
+}
+
+func TestGammaPositive(t *testing.T) {
+	g := NewRNG(4)
+	for i := 0; i < 10000; i++ {
+		if x := g.Gamma(0.3); x < 0 || math.IsNaN(x) {
+			t.Fatalf("Gamma(0.3) returned %v", x)
+		}
+	}
+}
+
+func TestGammaPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for alpha <= 0")
+		}
+	}()
+	NewRNG(1).Gamma(0)
+}
+
+func TestBetaMoments(t *testing.T) {
+	g := NewRNG(5)
+	cases := [][2]float64{{1, 1}, {10, 90}, {90, 10}, {0.5, 0.5}, {50, 50}}
+	for _, c := range cases {
+		a, b := c[0], c[1]
+		want := a / (a + b)
+		wantVar := a * b / ((a + b) * (a + b) * (a + b + 1))
+		mean, variance := moments(100000, func() float64 { return g.Beta(a, b) })
+		if math.Abs(mean-want) > 0.01 {
+			t.Errorf("Beta(%v,%v) mean %v, want %v", a, b, mean, want)
+		}
+		if math.Abs(variance-wantVar) > 0.1*wantVar+0.002 {
+			t.Errorf("Beta(%v,%v) variance %v, want %v", a, b, variance, wantVar)
+		}
+	}
+}
+
+func TestBetaRangeProperty(t *testing.T) {
+	g := NewRNG(6)
+	f := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw%1000)/10 + 0.1
+		b := float64(bRaw%1000)/10 + 0.1
+		x := g.Beta(a, b)
+		return x >= 0 && x <= 1 && !math.IsNaN(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	g := NewRNG(7)
+	for _, c := range []struct {
+		n int
+		p float64
+	}{{10, 0.5}, {100, 0.1}, {1000, 0.01}, {1000, 0.99}, {50, 0.7}} {
+		mean, _ := moments(20000, func() float64 { return float64(g.Binomial(c.n, c.p)) })
+		want := float64(c.n) * c.p
+		sd := math.Sqrt(float64(c.n) * c.p * (1 - c.p))
+		if math.Abs(mean-want) > 4*sd/math.Sqrt(20000)+0.05 {
+			t.Errorf("Binomial(%d,%v) mean %v, want %v", c.n, c.p, mean, want)
+		}
+	}
+}
+
+func TestBinomialBounds(t *testing.T) {
+	g := NewRNG(8)
+	f := func(nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw)
+		p := float64(pRaw) / 255
+		k := g.Binomial(n, p)
+		return k >= 0 && k <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialExtremes(t *testing.T) {
+	g := NewRNG(9)
+	if g.Binomial(100, 0) != 0 {
+		t.Fatal("Binomial(n, 0) != 0")
+	}
+	if g.Binomial(100, 1) != 100 {
+		t.Fatal("Binomial(n, 1) != n")
+	}
+	if g.Binomial(0, 0.5) != 0 {
+		t.Fatal("Binomial(0, p) != 0")
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	g := NewRNG(10)
+	w := []float64{1, 2, 3, 4}
+	counts := make([]int, 4)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[g.Categorical(w)]++
+	}
+	for i, c := range counts {
+		want := w[i] / 10
+		got := float64(c) / float64(n)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("Categorical weight %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalSingleton(t *testing.T) {
+	g := NewRNG(11)
+	for i := 0; i < 10; i++ {
+		if g.Categorical([]float64{5}) != 0 {
+			t.Fatal("singleton categorical returned nonzero index")
+		}
+	}
+}
+
+func TestCategoricalZeroWeightNeverDrawn(t *testing.T) {
+	g := NewRNG(12)
+	for i := 0; i < 10000; i++ {
+		if got := g.Categorical([]float64{0, 1, 0}); got != 1 {
+			t.Fatalf("drew zero-weight index %d", got)
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	cases := [][]float64{{}, {0, 0}, {-1, 2}}
+	for _, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for weights %v", w)
+				}
+			}()
+			NewRNG(1).Categorical(w)
+		}()
+	}
+}
+
+func TestTruncatedBeta(t *testing.T) {
+	g := NewRNG(13)
+	for i := 0; i < 5000; i++ {
+		x := g.TruncatedBeta(2, 5, 0.2, 0.6)
+		if x < 0.2 || x > 0.6 {
+			t.Fatalf("TruncatedBeta returned %v outside [0.2, 0.6]", x)
+		}
+	}
+	// Vanishing-mass interval falls back to uniform inside the interval.
+	x := g.TruncatedBeta(1000, 1, 0.0001, 0.0002)
+	if x < 0.0001 || x > 0.0002 {
+		t.Fatalf("fallback returned %v outside interval", x)
+	}
+}
+
+func TestTruncatedBetaPanicsOnEmptyInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for lo >= hi")
+		}
+	}()
+	NewRNG(1).TruncatedBeta(1, 1, 0.5, 0.5)
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Autocovariance returns the lag-k sample autocovariance of xs (biased,
+// 1/n normalization, the convention used by ESS estimators).
+func Autocovariance(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag < 0 || lag >= n {
+		panic(fmt.Sprintf("stats: autocovariance lag %d outside [0, %d)", lag, n))
+	}
+	m := Mean(xs)
+	s := 0.0
+	for i := 0; i+lag < n; i++ {
+		s += (xs[i] - m) * (xs[i+lag] - m)
+	}
+	return s / float64(n)
+}
+
+// EffectiveSampleSize estimates the number of independent samples carried
+// by the autocorrelated MCMC series xs, using Geyer's initial positive
+// sequence estimator: sum consecutive autocorrelation pairs while their
+// sum stays positive. For an i.i.d. series it returns ≈ len(xs); for a
+// constant series it returns len(xs) (no information either way, but no
+// autocorrelation signal to penalize).
+func EffectiveSampleSize(xs []float64) float64 {
+	n := len(xs)
+	if n < 4 {
+		return float64(n)
+	}
+	c0 := Autocovariance(xs, 0)
+	if c0 == 0 {
+		return float64(n)
+	}
+	sum := 0.0
+	for k := 1; k+1 < n; k += 2 {
+		pair := Autocovariance(xs, k) + Autocovariance(xs, k+1)
+		if pair <= 0 {
+			break
+		}
+		sum += pair
+	}
+	tau := 1 + 2*sum/c0 // integrated autocorrelation time
+	if tau < 1 {
+		tau = 1
+	}
+	return float64(n) / tau
+}
+
+// GewekeZ computes Geweke's convergence diagnostic: a z-score comparing
+// the mean of the first `frac1` of the chain against the mean of the last
+// `frac2`, with variances estimated by batch means. |z| below ~2 is
+// consistent with stationarity. Standard fractions are 0.1 and 0.5.
+// It returns an error when the chain is too short to form batches.
+func GewekeZ(xs []float64, frac1, frac2 float64) (float64, error) {
+	n := len(xs)
+	if frac1 <= 0 || frac2 <= 0 || frac1+frac2 > 1 {
+		return 0, fmt.Errorf("stats: Geweke fractions (%v, %v) invalid", frac1, frac2)
+	}
+	n1 := int(float64(n) * frac1)
+	n2 := int(float64(n) * frac2)
+	if n1 < 8 || n2 < 8 {
+		return 0, fmt.Errorf("stats: chain of %d too short for Geweke (%d, %d)", n, n1, n2)
+	}
+	a := xs[:n1]
+	b := xs[n-n2:]
+	va, err := batchMeanVariance(a)
+	if err != nil {
+		return 0, err
+	}
+	vb, err := batchMeanVariance(b)
+	if err != nil {
+		return 0, err
+	}
+	den := math.Sqrt(va + vb)
+	if den == 0 {
+		return 0, nil // both segments constant and equal-varianced
+	}
+	return (Mean(a) - Mean(b)) / den, nil
+}
+
+// batchMeanVariance estimates Var(mean(xs)) for an autocorrelated series
+// by splitting it into sqrt(n) batches and using the variance of batch
+// means.
+func batchMeanVariance(xs []float64) (float64, error) {
+	n := len(xs)
+	b := int(math.Sqrt(float64(n)))
+	if b < 2 {
+		return 0, fmt.Errorf("stats: series of %d too short for batch means", n)
+	}
+	size := n / b
+	means := make([]float64, 0, b)
+	for i := 0; i+size <= n; i += size {
+		means = append(means, Mean(xs[i:i+size]))
+	}
+	return Variance(means) / float64(len(means)), nil
+}
+
+// GelmanRubin computes the potential scale reduction factor R̂ over
+// parallel chains of equal length: values near 1 indicate the chains have
+// mixed into the same distribution; above ~1.1 they have not. At least
+// two chains of at least four samples are required. When all chains are
+// constant and identical, R̂ is 1 by convention.
+func GelmanRubin(chains [][]float64) (float64, error) {
+	m := len(chains)
+	if m < 2 {
+		return 0, fmt.Errorf("stats: Gelman-Rubin needs >= 2 chains, got %d", m)
+	}
+	n := len(chains[0])
+	if n < 4 {
+		return 0, fmt.Errorf("stats: Gelman-Rubin needs >= 4 samples per chain, got %d", n)
+	}
+	for _, c := range chains {
+		if len(c) != n {
+			return 0, fmt.Errorf("stats: Gelman-Rubin chains have unequal lengths")
+		}
+	}
+	means := make([]float64, m)
+	vars := make([]float64, m)
+	for i, c := range chains {
+		means[i] = Mean(c)
+		vars[i] = Variance(c)
+	}
+	w := Mean(vars)                   // within-chain variance
+	b := float64(n) * Variance(means) // between-chain variance
+	if w == 0 {
+		if b == 0 {
+			return 1, nil
+		}
+		return math.Inf(1), nil
+	}
+	varPlus := (float64(n-1)/float64(n))*w + b/float64(n)
+	return math.Sqrt(varPlus / w), nil
+}

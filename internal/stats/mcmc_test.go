@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAutocovariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	// Lag 0 is the biased variance: mean 2.5, ss = 5, /4 = 1.25.
+	if got := Autocovariance(xs, 0); !almostEqual(got, 1.25, 1e-12) {
+		t.Fatalf("lag-0 autocovariance = %v", got)
+	}
+	// Hand-computed lag 1: ((1-2.5)(2-2.5)+(2-2.5)(3-2.5)+(3-2.5)(4-2.5))/4.
+	want := ((-1.5)*(-0.5) + (-0.5)*0.5 + 0.5*1.5) / 4
+	if got := Autocovariance(xs, 1); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("lag-1 autocovariance = %v, want %v", got, want)
+	}
+}
+
+func TestAutocovariancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for lag >= n")
+		}
+	}()
+	Autocovariance([]float64{1, 2}, 2)
+}
+
+func TestEffectiveSampleSizeIID(t *testing.T) {
+	g := NewRNG(3)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = g.NormFloat64()
+	}
+	ess := EffectiveSampleSize(xs)
+	if ess < 3000 || ess > 5500 {
+		t.Fatalf("ESS of iid series = %v, want near 5000", ess)
+	}
+}
+
+func TestEffectiveSampleSizeCorrelated(t *testing.T) {
+	// AR(1) with phi = 0.9 has integrated autocorrelation time
+	// (1+phi)/(1-phi) = 19, so ESS ≈ n/19.
+	g := NewRNG(4)
+	n := 20000
+	xs := make([]float64, n)
+	for i := 1; i < n; i++ {
+		xs[i] = 0.9*xs[i-1] + g.NormFloat64()
+	}
+	ess := EffectiveSampleSize(xs)
+	want := float64(n) / 19
+	if ess < want/2 || ess > want*2 {
+		t.Fatalf("ESS of AR(1) series = %v, want near %v", ess, want)
+	}
+}
+
+func TestEffectiveSampleSizeEdgeCases(t *testing.T) {
+	if got := EffectiveSampleSize([]float64{1, 2}); got != 2 {
+		t.Fatalf("short-series ESS = %v", got)
+	}
+	if got := EffectiveSampleSize([]float64{5, 5, 5, 5, 5}); got != 5 {
+		t.Fatalf("constant-series ESS = %v", got)
+	}
+}
+
+func TestGewekeStationary(t *testing.T) {
+	g := NewRNG(5)
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = g.NormFloat64()
+	}
+	z, err := GewekeZ(xs, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z) > 3 {
+		t.Fatalf("Geweke z = %v for stationary chain", z)
+	}
+}
+
+func TestGewekeDetectsDrift(t *testing.T) {
+	g := NewRNG(6)
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = float64(i)/400 + g.NormFloat64()*0.1 // strong upward drift
+	}
+	z, err := GewekeZ(xs, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z) < 5 {
+		t.Fatalf("Geweke z = %v, drift should be flagged", z)
+	}
+}
+
+func TestGewekeErrors(t *testing.T) {
+	if _, err := GewekeZ([]float64{1, 2, 3}, 0.1, 0.5); err == nil {
+		t.Fatal("expected too-short error")
+	}
+	xs := make([]float64, 1000)
+	if _, err := GewekeZ(xs, 0.6, 0.6); err == nil {
+		t.Fatal("expected invalid-fractions error")
+	}
+}
+
+func TestGelmanRubinMixed(t *testing.T) {
+	g := NewRNG(7)
+	chains := make([][]float64, 4)
+	for c := range chains {
+		chains[c] = make([]float64, 2000)
+		for i := range chains[c] {
+			chains[c][i] = g.NormFloat64()
+		}
+	}
+	r, err := GelmanRubin(chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.95 || r > 1.05 {
+		t.Fatalf("R-hat of well-mixed chains = %v", r)
+	}
+}
+
+func TestGelmanRubinDivergent(t *testing.T) {
+	g := NewRNG(8)
+	chains := make([][]float64, 3)
+	for c := range chains {
+		chains[c] = make([]float64, 500)
+		for i := range chains[c] {
+			chains[c][i] = float64(c)*10 + g.NormFloat64() // separated modes
+		}
+	}
+	r, err := GelmanRubin(chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 2 {
+		t.Fatalf("R-hat of divergent chains = %v, want >> 1", r)
+	}
+}
+
+func TestGelmanRubinEdgeCases(t *testing.T) {
+	if _, err := GelmanRubin([][]float64{{1, 2, 3, 4}}); err == nil {
+		t.Fatal("expected too-few-chains error")
+	}
+	if _, err := GelmanRubin([][]float64{{1, 2}, {1, 2}}); err == nil {
+		t.Fatal("expected too-short error")
+	}
+	if _, err := GelmanRubin([][]float64{{1, 2, 3, 4}, {1, 2, 3}}); err == nil {
+		t.Fatal("expected unequal-length error")
+	}
+	// Identical constant chains: R-hat 1 by convention.
+	r, err := GelmanRubin([][]float64{{1, 1, 1, 1}, {1, 1, 1, 1}})
+	if err != nil || r != 1 {
+		t.Fatalf("constant identical chains: r=%v err=%v", r, err)
+	}
+	// Constant but different chains: +Inf.
+	r, err = GelmanRubin([][]float64{{0, 0, 0, 0}, {1, 1, 1, 1}})
+	if err != nil || !math.IsInf(r, 1) {
+		t.Fatalf("constant divergent chains: r=%v err=%v", r, err)
+	}
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Regression holds the result of an ordinary least-squares fit of
+// y = Intercept + Slope*x, together with the coefficient of determination
+// R² that Figure 6 of the paper reports for runtime-vs-claims linearity.
+type Regression struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+	N         int
+}
+
+// LinearRegression fits y = a + b*x by ordinary least squares. It returns
+// an error when the inputs have mismatched lengths, fewer than two points,
+// or zero variance in x.
+func LinearRegression(x, y []float64) (Regression, error) {
+	if len(x) != len(y) {
+		return Regression{}, fmt.Errorf("stats: regression inputs have lengths %d and %d", len(x), len(y))
+	}
+	n := len(x)
+	if n < 2 {
+		return Regression{}, fmt.Errorf("stats: regression needs at least 2 points, got %d", n)
+	}
+	mx := Mean(x)
+	my := Mean(y)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Regression{}, fmt.Errorf("stats: regression x values are constant")
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 1.0
+	if syy > 0 {
+		// 1 - SSE/SST computed directly for numerical clarity.
+		sse := 0.0
+		for i := 0; i < n; i++ {
+			e := y[i] - (a + b*x[i])
+			sse += e * e
+		}
+		r2 = 1 - sse/syy
+	}
+	return Regression{Slope: b, Intercept: a, R2: r2, N: n}, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (r Regression) Predict(x float64) float64 { return r.Intercept + r.Slope*x }
+
+// PearsonCorrelation returns the sample Pearson correlation of x and y.
+// It returns an error on mismatched lengths, fewer than two points, or a
+// constant input.
+func PearsonCorrelation(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: correlation inputs have lengths %d and %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("stats: correlation needs at least 2 points, got %d", len(x))
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, syy, sxy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: correlation undefined for constant input")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// SpearmanCorrelation returns the Spearman rank correlation of x and y,
+// used to compare inferred source-quality rankings against generator truth
+// in the Table 8 quantitative check. Ties receive average ranks.
+func SpearmanCorrelation(x, y []float64) (float64, error) {
+	rx := ranks(x)
+	ry := ranks(y)
+	return PearsonCorrelation(rx, ry)
+}
+
+// ranks returns average ranks (1-based) of xs.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort by value: n is small wherever ranks are used.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && xs[idx[j]] < xs[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// MeanAbsoluteError returns the mean absolute difference between paired
+// slices. It returns an error on mismatched lengths or empty input.
+func MeanAbsoluteError(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: MAE inputs have lengths %d and %d", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return 0, fmt.Errorf("stats: MAE of empty input")
+	}
+	s := 0.0
+	for i := range x {
+		s += math.Abs(x[i] - y[i])
+	}
+	return s / float64(len(x)), nil
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinearRegressionExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 5, 7, 9, 11} // y = 1 + 2x
+	r, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.Slope, 2, 1e-12) || !almostEqual(r.Intercept, 1, 1e-12) {
+		t.Fatalf("fit = %+v", r)
+	}
+	if !almostEqual(r.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v, want 1", r.R2)
+	}
+	if !almostEqual(r.Predict(10), 21, 1e-12) {
+		t.Fatalf("Predict(10) = %v", r.Predict(10))
+	}
+}
+
+func TestLinearRegressionNoisy(t *testing.T) {
+	g := NewRNG(15)
+	var x, y []float64
+	for i := 0; i < 500; i++ {
+		xi := float64(i)
+		x = append(x, xi)
+		y = append(y, 4+0.5*xi+g.NormFloat64()*3)
+	}
+	r, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Slope-0.5) > 0.01 {
+		t.Fatalf("slope = %v", r.Slope)
+	}
+	if r.R2 < 0.99 {
+		t.Fatalf("R2 = %v, want near 1 for low noise", r.R2)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := LinearRegression([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("expected too-few-points error")
+	}
+	if _, err := LinearRegression([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected constant-x error")
+	}
+}
+
+func TestLinearRegressionConstantY(t *testing.T) {
+	r, err := LinearRegression([]float64{1, 2, 3}, []float64{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.Slope, 0, 1e-12) || !almostEqual(r.Intercept, 7, 1e-12) || r.R2 != 1 {
+		t.Fatalf("constant-y fit = %+v", r)
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if r, err := PearsonCorrelation(x, []float64{2, 4, 6, 8}); err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("perfect positive correlation = %v (%v)", r, err)
+	}
+	if r, err := PearsonCorrelation(x, []float64{8, 6, 4, 2}); err != nil || !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("perfect negative correlation = %v (%v)", r, err)
+	}
+	if _, err := PearsonCorrelation(x, []float64{1, 1, 1, 1}); err == nil {
+		t.Fatal("expected constant-input error")
+	}
+	if _, err := PearsonCorrelation([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("expected too-few-points error")
+	}
+}
+
+func TestSpearmanCorrelation(t *testing.T) {
+	// Monotone but nonlinear relation has Spearman exactly 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	r, err := SpearmanCorrelation(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("Spearman of monotone relation = %v", r)
+	}
+	// Reversed order gives -1.
+	yr := []float64{125, 64, 27, 8, 1}
+	if r, err = SpearmanCorrelation(x, yr); err != nil || !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("Spearman reversed = %v (%v)", r, err)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// Ties get average ranks; known hand-computed value.
+	x := []float64{1, 2, 2, 3}
+	y := []float64{1, 2, 3, 4}
+	r, err := SpearmanCorrelation(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ranks x: 1, 2.5, 2.5, 4; ranks y: 1, 2, 3, 4 -> Pearson of those.
+	want, err := PearsonCorrelation([]float64{1, 2.5, 2.5, 4}, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, want, 1e-12) {
+		t.Fatalf("Spearman with ties = %v, want %v", r, want)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+	got = ranks([]float64{5, 5, 5})
+	for _, r := range got {
+		if r != 2 {
+			t.Fatalf("tied ranks = %v, want all 2", got)
+		}
+	}
+}
+
+func TestMeanAbsoluteError(t *testing.T) {
+	mae, err := MeanAbsoluteError([]float64{1, 2, 3}, []float64{2, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(mae, 1, 1e-12) {
+		t.Fatalf("MAE = %v", mae)
+	}
+	if _, err := MeanAbsoluteError([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := MeanAbsoluteError(nil, nil); err == nil {
+		t.Fatal("expected empty-input error")
+	}
+}

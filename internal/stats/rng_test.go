@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestNewRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	a := parent.Split(1)
+	b := parent.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a := NewRNG(7).Split(3)
+	b := NewRNG(7).Split(3)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same-label splits diverged at draw %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		x := g.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 returned %v outside [0,1)", x)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	g := NewRNG(3)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(n)
+	if p < 0.28 || p > 0.32 {
+		t.Fatalf("Bool(0.3) frequency %v far from 0.3", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := NewRNG(5)
+	p := g.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	g := NewRNG(6)
+	s := g.SampleWithoutReplacement(20, 7)
+	if len(s) != 7 {
+		t.Fatalf("got %d samples, want 7", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid sample %v", s)
+		}
+		seen[v] = true
+	}
+	// Full sample and empty sample edge cases.
+	if got := g.SampleWithoutReplacement(5, 5); len(got) != 5 {
+		t.Fatalf("full sample has %d elements", len(got))
+	}
+	if got := g.SampleWithoutReplacement(5, 0); len(got) != 0 {
+		t.Fatalf("empty sample has %d elements", len(got))
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	NewRNG(1).SampleWithoutReplacement(3, 4)
+}
+
+func TestSampleWithoutReplacementProperty(t *testing.T) {
+	g := NewRNG(11)
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw) % (n + 1)
+		s := g.SampleWithoutReplacement(n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	g := NewRNG(9)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	g.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLogGammaKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{1, 0},
+		{2, 0},
+		{3, math.Log(2)},
+		{4, math.Log(6)},
+		{0.5, math.Log(math.Sqrt(math.Pi))},
+	}
+	for _, c := range cases {
+		if got := LogGamma(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("LogGamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLogBetaSymmetryAndKnown(t *testing.T) {
+	// B(1,1) = 1, B(2,3) = 1/12.
+	if got := LogBeta(1, 1); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("LogBeta(1,1) = %v", got)
+	}
+	if got := LogBeta(2, 3); !almostEqual(got, math.Log(1.0/12), 1e-12) {
+		t.Errorf("LogBeta(2,3) = %v, want %v", got, math.Log(1.0/12))
+	}
+	f := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw%500)/10 + 0.1
+		b := float64(bRaw%500)/10 + 0.1
+		return almostEqual(LogBeta(a, b), LogBeta(b, a), 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetaPDFIntegratesToOne(t *testing.T) {
+	for _, c := range [][2]float64{{2, 3}, {0.5, 0.5}, {10, 90}, {1, 1}} {
+		a, b := c[0], c[1]
+		const n = 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			x := (float64(i) + 0.5) / n
+			sum += BetaPDF(x, a, b) / n
+		}
+		if math.Abs(sum-1) > 0.01 {
+			t.Errorf("BetaPDF(%v,%v) integrates to %v", a, b, sum)
+		}
+	}
+}
+
+func TestBetaPDFOutsideSupport(t *testing.T) {
+	if BetaPDF(-0.1, 2, 2) != 0 || BetaPDF(1.1, 2, 2) != 0 {
+		t.Fatal("BetaPDF nonzero outside [0,1]")
+	}
+}
+
+func TestBetaCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, a, b, want float64 }{
+		{0.5, 1, 1, 0.5},      // uniform
+		{0.25, 1, 1, 0.25},    // uniform
+		{0.5, 2, 2, 0.5},      // symmetric
+		{0.5, 2, 1, 0.25},     // CDF x^2
+		{0.3, 2, 1, 0.09},     // CDF x^2
+		{0.3, 1, 2, 1 - 0.49}, // CDF 1-(1-x)^2
+	}
+	for _, c := range cases {
+		if got := BetaCDF(c.x, c.a, c.b); !almostEqual(got, c.want, 1e-10) {
+			t.Errorf("BetaCDF(%v,%v,%v) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBetaCDFBoundsAndMonotonicity(t *testing.T) {
+	if BetaCDF(0, 3, 4) != 0 || BetaCDF(1, 3, 4) != 1 {
+		t.Fatal("CDF endpoints wrong")
+	}
+	prev := 0.0
+	for i := 1; i <= 100; i++ {
+		x := float64(i) / 100
+		v := BetaCDF(x, 3.5, 7.2)
+		if v < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %v: %v < %v", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestBetaCDFAgainstSampling(t *testing.T) {
+	g := NewRNG(14)
+	a, b := 10.0, 90.0
+	x := 0.12
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if g.Beta(a, b) <= x {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	want := BetaCDF(x, a, b)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("empirical CDF %v vs analytic %v", got, want)
+	}
+}
+
+func TestBetaMeanMode(t *testing.T) {
+	if got := BetaMean(10, 90); !almostEqual(got, 0.1, 1e-12) {
+		t.Errorf("BetaMean = %v", got)
+	}
+	if got := BetaMode(3, 2); !almostEqual(got, 2.0/3, 1e-12) {
+		t.Errorf("BetaMode(3,2) = %v", got)
+	}
+	// Degenerate shapes fall back to the mean.
+	if got := BetaMode(0.5, 2); !almostEqual(got, BetaMean(0.5, 2), 1e-12) {
+		t.Errorf("BetaMode fallback = %v", got)
+	}
+}
+
+func TestNormalCDFKnown(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{3, 0.9986501019683699},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.z); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999} {
+		z := NormalQuantile(p)
+		if got := NormalCDF(z); !almostEqual(got, p, 1e-8) {
+			t.Errorf("NormalCDF(NormalQuantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for p=%v", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+func TestRegularizedIncompleteBetaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive parameter")
+		}
+	}()
+	RegularizedIncompleteBeta(0.5, 0, 1)
+}

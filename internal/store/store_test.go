@@ -1,0 +1,231 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"latenttruth/internal/model"
+	"latenttruth/internal/stats"
+)
+
+// makeDataset builds a small deterministic dataset: nE entities, each with
+// 2 facts, claimed by a rotating subset of 4 sources, labels on the first
+// two entities.
+func makeDataset(nE int) *model.Dataset {
+	db := model.NewRawDB()
+	for e := 0; e < nE; e++ {
+		for s := 0; s < 4; s++ {
+			if (e+s)%3 == 0 {
+				continue // source s skips this entity
+			}
+			db.Add(fmt.Sprintf("e%03d", e), fmt.Sprintf("a%03d-0", e), fmt.Sprintf("s%d", s))
+			if s%2 == 0 {
+				db.Add(fmt.Sprintf("e%03d", e), fmt.Sprintf("a%03d-1", e), fmt.Sprintf("s%d", s))
+			}
+		}
+	}
+	ds := model.Build(db)
+	for _, f := range ds.FactsByEntity[0] {
+		ds.Labels[f] = true
+	}
+	for _, f := range ds.FactsByEntity[1] {
+		ds.Labels[f] = false
+	}
+	return ds
+}
+
+func TestSummarize(t *testing.T) {
+	ds := makeDataset(10)
+	s := Summarize(ds)
+	if s.Entities != 10 || s.Facts != ds.NumFacts() || s.Claims != ds.NumClaims() {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.PositiveClaims+s.NegativeClaims != s.Claims {
+		t.Fatalf("claim split %+v", s)
+	}
+	if s.Labeled != len(ds.Labels) {
+		t.Fatalf("labeled = %d", s.Labeled)
+	}
+	if !strings.Contains(s.String(), "entities=10") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestSubsampleEntities(t *testing.T) {
+	ds := makeDataset(30)
+	sub := SubsampleEntities(ds, 10, stats.NewRNG(1))
+	if sub.NumEntities() != 10 {
+		t.Fatalf("subsample has %d entities", sub.NumEntities())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Oversized request copies everything.
+	all := SubsampleEntities(ds, 100, stats.NewRNG(1))
+	if all.NumEntities() != 30 || all.NumClaims() != ds.NumClaims() {
+		t.Fatal("oversized subsample should keep everything")
+	}
+	// Determinism.
+	a := SubsampleEntities(ds, 10, stats.NewRNG(7))
+	b := SubsampleEntities(ds, 10, stats.NewRNG(7))
+	if a.NumClaims() != b.NumClaims() || a.Entities[0] != b.Entities[0] {
+		t.Fatal("subsampling not deterministic")
+	}
+}
+
+func TestFilterEntitiesPreservesStructure(t *testing.T) {
+	ds := makeDataset(20)
+	kept := FilterEntities(ds, func(_ int, name string) bool { return name < "e010" })
+	if kept.NumEntities() != 10 {
+		t.Fatalf("kept %d entities", kept.NumEntities())
+	}
+	if err := kept.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Labels carried (entities e000 and e001 are kept).
+	if len(kept.Labels) != len(ds.Labels) {
+		t.Fatalf("labels: %d vs %d", len(kept.Labels), len(ds.Labels))
+	}
+	// Claim content preserved per (entity, attribute, source).
+	type key struct {
+		e, a, s string
+		o       bool
+	}
+	index := map[key]bool{}
+	for _, c := range ds.Claims {
+		f := ds.Facts[c.Fact]
+		index[key{ds.EntityName(f), f.Attribute, ds.Sources[c.Source], c.Observation}] = true
+	}
+	for _, c := range kept.Claims {
+		f := kept.Facts[c.Fact]
+		if !index[key{kept.EntityName(f), f.Attribute, kept.Sources[c.Source], c.Observation}] {
+			t.Fatalf("claim %+v not in original", c)
+		}
+	}
+}
+
+func TestFilterDropsUnusedSources(t *testing.T) {
+	db := model.NewRawDB()
+	db.Add("e1", "a", "s1")
+	db.Add("e2", "b", "s2")
+	ds := model.Build(db)
+	kept := FilterEntities(ds, func(_ int, name string) bool { return name == "e1" })
+	if kept.NumSources() != 1 || kept.Sources[0] != "s1" {
+		t.Fatalf("sources = %v", kept.Sources)
+	}
+}
+
+func TestConflictingOnly(t *testing.T) {
+	db := model.NewRawDB()
+	// e1: two facts, two sources -> kept.
+	db.Add("e1", "a", "s1")
+	db.Add("e1", "b", "s2")
+	// e2: one fact -> dropped.
+	db.Add("e2", "a", "s1")
+	// e3: two facts but only one source -> dropped.
+	db.Add("e3", "a", "s1")
+	db.Add("e3", "b", "s1")
+	ds := model.Build(db)
+	kept := ConflictingOnly(ds, 2, 2)
+	if kept.NumEntities() != 1 || kept.Entities[0] != "e1" {
+		t.Fatalf("kept %v", kept.Entities)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := makeDataset(5)
+	dbB := model.NewRawDB()
+	dbB.Add("x1", "a", "s0") // s0 shared with a
+	dbB.Add("x1", "b", "sX") // new source
+	dbB.Add("x2", "a", "sX")
+	b := model.Build(dbB)
+	b.Labels[0] = true
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumEntities() != a.NumEntities()+b.NumEntities() {
+		t.Fatalf("entities = %d", m.NumEntities())
+	}
+	if m.NumClaims() != a.NumClaims()+b.NumClaims() {
+		t.Fatalf("claims = %d", m.NumClaims())
+	}
+	// Shared source not duplicated.
+	count := 0
+	for _, s := range m.Sources {
+		if s == "s0" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("s0 appears %d times", count)
+	}
+	if len(m.Labels) != len(a.Labels)+len(b.Labels) {
+		t.Fatalf("labels = %d", len(m.Labels))
+	}
+}
+
+func TestMergeRejectsOverlap(t *testing.T) {
+	a := makeDataset(3)
+	if _, err := Merge(a, a); err == nil || !strings.Contains(err.Error(), "both datasets") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSplitEntities(t *testing.T) {
+	ds := makeDataset(17)
+	parts := SplitEntities(ds, 4)
+	if len(parts) != 4 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.NumEntities()
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != 17 {
+		t.Fatalf("parts cover %d entities", total)
+	}
+	// Re-merging parts reproduces the claim count.
+	claims := 0
+	for _, p := range parts {
+		claims += p.NumClaims()
+	}
+	if claims != ds.NumClaims() {
+		t.Fatalf("parts cover %d claims of %d", claims, ds.NumClaims())
+	}
+}
+
+func TestSplitEntitiesPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SplitEntities(makeDataset(3), 0)
+}
+
+// TestFilterProperty: any filter of a valid dataset yields a valid dataset
+// whose stats are bounded by the original.
+func TestFilterProperty(t *testing.T) {
+	ds := makeDataset(25)
+	f := func(mask uint32) bool {
+		kept := FilterEntities(ds, func(id int, _ string) bool { return mask&(1<<(id%25)) != 0 })
+		if err := kept.Validate(); err != nil {
+			return false
+		}
+		return kept.NumEntities() <= ds.NumEntities() &&
+			kept.NumFacts() <= ds.NumFacts() &&
+			kept.NumClaims() <= ds.NumClaims()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

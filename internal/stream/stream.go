@@ -1,0 +1,162 @@
+// Package stream implements the online / incremental integration mode of
+// §5.4: when data arrives as a stream of batches, source quality learned
+// on already-integrated batches becomes the prior for new batches, so the
+// model never needs to re-train on the cumulative data.
+//
+// Two §5.4 policies are provided:
+//
+//   - Online.Step: fit LTM on the new batch only, with each source's
+//     hyperparameters set to prior + expected confusion counts accumulated
+//     so far (full incremental learning);
+//   - Online.Predict: assume quality is unchanged over the medium term and
+//     apply the closed-form LTMinc posterior (Equation 3) — no sampling at
+//     all, the fastest path (Table 9's LTMinc row).
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"latenttruth/internal/core"
+	"latenttruth/internal/model"
+)
+
+// Online is a stateful incremental truth finder. It is not safe for
+// concurrent use.
+type Online struct {
+	base core.Config
+	// counts[source][i][j] accumulates expected confusion counts over all
+	// processed batches.
+	counts map[string]*[2][2]float64
+	// batches counts processed batches; factsSeen the cumulative facts.
+	batches   int
+	factsSeen int
+}
+
+// NewOnline returns an online truth finder with the given base
+// configuration. The base Priors must be fully specified (use
+// core.DefaultPriors sized to a typical batch when in doubt).
+func NewOnline(base core.Config) (*Online, error) {
+	if base.Priors == (core.Priors{}) {
+		return nil, fmt.Errorf("stream: base configuration needs explicit priors")
+	}
+	if err := base.Priors.Validate(); err != nil {
+		return nil, err
+	}
+	return &Online{base: base, counts: make(map[string]*[2][2]float64)}, nil
+}
+
+// Batches returns the number of batches processed by Step so far.
+func (o *Online) Batches() int { return o.batches }
+
+// FactsSeen returns the cumulative number of facts across processed batches.
+func (o *Online) FactsSeen() int { return o.factsSeen }
+
+// sourcePriors materializes per-source hyperparameters from the base
+// priors plus accumulated expected counts.
+func (o *Online) sourcePriors() map[string]core.Priors {
+	if len(o.counts) == 0 {
+		return nil
+	}
+	out := make(map[string]core.Priors, len(o.counts))
+	for name, e := range o.counts {
+		out[name] = core.Priors{
+			FP:   o.base.Priors.FP + e[0][1],
+			TN:   o.base.Priors.TN + e[0][0],
+			TP:   o.base.Priors.TP + e[1][1],
+			FN:   o.base.Priors.FN + e[1][0],
+			True: o.base.Priors.True,
+			Fls:  o.base.Priors.Fls,
+		}
+	}
+	return out
+}
+
+// Step integrates a new batch: it fits LTM on the batch with the
+// accumulated per-source quality priors, then folds the batch's expected
+// confusion counts into the accumulator. It returns the batch fit.
+func (o *Online) Step(batch *model.Dataset) (*core.FitResult, error) {
+	cfg := o.base
+	cfg.SourcePriors = o.sourcePriors()
+	fit, err := core.New(cfg).Fit(batch)
+	if err != nil {
+		return nil, fmt.Errorf("stream: batch %d: %w", o.batches, err)
+	}
+	e := core.ExpectedCounts(batch, fit.Prob)
+	for s, name := range batch.Sources {
+		acc, ok := o.counts[name]
+		if !ok {
+			acc = new([2][2]float64)
+			o.counts[name] = acc
+		}
+		for i := 0; i <= 1; i++ {
+			for j := 0; j <= 1; j++ {
+				acc[i][j] += e[s][i][j]
+			}
+		}
+	}
+	o.batches++
+	o.factsSeen += batch.NumFacts()
+	return fit, nil
+}
+
+// Refit performs §5.4's "periodically the model can then be retrained
+// batch-style on the total cumulative data": it fits LTM once on the
+// supplied cumulative dataset with the base priors (no carried
+// per-source priors, so stale estimates cannot compound) and REPLACES the
+// accumulated expected counts with the refit's. The caller is responsible
+// for retaining and merging the arrived batches (see store.Merge).
+// Batch and fact counters are reset to reflect the refit dataset.
+func (o *Online) Refit(cumulative *model.Dataset) (*core.FitResult, error) {
+	fit, err := core.New(o.base).Fit(cumulative)
+	if err != nil {
+		return nil, fmt.Errorf("stream: refit: %w", err)
+	}
+	e := core.ExpectedCounts(cumulative, fit.Prob)
+	o.counts = make(map[string]*[2][2]float64, cumulative.NumSources())
+	for s, name := range cumulative.Sources {
+		acc := new([2][2]float64)
+		*acc = e[s]
+		o.counts[name] = acc
+	}
+	o.batches = 1
+	o.factsSeen = cumulative.NumFacts()
+	return fit, nil
+}
+
+// Predict applies the closed-form LTMinc posterior (Equation 3) to a batch
+// using the quality accumulated so far, without updating any state. It is
+// the "source quality remains relatively unchanged over the medium term"
+// fast path of §5.4.
+func (o *Online) Predict(batch *model.Dataset) (*model.Result, error) {
+	inc, err := core.NewIncrementalFromQuality(o.Quality(), o.base.Priors)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	return inc.Infer(batch)
+}
+
+// Quality returns the current accumulated MAP quality estimate per source,
+// in lexicographic source-name order.
+func (o *Online) Quality() []model.SourceQuality {
+	names := make([]string, 0, len(o.counts))
+	for name := range o.counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	p := o.base.Priors
+	out := make([]model.SourceQuality, 0, len(names))
+	for _, name := range names {
+		e := o.counts[name]
+		tp, fn := e[1][1], e[1][0]
+		fp, tn := e[0][1], e[0][0]
+		out = append(out, model.SourceQuality{
+			Source:      name,
+			Sensitivity: (tp + p.TP) / (tp + fn + p.TP + p.FN),
+			Specificity: (tn + p.TN) / (tn + fp + p.TN + p.FP),
+			Precision:   (tp + p.TP) / (tp + fp + p.TP + p.FP),
+			Accuracy:    (tp + tn + p.TP + p.TN) / (tp + tn + fp + fn + p.TP + p.TN + p.FP + p.FN),
+		})
+	}
+	return out
+}

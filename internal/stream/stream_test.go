@@ -1,0 +1,239 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"latenttruth/internal/core"
+	"latenttruth/internal/store"
+	"latenttruth/internal/synth"
+)
+
+// testCorpus builds a small book-like corpus cheap enough for unit tests.
+func testCorpus(t *testing.T, seed int64) *synth.Corpus {
+	t.Helper()
+	spec := synth.CorpusSpec{
+		Name: "streamtest", NumEntities: 300,
+		TrueAttrWeights:  []float64{0.5, 0.4, 0.1},
+		FalseCandWeights: []float64{0.5, 0.4, 0.1},
+		LabelEntities:    40,
+		Seed:             seed,
+		Sources: []synth.SourceProfile{
+			{Name: "good", Coverage: 0.9, Sensitivity: 0.95, FPR: 0.02},
+			{Name: "lazy", Coverage: 0.8, Sensitivity: 0.5, FPR: 0.02},
+			{Name: "messy", Coverage: 0.8, Sensitivity: 0.85, FPR: 0.35},
+			{Name: "ok", Coverage: 0.7, Sensitivity: 0.8, FPR: 0.05},
+		},
+	}
+	c, err := synth.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewOnlineRequiresPriors(t *testing.T) {
+	if _, err := NewOnline(core.Config{}); err == nil {
+		t.Fatal("expected error without priors")
+	}
+	if _, err := NewOnline(core.Config{Priors: core.Priors{FP: -1}}); err == nil {
+		t.Fatal("expected error for invalid priors")
+	}
+	if _, err := NewOnline(core.Config{Priors: core.DefaultPriors(100)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineAccumulatesQuality(t *testing.T) {
+	c := testCorpus(t, 1)
+	batches := store.SplitEntities(c.Dataset, 3)
+	o, err := NewOnline(core.Config{Priors: core.DefaultPriors(300), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Batches() != 0 || o.FactsSeen() != 0 {
+		t.Fatal("fresh online state not empty")
+	}
+	for i, b := range batches {
+		if _, err := o.Step(b); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	if o.Batches() != 3 {
+		t.Fatalf("Batches = %d", o.Batches())
+	}
+	if o.FactsSeen() != c.Dataset.NumFacts() {
+		t.Fatalf("FactsSeen = %d, want %d", o.FactsSeen(), c.Dataset.NumFacts())
+	}
+	// Accumulated quality must separate the generator's good and messy
+	// sources on the specificity axis, and good vs lazy on sensitivity.
+	q := map[string]struct{ sens, spec float64 }{}
+	for _, sq := range o.Quality() {
+		q[sq.Source] = struct{ sens, spec float64 }{sq.Sensitivity, sq.Specificity}
+	}
+	if q["good"].spec <= q["messy"].spec {
+		t.Fatalf("specificity: good %v <= messy %v", q["good"].spec, q["messy"].spec)
+	}
+	if q["good"].sens <= q["lazy"].sens {
+		t.Fatalf("sensitivity: good %v <= lazy %v", q["good"].sens, q["lazy"].sens)
+	}
+}
+
+func TestOnlinePredictUsesAccumulatedQuality(t *testing.T) {
+	c := testCorpus(t, 2)
+	batches := store.SplitEntities(c.Dataset, 4)
+	o, err := NewOnline(core.Config{Priors: core.DefaultPriors(200), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches[:3] {
+		if _, err := o.Step(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := batches[3]
+	res, err := o.Predict(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := c.TruthOf(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for f, v := range truth {
+		if (res.Prob[f] >= 0.5) == v {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(truth))
+	if acc < 0.9 {
+		t.Fatalf("LTMinc accuracy on final batch = %v", acc)
+	}
+	// Predict must not mutate state.
+	if o.Batches() != 3 {
+		t.Fatalf("Predict changed batch count to %d", o.Batches())
+	}
+}
+
+func TestOnlineStepImprovesOverColdPredict(t *testing.T) {
+	// Predicting a batch from zero accumulated knowledge uses only prior
+	// means; after warming up on other batches, prediction should be at
+	// least as accurate.
+	c := testCorpus(t, 3)
+	batches := store.SplitEntities(c.Dataset, 4)
+	cold, err := NewOnline(core.Config{Priors: core.DefaultPriors(200), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewOnline(core.Config{Priors: core.DefaultPriors(200), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches[:3] {
+		if _, err := warm.Step(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := batches[3]
+	truth, err := c.TruthOf(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accOf := func(o *Online) float64 {
+		res, err := o.Predict(last)
+		if err != nil {
+			t.Fatal(err)
+		}
+		correct := 0
+		for f, v := range truth {
+			if (res.Prob[f] >= 0.5) == v {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(truth))
+	}
+	coldAcc, warmAcc := accOf(cold), accOf(warm)
+	if warmAcc < coldAcc-0.02 {
+		t.Fatalf("warm accuracy %v worse than cold %v", warmAcc, coldAcc)
+	}
+}
+
+func TestOnlineRefit(t *testing.T) {
+	c := testCorpus(t, 5)
+	batches := store.SplitEntities(c.Dataset, 3)
+	o, err := NewOnline(core.Config{Priors: core.DefaultPriors(300), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if _, err := o.Step(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	incrementalQ := o.Quality()
+	// Periodic batch refit on the cumulative data.
+	fit, err := o.Refit(c.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Batches() != 1 || o.FactsSeen() != c.Dataset.NumFacts() {
+		t.Fatalf("counters after refit: %d batches, %d facts", o.Batches(), o.FactsSeen())
+	}
+	refitQ := o.Quality()
+	if len(refitQ) != len(incrementalQ) {
+		t.Fatalf("quality rows: %d vs %d", len(refitQ), len(incrementalQ))
+	}
+	// Refit and incremental quality must broadly agree (same data).
+	byName := map[string]float64{}
+	for _, q := range incrementalQ {
+		byName[q.Source] = q.Sensitivity
+	}
+	for _, q := range refitQ {
+		if d := q.Sensitivity - byName[q.Source]; d > 0.15 || d < -0.15 {
+			t.Errorf("%s sensitivity drifted %v after refit", q.Source, d)
+		}
+	}
+	// Refit accuracy on the full corpus is high.
+	truth, err := c.TruthOf(c.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for f, v := range truth {
+		if (fit.Prob[f] >= 0.5) == v {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(truth)); acc < 0.9 {
+		t.Fatalf("refit accuracy %v", acc)
+	}
+}
+
+func TestOnlineQualityBounds(t *testing.T) {
+	c := testCorpus(t, 4)
+	o, err := NewOnline(core.Config{Priors: core.DefaultPriors(300), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Step(c.Dataset); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range o.Quality() {
+		for name, v := range map[string]float64{
+			"sens": q.Sensitivity, "spec": q.Specificity,
+			"prec": q.Precision, "acc": q.Accuracy,
+		} {
+			if v <= 0 || v >= 1 || math.IsNaN(v) {
+				t.Fatalf("%s %s = %v", q.Source, name, v)
+			}
+		}
+	}
+	// Quality list is sorted by source name.
+	qs := o.Quality()
+	for i := 1; i < len(qs); i++ {
+		if qs[i-1].Source > qs[i].Source {
+			t.Fatal("quality not sorted by source name")
+		}
+	}
+}

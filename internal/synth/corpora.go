@@ -1,0 +1,152 @@
+package synth
+
+import (
+	"fmt"
+
+	"latenttruth/internal/model"
+	"latenttruth/internal/stats"
+)
+
+// BookSpec returns the simulated stand-in for the paper's Book Author
+// Dataset (abebooks.com crawl: 1263 books, 2420 book–author facts, 48,153
+// claims, 879 seller sources, 100 labeled books). The regime being
+// preserved: a long tail of sellers, nearly all with high specificity, a
+// majority of which list only the first author (low effective sensitivity
+// via PositionDecay), plus a handful of sloppy sellers that introduce
+// wrong authors. Profiles are drawn deterministically from seed.
+func BookSpec(seed int64) CorpusSpec {
+	rng := stats.NewRNG(seed).Split(77)
+	const numSellers = 879
+	sources := make([]SourceProfile, 0, numSellers)
+	for i := 0; i < numSellers; i++ {
+		p := SourceProfile{Name: fmt.Sprintf("seller-%03d", i)}
+		switch {
+		case i < 12:
+			// Large aggregators: wide coverage, complete author lists.
+			p.Coverage = 0.30 + 0.25*rng.Float64()
+			p.Sensitivity = 0.88 + 0.10*rng.Float64()
+			p.FPR = 0.01 + 0.03*rng.Float64()
+			p.PositionDecay = 0.95
+		case i < 500:
+			// "First author only" sellers: tiny coverage, steep decay.
+			p.Coverage = 0.004 + 0.025*rng.Float64()
+			p.Sensitivity = 0.90 + 0.09*rng.Float64()
+			p.FPR = 0.005 + 0.03*rng.Float64()
+			p.PositionDecay = 0.30 + 0.15*rng.Float64()
+		case i < 850:
+			// Ordinary sellers: modest coverage, moderate completeness.
+			p.Coverage = 0.004 + 0.03*rng.Float64()
+			p.Sensitivity = 0.70 + 0.25*rng.Float64()
+			p.FPR = 0.01 + 0.04*rng.Float64()
+			p.PositionDecay = 0.75 + 0.20*rng.Float64()
+		default:
+			// Sloppy sellers: they also introduce wrong authors.
+			p.Coverage = 0.01 + 0.03*rng.Float64()
+			p.Sensitivity = 0.60 + 0.30*rng.Float64()
+			p.FPR = 0.12 + 0.18*rng.Float64()
+			p.PositionDecay = 0.80
+		}
+		sources = append(sources, p)
+	}
+	return CorpusSpec{
+		Name:             "book",
+		NumEntities:      1263,
+		TrueAttrWeights:  []float64{0.45, 0.35, 0.15, 0.05}, // 1–4 authors
+		FalseCandWeights: []float64{0.55, 0.35, 0.10},       // 0–2 wrong-author candidates
+		Sources:          sources,
+		LabelEntities:    100,
+		Seed:             seed,
+	}
+}
+
+// BookCorpus generates the simulated book corpus.
+func BookCorpus(seed int64) (*Corpus, error) { return Generate(BookSpec(seed)) }
+
+// MovieSpec returns the simulated stand-in for the paper's Movie Director
+// Dataset (Bing movies vertical: 15,073 movies, 33,526 movie–director
+// facts, 108,873 claims from the 12 sources of Table 8, conflicting
+// records only, 100 labeled movies). Source sensitivity/specificity mirror
+// the Table 8 profile: imdb complete but not the most precise, fandango
+// very precise but omission-heavy, amg noticeably imprecise.
+func MovieSpec(seed int64) CorpusSpec {
+	profile := func(name string, cov, sens, spec, decay float64) SourceProfile {
+		return SourceProfile{Name: name, Coverage: cov, Sensitivity: sens, FPR: 1 - spec, PositionDecay: decay}
+	}
+	return CorpusSpec{
+		Name:        "movie",
+		NumEntities: 26000, // the conflict filter prunes to ≈15k, as in the paper
+		// 1–3 true directors per movie; the corpus keeps only conflicting
+		// records, so multi-director entities are over-represented.
+		TrueAttrWeights:  []float64{0.55, 0.35, 0.10},
+		FalseCandWeights: []float64{0.35, 0.40, 0.25}, // 0–2 wrong-director candidates
+		// The precise-but-incomplete sources (fandango, metacritic, zune,
+		// cinemasource) additionally tend to list only the first director
+		// of multi-director movies (PositionDecay < 1): exactly the
+		// sources whose positive claims a scalar accuracy model undervalues
+		// (§3.3, Example 3).
+		Sources: []SourceProfile{
+			profile("imdb", 0.60, 0.91, 0.90, 1),
+			profile("netflix", 0.32, 0.89, 0.93, 1),
+			profile("movietickets", 0.20, 0.86, 0.98, 0.85),
+			profile("commonsense", 0.15, 0.81, 0.98, 0.80),
+			profile("cinemasource", 0.18, 0.79, 0.99, 0.60),
+			profile("amg", 0.50, 0.78, 0.69, 1), // wide-coverage, sloppy aggregator
+			profile("yahoomovie", 0.24, 0.76, 0.90, 1),
+			profile("msnmovie", 0.20, 0.75, 0.99, 0.80),
+			profile("zune", 0.18, 0.74, 0.97, 0.60),
+			profile("metacritic", 0.15, 0.68, 0.99, 0.55),
+			profile("flixster", 0.20, 0.58, 0.91, 0.90),
+			profile("fandango", 0.18, 0.50, 0.99, 0.50),
+		},
+		LabelEntities: 100,
+		ConflictOnly:  true,
+		// 40% of wrong-director candidates are "hot" (e.g. the producer or
+		// a co-director of a sequel). Sloppy sources pick them up far more
+		// often (superlinear in their own error rate), so hot candidates
+		// routinely reach majority among the few sources covering a movie
+		// — the regime where voting breaks but two-sided quality does not.
+		HotCandidateProb:  0.40,
+		HotCandidateBoost: 5,
+		Seed:              seed,
+	}
+}
+
+// MovieCorpus generates the simulated movie corpus.
+func MovieCorpus(seed int64) (*Corpus, error) { return Generate(MovieSpec(seed)) }
+
+// Table1Example returns the paper's running example (Table 1): the Harry
+// Potter cast as reported by IMDB, Netflix and BadSource.com, plus
+// Pirates 4 from Hulu. Ground-truth labels follow Table 4. It is used by
+// the quickstart example and as a fixed regression case in tests.
+func Table1Example() *Corpus {
+	spec := CorpusSpec{Name: "table1", NumEntities: 2, TrueAttrWeights: []float64{1},
+		FalseCandWeights: []float64{1}, LabelEntities: 1, Seed: 1,
+		Sources: []SourceProfile{{Name: "placeholder", Coverage: 1, Sensitivity: 1}}}
+	// Hand-constructed rather than generated.
+	c := &Corpus{Spec: spec, truth: map[[2]string]bool{
+		{"Harry Potter", "Daniel Radcliffe"}: true,
+		{"Harry Potter", "Emma Watson"}:      true,
+		{"Harry Potter", "Rupert Grint"}:     true,
+		{"Harry Potter", "Johnny Depp"}:      false,
+		{"Pirates 4", "Johnny Depp"}:         true,
+	}}
+	db := model.NewRawDB()
+	for _, r := range [][3]string{
+		{"Harry Potter", "Daniel Radcliffe", "IMDB"},
+		{"Harry Potter", "Emma Watson", "IMDB"},
+		{"Harry Potter", "Rupert Grint", "IMDB"},
+		{"Harry Potter", "Daniel Radcliffe", "Netflix"},
+		{"Harry Potter", "Daniel Radcliffe", "BadSource.com"},
+		{"Harry Potter", "Emma Watson", "BadSource.com"},
+		{"Harry Potter", "Johnny Depp", "BadSource.com"},
+		{"Pirates 4", "Johnny Depp", "Hulu.com"},
+	} {
+		db.Add(r[0], r[1], r[2])
+	}
+	ds := model.Build(db)
+	for i, f := range ds.Facts {
+		ds.Labels[i] = c.truth[[2]string{ds.Entities[f.Entity], f.Attribute}]
+	}
+	c.Dataset = ds
+	return c
+}

@@ -1,0 +1,401 @@
+package synth
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"latenttruth/internal/store"
+)
+
+func TestPaperSyntheticShape(t *testing.T) {
+	cfg := DefaultPaperSynthetic()
+	cfg.NumFacts = 500
+	cfg.NumSources = 7
+	ds, gen, err := PaperSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumFacts() != 500 || ds.NumSources() != 7 {
+		t.Fatalf("shape: %d facts %d sources", ds.NumFacts(), ds.NumSources())
+	}
+	// Dense: every source claims every fact.
+	if ds.NumClaims() != 500*7 {
+		t.Fatalf("claims = %d, want %d", ds.NumClaims(), 500*7)
+	}
+	// All facts labeled.
+	if len(ds.Labels) != 500 {
+		t.Fatalf("labels = %d", len(ds.Labels))
+	}
+	if err := ds.ValidateBasic(); err != nil {
+		t.Fatal(err)
+	}
+	if len(gen) != 7 {
+		t.Fatalf("generated quality for %d sources", len(gen))
+	}
+	for _, q := range gen {
+		if q.Sensitivity < 0 || q.Sensitivity > 1 || q.Specificity < 0 || q.Specificity > 1 {
+			t.Fatalf("generated quality out of range: %+v", q)
+		}
+	}
+}
+
+func TestPaperSyntheticDeterminism(t *testing.T) {
+	cfg := DefaultPaperSynthetic()
+	cfg.NumFacts = 200
+	a, _, err := PaperSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := PaperSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumClaims() != b.NumClaims() {
+		t.Fatal("claim counts differ")
+	}
+	for i := range a.Claims {
+		if a.Claims[i] != b.Claims[i] {
+			t.Fatalf("claim %d differs", i)
+		}
+	}
+}
+
+func TestPaperSyntheticQualityMoments(t *testing.T) {
+	// With many sources, mean generated sensitivity approaches the Beta
+	// mean of Alpha1, and the positive-claim rate on true facts matches.
+	cfg := PaperSyntheticConfig{
+		NumFacts: 2000, NumSources: 40,
+		Alpha0: [2]float64{10, 90}, Alpha1: [2]float64{70, 30},
+		Beta: [2]float64{10, 10}, Seed: 5,
+	}
+	ds, gen, err := PaperSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 0.0
+	for _, q := range gen {
+		mean += q.Sensitivity
+	}
+	mean /= float64(len(gen))
+	if math.Abs(mean-0.7) > 0.05 {
+		t.Fatalf("mean generated sensitivity %v, want near 0.7", mean)
+	}
+	// Fraction of true facts should be near the Beta(10,10) mean 0.5.
+	trueCount := 0
+	for _, v := range ds.Labels {
+		if v {
+			trueCount++
+		}
+	}
+	frac := float64(trueCount) / float64(len(ds.Labels))
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("true-fact fraction %v", frac)
+	}
+	// Positive-claim rate on true facts ~ mean sensitivity.
+	var pos, tot float64
+	for _, c := range ds.Claims {
+		if ds.Labels[c.Fact] {
+			tot++
+			if c.Observation {
+				pos++
+			}
+		}
+	}
+	if math.Abs(pos/tot-mean) > 0.03 {
+		t.Fatalf("positive rate on true facts %v vs mean sensitivity %v", pos/tot, mean)
+	}
+}
+
+func TestPaperSyntheticValidation(t *testing.T) {
+	if _, _, err := PaperSynthetic(PaperSyntheticConfig{NumFacts: 0, NumSources: 5}); err == nil {
+		t.Fatal("expected error for zero facts")
+	}
+}
+
+func TestGenerateValidatesSpec(t *testing.T) {
+	good := CorpusSpec{
+		Name: "x", NumEntities: 50, TrueAttrWeights: []float64{1},
+		FalseCandWeights: []float64{0, 1}, LabelEntities: 10, Seed: 1,
+		Sources: []SourceProfile{
+			{Name: "s", Coverage: 1, Sensitivity: 0.9, FPR: 0.3},
+			{Name: "u", Coverage: 1, Sensitivity: 0.9, FPR: 0.3},
+		},
+	}
+	cases := []func(*CorpusSpec){
+		func(s *CorpusSpec) { s.Name = "" },
+		func(s *CorpusSpec) { s.NumEntities = 0 },
+		func(s *CorpusSpec) { s.TrueAttrWeights = nil },
+		func(s *CorpusSpec) { s.Sources = nil },
+		func(s *CorpusSpec) { s.Sources[0].Name = "" },
+		func(s *CorpusSpec) { s.Sources[0].Coverage = 0 },
+		func(s *CorpusSpec) { s.Sources[0].Sensitivity = 0 },
+		func(s *CorpusSpec) { s.Sources[0].FPR = 1 },
+		func(s *CorpusSpec) { s.LabelEntities = 0 },
+	}
+	for i, corrupt := range cases {
+		spec := good
+		spec.Sources = append([]SourceProfile(nil), good.Sources...)
+		corrupt(&spec)
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("case %d: expected spec validation error", i)
+		}
+	}
+	if _, err := Generate(good); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+}
+
+func TestBookCorpusScale(t *testing.T) {
+	c, err := BookCorpus(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := store.Summarize(c.Dataset)
+	// Paper: 1263 books, 2420 facts, 48153 claims, 879 sources. The
+	// simulation must land in the same band.
+	if s.Entities != 1263 {
+		t.Errorf("entities = %d, want 1263", s.Entities)
+	}
+	if s.Sources < 700 || s.Sources > 879 {
+		t.Errorf("sources = %d, want near 879", s.Sources)
+	}
+	if s.Facts < 1800 || s.Facts > 3300 {
+		t.Errorf("facts = %d, want near 2420", s.Facts)
+	}
+	if s.Claims < 35000 || s.Claims > 70000 {
+		t.Errorf("claims = %d, want near 48153", s.Claims)
+	}
+	if err := c.Dataset.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMovieCorpusScale(t *testing.T) {
+	c, err := MovieCorpus(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := store.Summarize(c.Dataset)
+	// Paper: 15073 movies, 33526 facts, 108873 claims, 12 sources.
+	if s.Sources != 12 {
+		t.Errorf("sources = %d, want 12", s.Sources)
+	}
+	if s.Entities < 10000 || s.Entities > 18000 {
+		t.Errorf("entities = %d, want near 15073", s.Entities)
+	}
+	if s.Facts < 25000 || s.Facts > 42000 {
+		t.Errorf("facts = %d, want near 33526", s.Facts)
+	}
+	if s.Claims < 80000 || s.Claims > 140000 {
+		t.Errorf("claims = %d, want near 108873", s.Claims)
+	}
+	if err := c.Dataset.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Conflict filter: every entity has >= 2 facts and >= 2 sources.
+	ds := c.Dataset
+	for e, facts := range ds.FactsByEntity {
+		if len(facts) < 2 {
+			t.Fatalf("entity %d has %d facts after conflict filter", e, len(facts))
+		}
+	}
+}
+
+func TestCorpusLabelsHaveBothClasses(t *testing.T) {
+	for name, gen := range map[string]func(int64) (*Corpus, error){
+		"book": BookCorpus, "movie": MovieCorpus,
+	} {
+		for _, seed := range []int64{1, 42, 1234} {
+			c, err := gen(seed)
+			if err != nil {
+				t.Fatalf("%s(%d): %v", name, seed, err)
+			}
+			hasTrue, hasFalse := false, false
+			for _, v := range c.Dataset.Labels {
+				if v {
+					hasTrue = true
+				} else {
+					hasFalse = true
+				}
+			}
+			if !hasTrue || !hasFalse {
+				t.Fatalf("%s(%d): labels single-class (true=%v false=%v)",
+					name, seed, hasTrue, hasFalse)
+			}
+		}
+	}
+}
+
+func TestCorpusDeterminism(t *testing.T) {
+	a, err := BookCorpus(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BookCorpus(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dataset.NumClaims() != b.Dataset.NumClaims() {
+		t.Fatal("claim counts differ across identical seeds")
+	}
+	for i := range a.Dataset.Claims {
+		if a.Dataset.Claims[i] != b.Dataset.Claims[i] {
+			t.Fatalf("claim %d differs", i)
+		}
+	}
+	// Different seeds differ.
+	c, err := BookCorpus(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dataset.NumClaims() == a.Dataset.NumClaims() && c.Dataset.NumFacts() == a.Dataset.NumFacts() {
+		same := true
+		for i := range a.Dataset.Claims {
+			if a.Dataset.Claims[i] != c.Dataset.Claims[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical corpora")
+		}
+	}
+}
+
+func TestTruthOfCoversAllFacts(t *testing.T) {
+	c, err := BookCorpus(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := c.TruthOf(c.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != c.Dataset.NumFacts() {
+		t.Fatalf("truth for %d of %d facts", len(truth), c.Dataset.NumFacts())
+	}
+	// Labels agree with full truth.
+	for f, v := range c.Dataset.Labels {
+		if truth[f] != v {
+			t.Fatalf("label/truth mismatch on fact %d", f)
+		}
+	}
+	// Attribute naming encodes truth: "true-" prefixed facts are true.
+	for i, f := range c.Dataset.Facts {
+		want := strings.HasPrefix(f.Attribute, "true-")
+		if truth[i] != want {
+			t.Fatalf("fact %d (%s) truth %v", i, f.Attribute, truth[i])
+		}
+	}
+}
+
+func TestTruthOfUnknownFactError(t *testing.T) {
+	c, err := BookCorpus(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := Table1Example().Dataset
+	if _, err := c.TruthOf(foreign); err == nil {
+		t.Fatal("expected error for foreign dataset")
+	}
+}
+
+func TestTrueQualityBounds(t *testing.T) {
+	c, err := MovieCorpus(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := c.TrueQuality(c.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 12 {
+		t.Fatalf("quality for %d sources", len(qs))
+	}
+	for _, q := range qs {
+		for name, v := range map[string]float64{
+			"sens": q.Sensitivity, "spec": q.Specificity,
+			"prec": q.Precision, "acc": q.Accuracy,
+		} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("%s %s = %v", q.Source, name, v)
+			}
+		}
+	}
+}
+
+func TestTrueQualityReflectsProfiles(t *testing.T) {
+	// Claim-space sensitivity should roughly track profile sensitivity
+	// (modulo decay); imdb (sens .91, decay 1) must exceed fandango
+	// (sens .50, decay .5).
+	c, err := MovieCorpus(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := c.TrueQuality(c.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, q := range qs {
+		byName[q.Source] = q.Sensitivity
+	}
+	if byName["imdb"] <= byName["fandango"] {
+		t.Fatalf("imdb sensitivity %v <= fandango %v", byName["imdb"], byName["fandango"])
+	}
+}
+
+func TestHotFPR(t *testing.T) {
+	if got := hotFPR(0.1, 1); got != 0.1 {
+		t.Fatalf("boost 1 changed fpr: %v", got)
+	}
+	if got := hotFPR(0.1, 0); got != 0.1 {
+		t.Fatalf("boost 0 changed fpr: %v", got)
+	}
+	boosted := hotFPR(0.1, 5)
+	if boosted <= 0.1 || boosted > 0.9 {
+		t.Fatalf("boosted fpr %v out of range", boosted)
+	}
+	// Superlinearity: ratio of boosted fprs exceeds ratio of base fprs.
+	low := hotFPR(0.05, 5) / 0.05
+	high := hotFPR(0.3, 5) / 0.3
+	if high <= low {
+		t.Fatalf("boost not superlinear: low-fpr multiplier %v, high-fpr %v", low, high)
+	}
+	// Cap at 0.9.
+	if got := hotFPR(0.9, 100); got != 0.9 {
+		t.Fatalf("cap broken: %v", got)
+	}
+}
+
+func TestTable1Example(t *testing.T) {
+	c := Table1Example()
+	ds := c.Dataset
+	if ds.NumFacts() != 5 || ds.NumClaims() != 13 || len(ds.Labels) != 5 {
+		t.Fatalf("shape: %d facts, %d claims, %d labels",
+			ds.NumFacts(), ds.NumClaims(), len(ds.Labels))
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Table 4 labels.
+	if !ds.Labels[ds.FactIndex("Harry Potter", "Rupert Grint")] {
+		t.Fatal("Rupert should be labeled true")
+	}
+	if ds.Labels[ds.FactIndex("Harry Potter", "Johnny Depp")] {
+		t.Fatal("Johnny@HP should be labeled false")
+	}
+	if !ds.Labels[ds.FactIndex("Pirates 4", "Johnny Depp")] {
+		t.Fatal("Johnny@P4 should be labeled true")
+	}
+	truth, err := c.TruthOf(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, v := range ds.Labels {
+		if truth[f] != v {
+			t.Fatal("truth/labels mismatch")
+		}
+	}
+}

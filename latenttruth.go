@@ -1,0 +1,386 @@
+// Package latenttruth is a truth-discovery library for data integration,
+// implementing the Latent Truth Model (LTM) of Zhao, Rubinstein, Gemmell &
+// Han, "A Bayesian Approach to Discovering Truth from Conflicting Sources
+// for Data Integration", VLDB 2012, together with the full set of
+// comparison methods from the paper's evaluation.
+//
+// Given a raw database of (entity, attribute, source) triples in which
+// sources conflict, the library infers which facts are true and how
+// reliable each source is — without supervision — by modeling two-sided
+// source quality (sensitivity and specificity) with a collapsed Gibbs
+// sampler. Multi-valued attributes (a book's authors, a movie's cast) are
+// supported natively: any number of facts per entity may be true.
+//
+// Quickstart:
+//
+//	db := latenttruth.NewRawDB()
+//	db.Add("Harry Potter", "Daniel Radcliffe", "IMDB")
+//	db.Add("Harry Potter", "Johnny Depp", "BadSource.com")
+//	// ... more triples ...
+//	ds := latenttruth.BuildDataset(db)
+//	fit, err := latenttruth.NewLTM(latenttruth.Config{}).Fit(ds)
+//	if err != nil { ... }
+//	records, err := latenttruth.Integrate(ds, fit.Result, 0.5)
+//
+// This root package is a facade over the internal packages; it re-exports
+// everything a downstream integrator needs: the data model, LTM and its
+// incremental/online variants, the seven baseline methods, evaluation
+// utilities (threshold sweeps, ROC/AUC), dataset I/O, and the simulated
+// evaluation corpora. The cmd/ directory provides executables, examples/
+// runnable walkthroughs, and bench_test.go regenerates every table and
+// figure of the paper.
+package latenttruth
+
+import (
+	"io"
+
+	"latenttruth/internal/baselines"
+	"latenttruth/internal/core"
+	"latenttruth/internal/dataset"
+	"latenttruth/internal/eval"
+	"latenttruth/internal/integrate"
+	"latenttruth/internal/ltmx"
+	"latenttruth/internal/model"
+	"latenttruth/internal/stats"
+	"latenttruth/internal/store"
+	"latenttruth/internal/stream"
+	"latenttruth/internal/synth"
+)
+
+// Dataset operations (the store substrate).
+
+// DatasetStats summarizes a dataset's shape.
+type DatasetStats = store.Stats
+
+// Summarize computes corpus statistics for ds.
+func Summarize(ds *Dataset) DatasetStats { return store.Summarize(ds) }
+
+// SplitEntities partitions ds into k datasets of near-equal entity counts,
+// e.g. to form arrival batches for the streaming mode.
+func SplitEntities(ds *Dataset, k int) []*Dataset { return store.SplitEntities(ds, k) }
+
+// SubsampleEntities restricts ds to n uniformly sampled entities,
+// deterministically from seed.
+func SubsampleEntities(ds *Dataset, n int, seed int64) *Dataset {
+	return store.SubsampleEntities(ds, n, stats.NewRNG(seed))
+}
+
+// FilterEntities keeps only entities for which keep returns true.
+func FilterEntities(ds *Dataset, keep func(id int, name string) bool) *Dataset {
+	return store.FilterEntities(ds, keep)
+}
+
+// ConflictingOnly keeps only entities with at least minFacts facts and
+// minSources covering sources.
+func ConflictingOnly(ds *Dataset, minFacts, minSources int) *Dataset {
+	return store.ConflictingOnly(ds, minFacts, minSources)
+}
+
+// MergeDatasets unions two datasets with disjoint entity sets.
+func MergeDatasets(a, b *Dataset) (*Dataset, error) { return store.Merge(a, b) }
+
+// Data model (paper §2, Definitions 1–4).
+type (
+	// RawDB is the raw input database of (entity, attribute, source) rows.
+	RawDB = model.RawDB
+	// Row is one raw database row.
+	Row = model.Row
+	// Dataset is the derived fact + claim tables with indexes.
+	Dataset = model.Dataset
+	// Fact is a distinct entity–attribute pair.
+	Fact = model.Fact
+	// Claim is a positive or negative source assertion about a fact.
+	Claim = model.Claim
+	// Result holds a method's per-fact truth probabilities.
+	Result = model.Result
+	// SourceQuality is the two-sided quality estimate of one source.
+	SourceQuality = model.SourceQuality
+	// Method is the interface all truth-finding algorithms implement.
+	Method = model.Method
+)
+
+// NewRawDB returns an empty raw database.
+func NewRawDB() *RawDB { return model.NewRawDB() }
+
+// BuildDataset derives the fact and claim tables from a raw database,
+// including the negative claims of Definition 3.
+func BuildDataset(db *RawDB) *Dataset { return model.Build(db) }
+
+// Latent Truth Model (paper §4–5).
+type (
+	// Config controls LTM inference (priors, iterations, burn-in, seed).
+	Config = core.Config
+	// Priors are the Beta hyperparameters of the model.
+	Priors = core.Priors
+	// LTM is the Latent Truth Model estimator.
+	LTM = core.LTM
+	// FitResult is a full LTM fit: truth posteriors plus source quality.
+	FitResult = core.FitResult
+	// Checkpoint requests a prediction after a given number of iterations.
+	Checkpoint = core.Checkpoint
+	// Incremental is the sampling-free LTMinc predictor (Equation 3).
+	Incremental = core.Incremental
+	// LTMPos is the positive-claims-only ablation.
+	LTMPos = core.LTMPos
+	// NaiveLTM is the uncollapsed Gibbs sampler (ablation baseline for
+	// the collapsed sampler's efficiency claim).
+	NaiveLTM = core.NaiveLTM
+	// EMLTM is the deterministic expectation-maximization alternative.
+	EMLTM = core.EM
+)
+
+// NewLTM returns an LTM estimator; zero-valued Config fields take the
+// paper's defaults.
+func NewLTM(cfg Config) *LTM { return core.New(cfg) }
+
+// NewLTMPos returns the positive-claims-only variant (ablation).
+func NewLTMPos(cfg Config) *LTMPos { return core.NewPos(cfg) }
+
+// NewNaiveLTM returns the uncollapsed Gibbs sampler over the same model.
+func NewNaiveLTM(cfg Config) *NaiveLTM { return core.NewNaive(cfg) }
+
+// NewEMLTM returns the deterministic EM estimator (iterated Equation 3
+// plus §5.3 quality re-estimation).
+func NewEMLTM(cfg Config) *EMLTM { return core.NewEM(cfg) }
+
+// MultiChainResult is the output of parallel multi-chain inference.
+type MultiChainResult = core.MultiChainResult
+
+// FitChains runs several independent Gibbs chains concurrently, pools
+// their samples, and reports per-fact Gelman–Rubin mixing diagnostics.
+func FitChains(m *LTM, ds *Dataset, chains int) (*MultiChainResult, error) {
+	return m.FitChains(ds, chains)
+}
+
+// DefaultPriors returns the paper's recommended hyperparameters scaled to
+// a dataset with numFacts facts (§6.2).
+func DefaultPriors(numFacts int) Priors { return core.DefaultPriors(numFacts) }
+
+// NewIncremental builds an LTMinc predictor from a fit produced on ds.
+func NewIncremental(ds *Dataset, fit *FitResult) (*Incremental, error) {
+	return core.NewIncremental(ds, fit)
+}
+
+// NewIncrementalFromQuality builds an LTMinc predictor from an explicit
+// quality table (e.g. loaded from disk).
+func NewIncrementalFromQuality(quality []SourceQuality, priors Priors) (*Incremental, error) {
+	return core.NewIncrementalFromQuality(quality, priors)
+}
+
+// EstimateQuality reads MAP source quality off posterior truth
+// probabilities (§5.3).
+func EstimateQuality(ds *Dataset, prob []float64, p Priors) ([]SourceQuality, []float64, []float64) {
+	return core.EstimateQuality(ds, prob, p)
+}
+
+// RankedQuality sorts a quality table by decreasing sensitivity (Table 8
+// presentation order).
+func RankedQuality(quality []SourceQuality) []SourceQuality {
+	return core.RankedQuality(quality)
+}
+
+// Baseline methods (paper §6.2).
+
+// Methods returns LTM plus every baseline of the paper's evaluation, in
+// Table 7 row order.
+func Methods(ltmCfg Config) []Method { return baselines.All(ltmCfg) }
+
+// MethodByName constructs the named method ("LTM", "Voting", "TruthFinder",
+// "3-Estimates", ...).
+func MethodByName(name string, ltmCfg Config) (Method, error) {
+	return baselines.ByName(name, ltmCfg)
+}
+
+// MethodNames lists the available method names in Table 7 order.
+func MethodNames() []string { return baselines.Names() }
+
+// Evaluation (paper §3.1, §6.2).
+type (
+	// Metrics bundles precision, recall, FPR, accuracy and F1.
+	Metrics = eval.Metrics
+	// Confusion is a 2×2 confusion matrix.
+	Confusion = eval.Confusion
+	// ROCPoint is one operating point of a ROC curve.
+	ROCPoint = eval.ROCPoint
+	// SweepPoint is one threshold of an accuracy/F1 sweep.
+	SweepPoint = eval.SweepPoint
+)
+
+// Evaluate computes Table 7-style metrics against the labeled subset.
+func Evaluate(ds *Dataset, r *Result, threshold float64) (Metrics, error) {
+	return eval.Evaluate(ds, r, threshold)
+}
+
+// ThresholdSweep evaluates accuracy and F1 across thresholds (Figure 2).
+func ThresholdSweep(ds *Dataset, r *Result, thresholds []float64) ([]SweepPoint, error) {
+	return eval.ThresholdSweep(ds, r, thresholds)
+}
+
+// ROC computes the ROC curve over the labeled subset.
+func ROC(ds *Dataset, r *Result) ([]ROCPoint, error) { return eval.ROC(ds, r) }
+
+// AUC computes the area under the ROC curve (Figure 3).
+func AUC(ds *Dataset, r *Result) (float64, error) { return eval.AUC(ds, r) }
+
+// PRPoint is one operating point of a precision–recall curve.
+type PRPoint = eval.PRPoint
+
+// PrecisionRecall computes the precision–recall curve over labeled facts.
+func PrecisionRecall(ds *Dataset, r *Result) ([]PRPoint, error) {
+	return eval.PrecisionRecall(ds, r)
+}
+
+// AveragePrecision computes the area under the precision–recall curve.
+func AveragePrecision(ds *Dataset, r *Result) (float64, error) {
+	return eval.AveragePrecision(ds, r)
+}
+
+// CalibrationBin is one bin of a reliability diagram.
+type CalibrationBin = eval.CalibrationBin
+
+// Calibration bins labeled facts by predicted probability and returns the
+// reliability diagram plus the expected calibration error.
+func Calibration(ds *Dataset, r *Result, bins int) ([]CalibrationBin, float64, error) {
+	return eval.Calibration(ds, r, bins)
+}
+
+// Brier returns the Brier score of a result over the labeled facts.
+func Brier(ds *Dataset, r *Result) (float64, error) { return eval.Brier(ds, r) }
+
+// MetricsCI bundles bootstrap confidence intervals for the Table 7
+// metrics.
+type MetricsCI = eval.MetricsCI
+
+// BootstrapMetrics computes percentile-bootstrap confidence intervals for
+// a result's metrics by resampling the labeled facts.
+func BootstrapMetrics(ds *Dataset, r *Result, threshold float64, resamples int, level float64, seed int64) (MetricsCI, error) {
+	return eval.BootstrapMetrics(ds, r, threshold, resamples, level, seed)
+}
+
+// Integration output.
+type (
+	// Record is a merged record: an entity with its accepted attributes.
+	Record = integrate.Record
+	// Attribute is one attribute value of a merged record.
+	Attribute = integrate.Attribute
+	// Conflict describes an entity whose record required resolution.
+	Conflict = integrate.Conflict
+)
+
+// Integrate builds merged records from a method's result at a threshold.
+func Integrate(ds *Dataset, r *Result, threshold float64) ([]Record, error) {
+	return integrate.Merge(ds, r, threshold)
+}
+
+// IntegrationConflicts filters merged records down to contested entities.
+func IntegrationConflicts(records []Record) []Conflict {
+	return integrate.Conflicts(records)
+}
+
+// Streaming / online mode (paper §5.4).
+type (
+	// Online is the stateful incremental truth finder.
+	Online = stream.Online
+)
+
+// NewOnline returns an online truth finder with the given base config.
+func NewOnline(base Config) (*Online, error) { return stream.NewOnline(base) }
+
+// Extensions (paper §7).
+type (
+	// AdversarialFilter iteratively removes low-specificity sources.
+	AdversarialFilter = ltmx.AdversarialFilter
+	// MultiType jointly integrates several attribute types.
+	MultiType = ltmx.MultiType
+	// Clustered infers entity clusters with cluster-specific quality.
+	Clustered = ltmx.Clustered
+	// ClusteredResult is the clustered integrator's output.
+	ClusteredResult = ltmx.ClusteredResult
+	// NumericClaim is a numeric assertion for the Gaussian variant.
+	NumericClaim = ltmx.NumericClaim
+	// GaussianConfig configures the Gaussian (real-valued loss) variant.
+	GaussianConfig = ltmx.GaussianConfig
+	// GaussianResult is the Gaussian variant's output.
+	GaussianResult = ltmx.GaussianResult
+)
+
+// NewAdversarialFilter returns a §7 adversarial-source filter.
+func NewAdversarialFilter(cfg Config) *AdversarialFilter { return ltmx.NewAdversarialFilter(cfg) }
+
+// InjectAdversary adds a fabricating source to a copy of ds (for testing
+// the adversarial filter and robustness studies).
+func InjectAdversary(ds *Dataset, name string, coverage float64, perEntity int) (*Dataset, error) {
+	return ltmx.InjectAdversary(ds, name, coverage, perEntity)
+}
+
+// NewMultiType returns a §7 joint multi-attribute-type integrator.
+func NewMultiType(cfg Config) *MultiType { return ltmx.NewMultiType(cfg) }
+
+// NewClustered returns a §7 entity-clustered integrator with k clusters.
+func NewClustered(cfg Config, k int) *Clustered { return ltmx.NewClustered(cfg, k) }
+
+// GaussianTruth infers numeric truths and source variances (§7's
+// real-valued loss extension).
+func GaussianTruth(claims []NumericClaim, cfg GaussianConfig) (*GaussianResult, error) {
+	return ltmx.GaussianTruth(claims, cfg)
+}
+
+// Simulated corpora and synthetic data (paper §6.1.1; see DESIGN.md §3 for
+// the substitution rationale).
+type (
+	// Corpus is a generated dataset with complete ground truth.
+	Corpus = synth.Corpus
+	// CorpusSpec parameterizes a simulated corpus.
+	CorpusSpec = synth.CorpusSpec
+	// SourceProfile describes one simulated source.
+	SourceProfile = synth.SourceProfile
+	// PaperSyntheticConfig parameterizes the dense §6.1.1 synthetic data.
+	PaperSyntheticConfig = synth.PaperSyntheticConfig
+)
+
+// BookCorpus generates the simulated book-author corpus.
+func BookCorpus(seed int64) (*Corpus, error) { return synth.BookCorpus(seed) }
+
+// MovieCorpus generates the simulated movie-director corpus.
+func MovieCorpus(seed int64) (*Corpus, error) { return synth.MovieCorpus(seed) }
+
+// Table1Example returns the paper's running Harry Potter example.
+func Table1Example() *Corpus { return synth.Table1Example() }
+
+// GenerateCorpus builds a corpus from a custom specification.
+func GenerateCorpus(spec CorpusSpec) (*Corpus, error) { return synth.Generate(spec) }
+
+// PaperSynthetic draws the dense synthetic dataset of §6.1.1.
+func PaperSynthetic(cfg PaperSyntheticConfig) (*Dataset, []SourceQuality, error) {
+	return synth.PaperSynthetic(cfg)
+}
+
+// DefaultPaperSynthetic returns the paper's base synthetic setting.
+func DefaultPaperSynthetic() PaperSyntheticConfig { return synth.DefaultPaperSynthetic() }
+
+// Dataset I/O (CSV).
+
+// ReadTriples parses a triples CSV (entity,attribute,source).
+func ReadTriples(r io.Reader) (*RawDB, error) { return dataset.ReadTriples(r) }
+
+// WriteTriples writes a raw database as CSV.
+func WriteTriples(w io.Writer, db *RawDB) error { return dataset.WriteTriples(w, db) }
+
+// ReadLabels applies a labels CSV (entity,attribute,truth) to a dataset.
+func ReadLabels(r io.Reader, ds *Dataset) error { return dataset.ReadLabels(r, ds) }
+
+// WriteLabels writes a dataset's labels as CSV.
+func WriteLabels(w io.Writer, ds *Dataset) error { return dataset.WriteLabels(w, ds) }
+
+// WriteTruth writes a method's truth table at a threshold as CSV.
+func WriteTruth(w io.Writer, ds *Dataset, res *Result, threshold float64) error {
+	return dataset.WriteTruth(w, ds, res, threshold)
+}
+
+// WriteQuality writes a source-quality table as CSV.
+func WriteQuality(w io.Writer, quality []SourceQuality) error {
+	return dataset.WriteQuality(w, quality)
+}
+
+// ReadQuality parses a source-quality CSV.
+func ReadQuality(r io.Reader) ([]SourceQuality, error) { return dataset.ReadQuality(r) }

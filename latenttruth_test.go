@@ -1,0 +1,305 @@
+package latenttruth_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"latenttruth"
+)
+
+// buildTable1 assembles the paper's running example through the public API.
+func buildTable1(t *testing.T) *latenttruth.Dataset {
+	t.Helper()
+	db := latenttruth.NewRawDB()
+	for _, r := range [][3]string{
+		{"Harry Potter", "Daniel Radcliffe", "IMDB"},
+		{"Harry Potter", "Emma Watson", "IMDB"},
+		{"Harry Potter", "Rupert Grint", "IMDB"},
+		{"Harry Potter", "Daniel Radcliffe", "Netflix"},
+		{"Harry Potter", "Daniel Radcliffe", "BadSource.com"},
+		{"Harry Potter", "Emma Watson", "BadSource.com"},
+		{"Harry Potter", "Johnny Depp", "BadSource.com"},
+		{"Pirates 4", "Johnny Depp", "Hulu.com"},
+	} {
+		db.Add(r[0], r[1], r[2])
+	}
+	return latenttruth.BuildDataset(db)
+}
+
+func TestEndToEndQuickstart(t *testing.T) {
+	ds := buildTable1(t)
+	if ds.NumFacts() != 5 || ds.NumClaims() != 13 {
+		t.Fatalf("shape: %d facts, %d claims", ds.NumFacts(), ds.NumClaims())
+	}
+	cfg := latenttruth.Config{
+		Priors:     latenttruth.DefaultPriors(ds.NumFacts()),
+		Iterations: 300,
+		Seed:       7,
+		SourcePriors: map[string]latenttruth.Priors{
+			"IMDB":          {TP: 90, FN: 10, FP: 1, TN: 99},
+			"Netflix":       {TP: 30, FN: 70, FP: 1, TN: 99},
+			"BadSource.com": {TP: 50, FN: 50, FP: 30, TN: 70},
+		},
+	}
+	fit, err := latenttruth.NewLTM(cfg).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := latenttruth.Integrate(ds, fit.Result, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hp latenttruth.Record
+	for _, r := range records {
+		if r.Entity == "Harry Potter" {
+			hp = r
+		}
+	}
+	if len(hp.Attributes) != 3 || len(hp.Rejected) != 1 || hp.Rejected[0].Value != "Johnny Depp" {
+		t.Fatalf("Harry Potter record: %+v", hp)
+	}
+	conflicts := latenttruth.IntegrationConflicts(records)
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %d", len(conflicts))
+	}
+}
+
+func TestMethodsRegistryThroughFacade(t *testing.T) {
+	names := latenttruth.MethodNames()
+	if len(names) != 9 {
+		t.Fatalf("names = %v", names)
+	}
+	ds := buildTable1(t)
+	for _, name := range names {
+		m, err := latenttruth.MethodByName(name, latenttruth.Config{Seed: 1, Iterations: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Infer(ds)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := res.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if len(latenttruth.Methods(latenttruth.Config{})) != 9 {
+		t.Fatal("Methods() size")
+	}
+}
+
+func TestEvaluationThroughFacade(t *testing.T) {
+	c := latenttruth.Table1Example()
+	ds := c.Dataset
+	res, err := latenttruth.MethodByName("Voting", latenttruth.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := res.Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := latenttruth.Evaluate(ds, r, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy < 0 || m.Accuracy > 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if _, err := latenttruth.AUC(ds, r); err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := latenttruth.ThresholdSweep(ds, r, []float64{0.25, 0.5, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 3 {
+		t.Fatalf("sweep = %d points", len(sweep))
+	}
+	curve, err := latenttruth.ROC(ds, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) < 2 {
+		t.Fatalf("curve = %d points", len(curve))
+	}
+}
+
+func TestIOThroughFacade(t *testing.T) {
+	ds := buildTable1(t)
+	// Truth table round trip through CSV writers.
+	fit, err := latenttruth.NewLTM(latenttruth.Config{Iterations: 50, Seed: 1}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truthBuf, qualBuf bytes.Buffer
+	if err := latenttruth.WriteTruth(&truthBuf, ds, fit.Result, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(truthBuf.String(), "Harry Potter") {
+		t.Fatal("truth CSV missing entities")
+	}
+	if err := latenttruth.WriteQuality(&qualBuf, fit.Quality); err != nil {
+		t.Fatal(err)
+	}
+	quality, err := latenttruth.ReadQuality(bytes.NewReader(qualBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quality) != ds.NumSources() {
+		t.Fatalf("quality rows = %d", len(quality))
+	}
+	// LTMinc from the written quality.
+	inc, err := latenttruth.NewIncrementalFromQuality(quality, fit.Priors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Infer(ds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorporaThroughFacade(t *testing.T) {
+	c, err := latenttruth.BookCorpus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := latenttruth.Summarize(c.Dataset)
+	if stats.Entities != 1263 {
+		t.Fatalf("book entities = %d", stats.Entities)
+	}
+	parts := latenttruth.SplitEntities(c.Dataset, 3)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	sub := latenttruth.SubsampleEntities(c.Dataset, 100, 5)
+	if sub.NumEntities() != 100 {
+		t.Fatalf("subsample = %d", sub.NumEntities())
+	}
+	kept := latenttruth.FilterEntities(c.Dataset, func(id int, _ string) bool { return id < 10 })
+	if kept.NumEntities() != 10 {
+		t.Fatalf("filtered = %d", kept.NumEntities())
+	}
+	if _, err := latenttruth.MergeDatasets(parts[0], parts[1]); err != nil {
+		t.Fatal(err)
+	}
+	conflicting := latenttruth.ConflictingOnly(c.Dataset, 2, 2)
+	if conflicting.NumEntities() >= c.Dataset.NumEntities() {
+		t.Fatal("conflict filter kept everything")
+	}
+}
+
+func TestOnlineThroughFacade(t *testing.T) {
+	c, err := latenttruth.BookCorpus(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := latenttruth.SplitEntities(c.Dataset, 6)
+	online, err := latenttruth.NewOnline(latenttruth.Config{
+		Priors:     latenttruth.DefaultPriors(500),
+		Iterations: 50,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := online.Step(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := online.Predict(batches[1]); err != nil {
+		t.Fatal(err)
+	}
+	if len(online.Quality()) == 0 {
+		t.Fatal("no accumulated quality")
+	}
+}
+
+func TestExtensionsThroughFacade(t *testing.T) {
+	// Gaussian numeric variant.
+	claims := []latenttruth.NumericClaim{
+		{Entity: "e1", Source: "a", Value: 10},
+		{Entity: "e1", Source: "b", Value: 10.5},
+		{Entity: "e2", Source: "a", Value: 20},
+		{Entity: "e2", Source: "b", Value: 19.5},
+	}
+	g, err := latenttruth.GaussianTruth(claims, latenttruth.GaussianConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Truth["e1"]-10.25) > 0.5 {
+		t.Fatalf("e1 truth %v", g.Truth["e1"])
+	}
+	// Adversarial filter on a small corpus.
+	c, err := latenttruth.GenerateCorpus(latenttruth.CorpusSpec{
+		Name: "af", NumEntities: 100,
+		TrueAttrWeights:  []float64{1},
+		FalseCandWeights: []float64{0.5, 0.5},
+		LabelEntities:    10, Seed: 4,
+		Sources: []latenttruth.SourceProfile{
+			{Name: "a", Coverage: 0.9, Sensitivity: 0.9, FPR: 0.05},
+			{Name: "b", Coverage: 0.9, Sensitivity: 0.9, FPR: 0.05},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	af := latenttruth.NewAdversarialFilter(latenttruth.Config{Iterations: 50, Seed: 5})
+	if _, err := af.Run(c.Dataset); err != nil {
+		t.Fatal(err)
+	}
+	// Multi-type joint fit.
+	mt := latenttruth.NewMultiType(latenttruth.Config{Iterations: 40, Seed: 6})
+	fits, err := mt.Fit(map[string]*latenttruth.Dataset{"only": c.Dataset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fits) != 1 {
+		t.Fatalf("fits = %d", len(fits))
+	}
+}
+
+func TestPaperSyntheticThroughFacade(t *testing.T) {
+	cfg := latenttruth.DefaultPaperSynthetic()
+	cfg.NumFacts = 300
+	cfg.NumSources = 8
+	ds, gen, err := latenttruth.PaperSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumClaims() != 300*8 || len(gen) != 8 {
+		t.Fatalf("shape: %d claims, %d quality rows", ds.NumClaims(), len(gen))
+	}
+	fit, err := latenttruth.NewLTM(latenttruth.Config{Iterations: 60, Seed: 2}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := latenttruth.Evaluate(ds, fit.Result, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy < 0.9 {
+		t.Fatalf("accuracy %v on easy synthetic", m.Accuracy)
+	}
+	// Checkpoints API.
+	cps := []latenttruth.Checkpoint{{Iterations: 10, BurnIn: 2}, {Iterations: 40, BurnIn: 10}}
+	results, err := latenttruth.NewLTM(latenttruth.Config{Seed: 2}).FitCheckpoints(ds, cps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("checkpoints = %d", len(results))
+	}
+	// EstimateQuality facade path.
+	quality, sens, fpr := latenttruth.EstimateQuality(ds, fit.Prob, fit.Priors)
+	if len(quality) != 8 || len(sens) != 8 || len(fpr) != 8 {
+		t.Fatal("quality estimation shape wrong")
+	}
+	ranked := latenttruth.RankedQuality(quality)
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].Sensitivity < ranked[i].Sensitivity {
+			t.Fatal("ranked quality unsorted")
+		}
+	}
+}
