@@ -12,6 +12,7 @@ package latenttruth_test
 // cost is excluded from timings via b.ResetTimer.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -206,7 +207,7 @@ func BenchmarkLTMGibbs(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(ds.NumClaims()*20)/b.Elapsed().Seconds()/float64(b.N), "claimsweeps/s")
+	b.ReportMetric(float64(ds.NumClaims()*20)*float64(b.N)/b.Elapsed().Seconds(), "claimsweeps/s")
 }
 
 // BenchmarkLTMinc measures the closed-form incremental predictor
@@ -249,6 +250,96 @@ func BenchmarkClaimGeneration(b *testing.B) {
 			b.Fatal("empty build")
 		}
 	}
+}
+
+// --- Gibbs sweep micro-benchmarks (engine-level) -----------------------------
+//
+// BenchmarkGibbsSweep* track the sampler engine's sweep throughput in
+// isolation from the end-to-end table benches: dense synthetic datasets at
+// three fact fan-outs (claims per fact = number of sources), plus single-
+// vs multi-chain execution. The claimsweeps/s metric is the engine's
+// claims-processed-per-second figure of merit.
+
+// benchSweepDataset generates a dense synthetic dataset whose fan-out is
+// the source count.
+func benchSweepDataset(b *testing.B, facts, sources int) *latenttruth.Dataset {
+	b.Helper()
+	ds, _, err := latenttruth.PaperSynthetic(latenttruth.PaperSyntheticConfig{
+		NumFacts: facts, NumSources: sources,
+		Alpha0: [2]float64{5, 95}, Alpha1: [2]float64{85, 15},
+		Beta: [2]float64{10, 10}, Seed: int64(facts + sources),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+const sweepBenchIters = 20
+
+func benchmarkGibbsSweep(b *testing.B, facts, sources int) {
+	ds := benchSweepDataset(b, facts, sources)
+	cfg := latenttruth.Config{Iterations: sweepBenchIters, BurnIn: 5, Seed: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := latenttruth.NewLTM(cfg).Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ds.NumClaims()*sweepBenchIters)*float64(b.N)/b.Elapsed().Seconds(), "claimsweeps/s")
+}
+
+// Small fan-out: many cheap facts (8 claims each).
+func BenchmarkGibbsSweepSmall(b *testing.B) { benchmarkGibbsSweep(b, 500, 8) }
+
+// Medium fan-out: the shape of the simulated corpora (25 claims per fact).
+func BenchmarkGibbsSweepMedium(b *testing.B) { benchmarkGibbsSweep(b, 2000, 25) }
+
+// Large fan-out: few facts with very long claim lists (150 claims each),
+// the regime where the per-claim inner loop dominates.
+func BenchmarkGibbsSweepLarge(b *testing.B) { benchmarkGibbsSweep(b, 1000, 150) }
+
+// BenchmarkGibbsSweepChains measures multi-chain execution on the medium
+// sweep dataset: one compiled layout and log-table set shared by all
+// chains, chains scheduled on a worker pool sized to GOMAXPROCS.
+func BenchmarkGibbsSweepChains(b *testing.B) {
+	ds := benchSweepDataset(b, 2000, 25)
+	// Keep every post-burn-in sweep so the Gelman–Rubin diagnostic has
+	// enough samples per chain at this short iteration count.
+	cfg := latenttruth.Config{Iterations: sweepBenchIters, BurnIn: 5, Seed: 7,
+		SampleGap: latenttruth.NoSampleGap}
+	b.Run("Chains1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := latenttruth.NewLTM(cfg).Fit(ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, chains := range []int{2, 4} {
+		b.Run(fmt.Sprintf("Chains%d", chains), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := latenttruth.FitChains(latenttruth.NewLTM(cfg), ds, chains); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGibbsSweepCompiled isolates the layout-reuse path: repeated
+// fits of one dataset through a pre-compiled engine (the multi-type
+// integrator's access pattern) versus compiling per fit.
+func BenchmarkGibbsSweepCompiled(b *testing.B) {
+	ds := benchSweepDataset(b, 2000, 25)
+	cfg := latenttruth.Config{Iterations: sweepBenchIters, BurnIn: 5, Seed: 7}
+	eng := latenttruth.CompileDataset(ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Fit(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ds.NumClaims()*sweepBenchIters)*float64(b.N)/b.Elapsed().Seconds(), "claimsweeps/s")
 }
 
 // --- Ablations (design choices from DESIGN.md §4) ----------------------------

@@ -1,0 +1,3 @@
+module latenttruth
+
+go 1.24

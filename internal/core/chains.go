@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"latenttruth/internal/model"
 	"latenttruth/internal/stats"
@@ -26,11 +25,19 @@ type MultiChainResult struct {
 }
 
 // FitChains runs `chains` independent samplers (seeds Seed, Seed+1, ...)
-// concurrently, pools their kept samples into the final probabilities,
-// and computes per-fact Gelman–Rubin diagnostics from the per-iteration
-// binary sample traces. Results are deterministic: chain seeds are fixed
-// and pooling is order-independent.
+// on a worker pool sized to the machine, pools their kept samples into the
+// final probabilities, and computes per-fact Gelman–Rubin diagnostics from
+// the per-iteration binary sample traces. All chains share one compiled
+// claim layout and one read-only log-table set, so the per-chain cost is
+// sampling only. Results are deterministic: chain seeds are fixed and
+// pooling is order-independent.
 func (m *LTM) FitChains(ds *model.Dataset, chains int) (*MultiChainResult, error) {
+	return m.fitChainsCompiled(ds, nil, chains)
+}
+
+// fitChainsCompiled is FitChains over an optionally pre-compiled layout
+// (nil compiles ds here).
+func (m *LTM) fitChainsCompiled(ds *model.Dataset, lay *layout, chains int) (*MultiChainResult, error) {
 	if chains < 2 {
 		return nil, fmt.Errorf("core: FitChains needs >= 2 chains, got %d", chains)
 	}
@@ -41,32 +48,32 @@ func (m *LTM) FitChains(ds *model.Dataset, chains int) (*MultiChainResult, error
 	if ds.NumFacts() == 0 {
 		return nil, fmt.Errorf("core: dataset has no facts")
 	}
+	// Compile once; the layout and tables are immutable and shared by
+	// every chain (the tables depend on the priors but not on the seed).
+	if lay == nil {
+		lay = compileLayout(ds)
+	}
+	tab := newTables(ds, lay, cfg)
 	type chainOut struct {
 		prob  []float64
 		trace [][]float64 // trace[f] = kept binary samples of fact f
 	}
 	outs := make([]chainOut, chains)
-	var wg sync.WaitGroup
-	for c := 0; c < chains; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			ccfg := cfg
-			ccfg.Seed = cfg.Seed + int64(c)
-			g := newGibbs(ds, ccfg)
-			trace := make([][]float64, ds.NumFacts())
-			g.run(func(iter int, t []int8) {
-				if iter <= ccfg.BurnIn || (iter-ccfg.BurnIn-1)%(ccfg.SampleGap+1) != 0 {
-					return
-				}
-				for f, v := range t {
-					trace[f] = append(trace[f], float64(v))
-				}
-			})
-			outs[c] = chainOut{prob: g.probabilities(), trace: trace}
-		}(c)
-	}
-	wg.Wait()
+	ParallelFor(chains, func(c int) {
+		ccfg := cfg
+		ccfg.Seed = cfg.Seed + int64(c)
+		g := newEngine(lay, tab, ccfg)
+		trace := make([][]float64, ds.NumFacts())
+		g.run(func(iter int, t []int8) {
+			if iter <= ccfg.BurnIn || (iter-ccfg.BurnIn-1)%(ccfg.SampleGap+1) != 0 {
+				return
+			}
+			for f, v := range t {
+				trace[f] = append(trace[f], float64(v))
+			}
+		})
+		outs[c] = chainOut{prob: g.probabilities(), trace: trace}
+	})
 
 	nF := ds.NumFacts()
 	pooled := make([]float64, nF)
@@ -102,4 +109,10 @@ func (m *LTM) FitChains(ds *model.Dataset, chains int) (*MultiChainResult, error
 		}
 	}
 	return out, nil
+}
+
+// FitChains runs cfg with `chains` parallel chains over this pre-compiled
+// engine, like LTM.FitChains but skipping the per-call flattening.
+func (e *Engine) FitChains(cfg Config, chains int) (*MultiChainResult, error) {
+	return New(cfg).fitChainsCompiled(e.ds, e.lay, chains)
 }

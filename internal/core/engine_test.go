@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"latenttruth/internal/synth"
+)
+
+// The engine claims more than statistical equivalence with the reference
+// sweep: for a fixed seed it performs the same floating-point operations on
+// the same values in the same order, so posteriors must match exactly. Any
+// drift — even 1 ulp — would let the chains diverge (Gibbs trajectories
+// are chaotic in the sample decisions), so exact equality is both the
+// strongest and the only stable assertion.
+
+// engineConfigs spans the sampler's configuration surface: defaults,
+// binary-sample averaging, explicit schedules (including the NoBurnIn
+// sentinel), and per-source prior overrides.
+func engineConfigs(srcName string) []Config {
+	return []Config{
+		{Seed: 1},
+		{Seed: 5, BinarySamples: true},
+		{Seed: 9, Iterations: 37, BurnIn: 11, SampleGap: 2},
+		{Seed: 3, Iterations: 50, BurnIn: NoBurnIn, SampleGap: NoSampleGap},
+		{Seed: 7, SourcePriors: map[string]Priors{
+			srcName: {FP: 1, TN: 199, TP: 30, FN: 5},
+		}},
+	}
+}
+
+func TestEngineMatchesReferenceFit(t *testing.T) {
+	for _, facts := range []int{60, 400} {
+		ds := easySynthetic(t, facts, int64(facts))
+		for ci, cfg := range engineConfigs(ds.Sources[0]) {
+			fit, err := New(cfg).Fit(ds)
+			if err != nil {
+				t.Fatalf("facts=%d cfg %d: %v", facts, ci, err)
+			}
+			ref := newReferenceGibbs(ds, cfg.withDefaults(ds.NumFacts()))
+			ref.run(nil)
+			want := ref.probabilities()
+			for f := range want {
+				if fit.Prob[f] != want[f] {
+					t.Fatalf("facts=%d cfg %d fact %d: engine %v, reference %v (Δ=%v)",
+						facts, ci, f, fit.Prob[f], want[f], math.Abs(fit.Prob[f]-want[f]))
+				}
+			}
+		}
+	}
+}
+
+func TestEngineMatchesReferenceOnSparseClaims(t *testing.T) {
+	// The simulated book corpus exercises the non-dense claim structure
+	// (per-entity negative claims, uneven fan-out) rather than the dense
+	// synthetic grid.
+	corpus, err := synth.BookCorpus(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := corpus.Dataset
+	cfg := Config{Seed: 7, Iterations: 30, BurnIn: 5}
+	fit, err := New(cfg).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newReferenceGibbs(ds, cfg.withDefaults(ds.NumFacts()))
+	ref.run(nil)
+	want := ref.probabilities()
+	for f := range want {
+		if fit.Prob[f] != want[f] {
+			t.Fatalf("fact %d: engine %v, reference %v", f, fit.Prob[f], want[f])
+		}
+	}
+}
+
+func TestEngineMatchesReferenceCheckpoints(t *testing.T) {
+	ds := easySynthetic(t, 150, 31)
+	cps := []Checkpoint{
+		{Iterations: 7, BurnIn: 2, SampleGap: 0},
+		{Iterations: 40, BurnIn: 10, SampleGap: 3},
+	}
+	got, err := New(Config{Seed: 4}).FitCheckpoints(ds, cps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay the checkpoint protocol on the reference sweep.
+	cfg := Config{Seed: 4}.withDefaults(ds.NumFacts())
+	cfg.Iterations = 40
+	ref := newReferenceGibbs(ds, cfg)
+	sums := make([][]float64, len(cps))
+	counts := make([]int, len(cps))
+	for i := range sums {
+		sums[i] = make([]float64, ds.NumFacts())
+	}
+	ref.run(func(iter int, tr []int8) {
+		for i, cp := range cps {
+			if iter > cp.Iterations || iter <= cp.BurnIn {
+				continue
+			}
+			if (iter-cp.BurnIn-1)%(cp.SampleGap+1) != 0 {
+				continue
+			}
+			counts[i]++
+			for f, v := range tr {
+				sums[i][f] += float64(v)
+			}
+		}
+	})
+	for i := range cps {
+		if counts[i] == 0 {
+			t.Fatalf("checkpoint %d kept no samples", i)
+		}
+		for f := range got[i].Prob {
+			want := sums[i][f] / float64(counts[i])
+			if got[i].Prob[f] != want {
+				t.Fatalf("checkpoint %d fact %d: engine %v, reference %v", i, f, got[i].Prob[f], want)
+			}
+		}
+	}
+}
+
+func TestEngineMatchesReferenceChains(t *testing.T) {
+	ds := easySynthetic(t, 200, 41)
+	const chains = 3
+	mc, err := New(Config{Seed: 6}).FitChains(ds, chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 6}.withDefaults(ds.NumFacts())
+	pooled := make([]float64, ds.NumFacts())
+	for c := 0; c < chains; c++ {
+		ccfg := cfg
+		ccfg.Seed = cfg.Seed + int64(c)
+		ref := newReferenceGibbs(ds, ccfg)
+		ref.run(nil)
+		prob := ref.probabilities()
+		for f, p := range prob {
+			pooled[f] += p
+		}
+		for f, p := range prob {
+			if mc.Chains[c][f] != p {
+				t.Fatalf("chain %d fact %d: engine %v, reference %v", c, f, mc.Chains[c][f], p)
+			}
+		}
+	}
+	for f := range pooled {
+		if want := pooled[f] / chains; mc.Prob[f] != want {
+			t.Fatalf("pooled fact %d: engine %v, reference %v", f, mc.Prob[f], want)
+		}
+	}
+}
+
+func TestEngineReuseAcrossConfigs(t *testing.T) {
+	// A compiled engine must be reusable for many fits with different
+	// priors and seeds, each equivalent to a fresh LTM fit.
+	ds := easySynthetic(t, 120, 51)
+	eng := Compile(ds)
+	for _, cfg := range engineConfigs(ds.Sources[1]) {
+		fromEngine, err := eng.Fit(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := New(cfg).Fit(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := range fresh.Prob {
+			if fromEngine.Prob[f] != fresh.Prob[f] {
+				t.Fatalf("fact %d: engine reuse %v, fresh fit %v", f, fromEngine.Prob[f], fresh.Prob[f])
+			}
+		}
+	}
+	// And the chains entry point too.
+	a, err := eng.FitChains(Config{Seed: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Seed: 2}).FitChains(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range a.Prob {
+		if a.Prob[f] != b.Prob[f] {
+			t.Fatalf("fact %d: engine chains %v, LTM chains %v", f, a.Prob[f], b.Prob[f])
+		}
+	}
+}
+
+func TestCompileLayoutShape(t *testing.T) {
+	ds := easySynthetic(t, 80, 61)
+	lay := compileLayout(ds)
+	if len(lay.claims) != ds.NumClaims() {
+		t.Fatalf("layout has %d claims, dataset %d", len(lay.claims), ds.NumClaims())
+	}
+	if got, want := int(lay.offsets[len(lay.offsets)-1]), ds.NumClaims(); got != want {
+		t.Fatalf("final offset %d, want %d", got, want)
+	}
+	for f := 0; f < ds.NumFacts(); f++ {
+		cs := lay.claims[lay.offsets[f]:lay.offsets[f+1]]
+		if len(cs) != len(ds.ClaimsByFact[f]) {
+			t.Fatalf("fact %d: %d packed claims, %d claim indices", f, len(cs), len(ds.ClaimsByFact[f]))
+		}
+		for k, ci := range ds.ClaimsByFact[f] {
+			c := ds.Claims[ci]
+			o := uint8(0)
+			if c.Observation {
+				o = 1
+			}
+			if cs[k].source != int32(c.Source) || cs[k].obs != o {
+				t.Fatalf("fact %d claim %d: packed (%d,%d), want (%d,%d)",
+					f, k, cs[k].source, cs[k].obs, c.Source, o)
+			}
+		}
+	}
+	var deg, pos int32
+	for s := 0; s < ds.NumSources(); s++ {
+		deg += lay.deg[s]
+		pos += lay.obsDeg[s*2+1]
+	}
+	if int(deg) != ds.NumClaims() || int(pos) != ds.NumPositiveClaims() {
+		t.Fatalf("degree totals %d/%d, want %d/%d", deg, pos, ds.NumClaims(), ds.NumPositiveClaims())
+	}
+}
+
+func TestLogTablesMatchDirectLogs(t *testing.T) {
+	ds := easySynthetic(t, 70, 71)
+	cfg := Config{Seed: 1, SourcePriors: map[string]Priors{
+		ds.Sources[2]: {FP: 2, TN: 300, TP: 12, FN: 7},
+	}}.withDefaults(ds.NumFacts())
+	lay := compileLayout(ds)
+	tab := newTables(ds, lay, cfg)
+	for s := 0; s < lay.numSources; s++ {
+		p := cfg.Priors
+		if sp, ok := cfg.SourcePriors[ds.Sources[s]]; ok {
+			sp.True, sp.Fls = p.True, p.Fls
+			p = sp
+		}
+		for i := 0; i <= 1; i++ {
+			for j := 0; j <= 1; j++ {
+				for m, got := range tab.logNum[s*4+i*2+j] {
+					if want := math.Log(float64(m) + p.alpha(i, j)); got != want {
+						t.Fatalf("logNum[s=%d,i=%d,j=%d][%d] = %v, want %v", s, i, j, m, got, want)
+					}
+				}
+			}
+			for m, got := range tab.logDen[s*2+i] {
+				if want := math.Log(float64(m) + p.alphaTotal(i)); got != want {
+					t.Fatalf("logDen[s=%d,i=%d][%d] = %v, want %v", s, i, m, got, want)
+				}
+			}
+		}
+	}
+}

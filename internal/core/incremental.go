@@ -72,6 +72,12 @@ func NewIncrementalFromQuality(quality []model.SourceQuality, priors Priors) (*I
 func (inc *Incremental) Name() string { return "LTMinc" }
 
 // Infer computes the closed-form truth posterior of every fact in ds.
+//
+// The per-claim work is hoisted out of the fact loop: source names are
+// resolved and the four per-source log-likelihood terms of Equation 3 are
+// computed once per source (instead of two map lookups and two logs per
+// claim), so the sweep over claims is pure table additions — the same
+// flat-layout discipline as the Gibbs engine, with identical results.
 func (inc *Incremental) Infer(ds *model.Dataset) (*model.Result, error) {
 	res := model.NewResult(inc.Name(), ds)
 	// Prior-mean fallbacks for unseen sources.
@@ -79,25 +85,36 @@ func (inc *Incremental) Infer(ds *model.Dataset) (*model.Result, error) {
 	defFPR := inc.priors.FP / (inc.priors.FP + inc.priors.TN)
 	lbeta1 := math.Log(inc.priors.True)
 	lbeta0 := math.Log(inc.priors.Fls)
+	// lpos[s*2+t] and lneg[s*2+t] are the log-likelihood contributions of a
+	// positive/negative claim by source s under truth label t.
+	nS := ds.NumSources()
+	lpos := make([]float64, 2*nS)
+	lneg := make([]float64, 2*nS)
+	for s, name := range ds.Sources {
+		sens, ok := inc.sens[name]
+		if !ok {
+			sens = defSens
+		}
+		fpr, ok := inc.fpr[name]
+		if !ok {
+			fpr = defFPR
+		}
+		lpos[s*2+1] = math.Log(sens)
+		lpos[s*2] = math.Log(fpr)
+		lneg[s*2+1] = math.Log1p(-sens)
+		lneg[s*2] = math.Log1p(-fpr)
+	}
 	for f := range ds.Facts {
 		l1, l0 := lbeta1, lbeta0
 		for _, ci := range ds.ClaimsByFact[f] {
 			c := ds.Claims[ci]
-			name := ds.Sources[c.Source]
-			sens, ok := inc.sens[name]
-			if !ok {
-				sens = defSens
-			}
-			fpr, ok := inc.fpr[name]
-			if !ok {
-				fpr = defFPR
-			}
+			s2 := c.Source * 2
 			if c.Observation {
-				l1 += math.Log(sens)
-				l0 += math.Log(fpr)
+				l1 += lpos[s2+1]
+				l0 += lpos[s2]
 			} else {
-				l1 += math.Log1p(-sens)
-				l0 += math.Log1p(-fpr)
+				l1 += lneg[s2+1]
+				l0 += lneg[s2]
 			}
 		}
 		res.Prob[f] = 1.0 / (1.0 + math.Exp(l0-l1))

@@ -178,15 +178,15 @@ func TestQualityPriors(t *testing.T) {
 	qp := QualityPriors(ds, prob, base)
 	a := qp["A"]
 	// A: TP=1, TN=1 -> priors incremented accordingly.
-	if !close(a.TP, base.TP+1) || !close(a.TN, base.TN+1) ||
-		!close(a.FP, base.FP) || !close(a.FN, base.FN) {
+	if !approxEq(a.TP, base.TP+1) || !approxEq(a.TN, base.TN+1) ||
+		!approxEq(a.FP, base.FP) || !approxEq(a.FN, base.FN) {
 		t.Fatalf("A priors %+v", a)
 	}
 	if a.True != base.True || a.Fls != base.Fls {
 		t.Fatal("beta components should carry over unchanged")
 	}
 	b := qp["B"]
-	if !close(b.FP, base.FP+1) || !close(b.FN, base.FN+1) {
+	if !approxEq(b.FP, base.FP+1) || !approxEq(b.FN, base.FN+1) {
 		t.Fatalf("B priors %+v", b)
 	}
 }

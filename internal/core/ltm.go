@@ -22,7 +22,6 @@ import (
 	"math"
 
 	"latenttruth/internal/model"
-	"latenttruth/internal/stats"
 )
 
 // Priors holds the Beta hyperparameters of LTM. Names follow the confusion
@@ -114,11 +113,15 @@ type Config struct {
 	SourcePriors map[string]Priors
 	// Iterations is the total number of Gibbs sweeps (default 100).
 	Iterations int
-	// BurnIn is the number of initial sweeps discarded (default 20).
+	// BurnIn is the number of initial sweeps discarded. The zero value
+	// means "default": 20 when Iterations > 20, otherwise 0. To request an
+	// explicitly zero burn-in with more than 20 iterations, set
+	// BurnIn: NoBurnIn.
 	BurnIn int
 	// SampleGap is the number of sweeps skipped between kept samples after
-	// burn-in; 0 keeps every sweep (default 4, the paper's Figure 5 setting
-	// for 100 iterations).
+	// burn-in. The zero value means "default": 4, the paper's Figure 5
+	// setting for 100 iterations. To keep every post-burn-in sweep, set
+	// SampleGap: NoSampleGap.
 	SampleGap int
 	// Seed makes the sampler deterministic (default 1).
 	Seed int64
@@ -132,6 +135,15 @@ type Config struct {
 	BinarySamples bool
 }
 
+// NoBurnIn and NoSampleGap are sentinel Config values requesting an
+// explicit zero where the zero value itself means "use the default":
+// Config{BurnIn: NoBurnIn} discards no sweeps, and
+// Config{SampleGap: NoSampleGap} keeps every post-burn-in sweep.
+const (
+	NoBurnIn    = -1
+	NoSampleGap = -1
+)
+
 // withDefaults fills unset fields. numFacts sizes the default priors.
 func (c Config) withDefaults(numFacts int) Config {
 	if c.Priors == (Priors{}) {
@@ -140,10 +152,16 @@ func (c Config) withDefaults(numFacts int) Config {
 	if c.Iterations == 0 {
 		c.Iterations = 100
 	}
-	if c.BurnIn == 0 && c.Iterations > 20 {
+	switch {
+	case c.BurnIn == NoBurnIn:
+		c.BurnIn = 0
+	case c.BurnIn == 0 && c.Iterations > 20:
 		c.BurnIn = 20
 	}
-	if c.SampleGap == 0 {
+	switch {
+	case c.SampleGap == NoSampleGap:
+		c.SampleGap = 0
+	case c.SampleGap == 0:
 		c.SampleGap = 4
 	}
 	if c.Seed == 0 {
@@ -222,6 +240,12 @@ func (m *LTM) Infer(ds *model.Dataset) (*model.Result, error) {
 // Fit runs collapsed Gibbs sampling over ds and returns posterior truth
 // probabilities together with MAP source quality.
 func (m *LTM) Fit(ds *model.Dataset) (*FitResult, error) {
+	return m.fitCompiled(ds, nil)
+}
+
+// fitCompiled is Fit over an optionally pre-compiled layout (nil compiles
+// ds here); it is the common path of LTM.Fit and Engine.Fit.
+func (m *LTM) fitCompiled(ds *model.Dataset, lay *layout) (*FitResult, error) {
 	cfg := m.cfg.withDefaults(ds.NumFacts())
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -229,7 +253,10 @@ func (m *LTM) Fit(ds *model.Dataset) (*FitResult, error) {
 	if ds.NumFacts() == 0 {
 		return nil, fmt.Errorf("core: dataset has no facts")
 	}
-	g := newGibbs(ds, cfg)
+	if lay == nil {
+		lay = compileLayout(ds)
+	}
+	g := newEngine(lay, newTables(ds, lay, cfg), cfg)
 	g.run(nil)
 	prob := g.probabilities()
 	res := &model.Result{Method: m.Name(), Prob: prob}
@@ -279,7 +306,8 @@ func (m *LTM) FitCheckpoints(ds *model.Dataset, cps []Checkpoint) ([]*model.Resu
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	g := newGibbs(ds, cfg)
+	lay := compileLayout(ds)
+	g := newEngine(lay, newTables(ds, lay, cfg), cfg)
 
 	sums := make([][]float64, len(cps))
 	counts := make([]int, len(cps))
@@ -319,156 +347,4 @@ func (m *LTM) FitCheckpoints(ds *model.Dataset, cps []Checkpoint) ([]*model.Resu
 		}
 	}
 	return out, nil
-}
-
-// gibbs is the collapsed Gibbs sampler state (Algorithm 1).
-type gibbs struct {
-	ds  *model.Dataset
-	cfg Config
-	rng *stats.RNG
-
-	// truth[f] ∈ {0,1} is the current assignment of t_f.
-	truth []int8
-	// n[s][i][j] counts source s's claims with truth label i and
-	// observation j — the sufficient statistics of Equation 2.
-	n [][2][2]int
-	// alpha[s][i][j] and alphaTot[s][i] are the per-source hyperparameters
-	// (global priors unless Config.SourcePriors overrides a source).
-	alpha    [][2][2]float64
-	alphaTot [][2]float64
-	// cond[f] is the last conditional probability p(t_f = 1 | t_−f)
-	// computed for f in the current sweep (Rao-Blackwellized estimate).
-	cond []float64
-	// sum[f] accumulates kept samples of t_f; samples counts them.
-	sum     []float64
-	samples int
-}
-
-func newGibbs(ds *model.Dataset, cfg Config) *gibbs {
-	g := &gibbs{
-		ds:       ds,
-		cfg:      cfg,
-		rng:      stats.NewRNG(cfg.Seed),
-		truth:    make([]int8, ds.NumFacts()),
-		n:        make([][2][2]int, ds.NumSources()),
-		alpha:    make([][2][2]float64, ds.NumSources()),
-		alphaTot: make([][2]float64, ds.NumSources()),
-		cond:     make([]float64, ds.NumFacts()),
-		sum:      make([]float64, ds.NumFacts()),
-	}
-	for s := range g.alpha {
-		p := cfg.Priors
-		if sp, ok := cfg.SourcePriors[ds.Sources[s]]; ok {
-			sp.True, sp.Fls = p.True, p.Fls
-			p = sp
-		}
-		for i := 0; i <= 1; i++ {
-			for j := 0; j <= 1; j++ {
-				g.alpha[s][i][j] = p.alpha(i, j)
-			}
-			g.alphaTot[s][i] = p.alphaTotal(i)
-		}
-	}
-	// Initialization: sample each t_f uniformly and set up counts.
-	for f := range g.truth {
-		if g.rng.Float64() < 0.5 {
-			g.truth[f] = 0
-		} else {
-			g.truth[f] = 1
-		}
-		g.applyFact(f, int(g.truth[f]), +1)
-	}
-	return g
-}
-
-// applyFact adds delta to the counts of all claims of fact f under truth
-// label i.
-func (g *gibbs) applyFact(f, i, delta int) {
-	for _, ci := range g.ds.ClaimsByFact[f] {
-		c := g.ds.Claims[ci]
-		o := 0
-		if c.Observation {
-			o = 1
-		}
-		g.n[c.Source][i][o] += delta
-	}
-}
-
-// run performs cfg.Iterations sweeps. After each sweep it invokes observe
-// (when non-nil) with the 1-based iteration number and the current truth
-// assignment, and accumulates the default-schedule sample average.
-func (g *gibbs) run(observe func(iter int, t []int8)) {
-	cfg := g.cfg
-	p := cfg.Priors
-	for iter := 1; iter <= cfg.Iterations; iter++ {
-		for f := range g.truth {
-			cur := int(g.truth[f])
-			alt := 1 - cur
-			// Log-space accumulation keeps long claim lists (hundreds of
-			// sources per fact) from underflowing the direct product in
-			// Algorithm 1.
-			lcur := math.Log(p.beta(cur))
-			lalt := math.Log(p.beta(alt))
-			for _, ci := range g.ds.ClaimsByFact[f] {
-				c := g.ds.Claims[ci]
-				o := 0
-				if c.Observation {
-					o = 1
-				}
-				s := c.Source
-				// Current label: this fact's claim is included in the
-				// counts, so discount it (the −1 terms of Algorithm 1).
-				numCur := float64(g.n[s][cur][o]-1) + g.alpha[s][cur][o]
-				denCur := float64(g.n[s][cur][0]+g.n[s][cur][1]-1) + g.alphaTot[s][cur]
-				lcur += math.Log(numCur) - math.Log(denCur)
-				// Alternative label: counts exclude this fact already.
-				numAlt := float64(g.n[s][alt][o]) + g.alpha[s][alt][o]
-				denAlt := float64(g.n[s][alt][0]+g.n[s][alt][1]) + g.alphaTot[s][alt]
-				lalt += math.Log(numAlt) - math.Log(denAlt)
-			}
-			// P(flip) = exp(lalt) / (exp(lcur) + exp(lalt)).
-			pFlip := 1.0 / (1.0 + math.Exp(lcur-lalt))
-			if cur == 1 {
-				g.cond[f] = 1 - pFlip
-			} else {
-				g.cond[f] = pFlip
-			}
-			if g.rng.Float64() < pFlip {
-				g.applyFact(f, cur, -1)
-				g.truth[f] = int8(alt)
-				g.applyFact(f, alt, +1)
-			}
-		}
-		if iter > cfg.BurnIn && (iter-cfg.BurnIn-1)%(cfg.SampleGap+1) == 0 {
-			g.samples++
-			if cfg.BinarySamples {
-				for f, v := range g.truth {
-					g.sum[f] += float64(v)
-				}
-			} else {
-				for f, p := range g.cond {
-					g.sum[f] += p
-				}
-			}
-		}
-		if observe != nil {
-			observe(iter, g.truth)
-		}
-	}
-}
-
-// probabilities returns the posterior mean of each t_f over kept samples,
-// falling back to the final state if no samples were kept.
-func (g *gibbs) probabilities() []float64 {
-	prob := make([]float64, len(g.truth))
-	if g.samples == 0 {
-		for f, v := range g.truth {
-			prob[f] = float64(v)
-		}
-		return prob
-	}
-	for f := range prob {
-		prob[f] = g.sum[f] / float64(g.samples)
-	}
-	return prob
 }

@@ -178,7 +178,7 @@ func TestConfigValidation(t *testing.T) {
 	cases := []Config{
 		{Iterations: -1},
 		{Iterations: 10, BurnIn: 10},
-		{Iterations: 10, BurnIn: -1},
+		{Iterations: 10, BurnIn: -2}, // -1 is the NoBurnIn sentinel, valid
 		{Iterations: 10, SampleGap: -2},
 		{Priors: Priors{FP: -1, TN: 1, TP: 1, FN: 1, True: 1, Fls: 1}},
 	}
@@ -186,6 +186,58 @@ func TestConfigValidation(t *testing.T) {
 		if _, err := New(cfg).Fit(ds); err == nil {
 			t.Errorf("case %d: expected config error", i)
 		}
+	}
+}
+
+func TestConfigDefaultsAndSentinels(t *testing.T) {
+	// The zero value takes the paper's schedule.
+	d := Config{}.withDefaults(1000)
+	if d.Iterations != 100 || d.BurnIn != 20 || d.SampleGap != 4 || d.Seed != 1 {
+		t.Fatalf("zero-value defaults = %+v", d)
+	}
+	// BurnIn: 0 with Iterations > 20 still means "default 20" (documented
+	// behavior, relied on by every zero-valued Config in the repo) ...
+	d = Config{Iterations: 100}.withDefaults(1000)
+	if d.BurnIn != 20 {
+		t.Fatalf("BurnIn 0 with 100 iterations = %d, want default 20", d.BurnIn)
+	}
+	// ... and at most 20 iterations, zero burn-in is kept as-is.
+	d = Config{Iterations: 20}.withDefaults(1000)
+	if d.BurnIn != 0 {
+		t.Fatalf("BurnIn 0 with 20 iterations = %d, want 0", d.BurnIn)
+	}
+	// The sentinels make the explicit zeros expressible.
+	d = Config{Iterations: 100, BurnIn: NoBurnIn, SampleGap: NoSampleGap}.withDefaults(1000)
+	if d.BurnIn != 0 || d.SampleGap != 0 {
+		t.Fatalf("sentinels resolved to BurnIn=%d SampleGap=%d, want 0, 0", d.BurnIn, d.SampleGap)
+	}
+}
+
+func TestNoBurnInSentinelKeepsAllSweeps(t *testing.T) {
+	ds := easySynthetic(t, 80, 12)
+	// Default schedule: (100-20)/(4+1) = 16 kept samples.
+	def, err := New(Config{Seed: 1, Iterations: 100}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.SamplesKept != 16 {
+		t.Fatalf("default schedule kept %d samples, want 16", def.SamplesKept)
+	}
+	// NoBurnIn keeps samples from the first sweep on: 100/(4+1) = 20.
+	nb, err := New(Config{Seed: 1, Iterations: 100, BurnIn: NoBurnIn}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.SamplesKept != 20 {
+		t.Fatalf("NoBurnIn kept %d samples, want 20", nb.SamplesKept)
+	}
+	// NoSampleGap keeps every post-burn-in sweep: 100-20 = 80.
+	ng, err := New(Config{Seed: 1, Iterations: 100, SampleGap: NoSampleGap}).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.SamplesKept != 80 {
+		t.Fatalf("NoSampleGap kept %d samples, want 80", ng.SamplesKept)
 	}
 }
 
@@ -250,19 +302,20 @@ func TestGibbsCountsStayConsistent(t *testing.T) {
 	// Algorithm 1's incremental updates.
 	ds := easySynthetic(t, 200, 9)
 	cfg := Config{Seed: 3}.withDefaults(ds.NumFacts())
-	g := newGibbs(ds, cfg)
+	lay := compileLayout(ds)
+	g := newEngine(lay, newTables(ds, lay, cfg), cfg)
 	g.run(nil)
-	want := make([][2][2]int, ds.NumSources())
+	want := make([]int32, 4*ds.NumSources())
 	for _, c := range ds.Claims {
 		o := 0
 		if c.Observation {
 			o = 1
 		}
-		want[c.Source][int(g.truth[c.Fact])][o]++
+		want[c.Source*4+int(g.truth[c.Fact])*2+o]++
 	}
-	for s := range want {
-		if want[s] != g.n[s] {
-			t.Fatalf("source %d counts drifted: have %v, recount %v", s, g.n[s], want[s])
+	for i := range want {
+		if want[i] != g.n[i] {
+			t.Fatalf("count cell %d drifted: have %v, recount %v", i, g.n[i], want[i])
 		}
 	}
 }
@@ -280,18 +333,19 @@ func TestGibbsCountInvariantProperty(t *testing.T) {
 			return false
 		}
 		cfg := Config{Seed: int64(seedRaw)*7 + 1, Iterations: 30, BurnIn: 5}.withDefaults(ds.NumFacts())
-		g := newGibbs(ds, cfg)
+		lay := compileLayout(ds)
+		g := newEngine(lay, newTables(ds, lay, cfg), cfg)
 		g.run(nil)
-		recount := make([][2][2]int, ds.NumSources())
+		recount := make([]int32, 4*ds.NumSources())
 		for _, c := range ds.Claims {
 			o := 0
 			if c.Observation {
 				o = 1
 			}
-			recount[c.Source][int(g.truth[c.Fact])][o]++
+			recount[c.Source*4+int(g.truth[c.Fact])*2+o]++
 		}
-		for s := range recount {
-			if recount[s] != g.n[s] {
+		for i := range recount {
+			if recount[i] != g.n[i] {
 				return false
 			}
 		}

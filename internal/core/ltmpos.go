@@ -20,11 +20,12 @@ func NewPos(cfg Config) *LTMPos { return &LTMPos{cfg: cfg} }
 // Name implements model.Method.
 func (m *LTMPos) Name() string { return "LTMpos" }
 
-// Infer drops negative claims from ds and runs LTM on the truncation.
-// Fact ids are preserved, so the result aligns with the original dataset.
+// Infer drops negative claims from ds and runs the sampler engine on the
+// truncation. Fact ids are preserved, so the result aligns with the
+// original dataset.
 func (m *LTMPos) Infer(ds *model.Dataset) (*model.Result, error) {
 	pos := PositiveOnly(ds)
-	fit, err := New(m.cfg).Fit(pos)
+	fit, err := Compile(pos).Fit(m.cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -31,13 +31,13 @@ func TestExpectedCountsHandComputed(t *testing.T) {
 	b := ds.SourceIndex("B")
 	// Source A: positive on fact0 (p=.8) -> E[n_{1,1}] += .8, E[n_{0,1}] += .2;
 	// negative on fact1 (p=.25) -> E[n_{1,0}] += .25, E[n_{0,0}] += .75.
-	if !close(e[a][1][1], 0.8) || !close(e[a][0][1], 0.2) ||
-		!close(e[a][1][0], 0.25) || !close(e[a][0][0], 0.75) {
+	if !approxEq(e[a][1][1], 0.8) || !approxEq(e[a][0][1], 0.2) ||
+		!approxEq(e[a][1][0], 0.25) || !approxEq(e[a][0][0], 0.75) {
 		t.Fatalf("source A counts %v", e[a])
 	}
 	// Source B: negative on fact0, positive on fact1.
-	if !close(e[b][1][0], 0.8) || !close(e[b][0][0], 0.2) ||
-		!close(e[b][1][1], 0.25) || !close(e[b][0][1], 0.75) {
+	if !approxEq(e[b][1][0], 0.8) || !approxEq(e[b][0][0], 0.2) ||
+		!approxEq(e[b][1][1], 0.25) || !approxEq(e[b][0][1], 0.75) {
 		t.Fatalf("source B counts %v", e[b])
 	}
 }
@@ -51,14 +51,14 @@ func TestEstimateQualityClosedForm(t *testing.T) {
 	// A: TP=1 (fact0 positive), FN=0, FP=0, TN=1 (fact1 negative).
 	wantSens := (1 + p.TP) / (1 + 0 + p.TP + p.FN)
 	wantFPR := (0 + p.FP) / (0 + 1 + p.FP + p.TN)
-	if !close(sens[a], wantSens) || !close(fpr[a], wantFPR) {
+	if !approxEq(sens[a], wantSens) || !approxEq(fpr[a], wantFPR) {
 		t.Fatalf("A: sens %v (want %v), fpr %v (want %v)", sens[a], wantSens, fpr[a], wantFPR)
 	}
 	wantPrec := (1 + p.TP) / (1 + 0 + p.TP + p.FP)
-	if !close(quality[a].Precision, wantPrec) {
+	if !approxEq(quality[a].Precision, wantPrec) {
 		t.Fatalf("A precision %v want %v", quality[a].Precision, wantPrec)
 	}
-	if !close(quality[a].Specificity, 1-fpr[a]) {
+	if !approxEq(quality[a].Specificity, 1-fpr[a]) {
 		t.Fatal("specificity != 1-fpr")
 	}
 	// B is A's mirror image: positive on the false fact, negative on the
@@ -66,7 +66,7 @@ func TestEstimateQualityClosedForm(t *testing.T) {
 	b := ds.SourceIndex("B")
 	wantSensB := (0 + p.TP) / (0 + 1 + p.TP + p.FN)
 	wantFPRB := (1 + p.FP) / (1 + 0 + p.FP + p.TN)
-	if !close(sens[b], wantSensB) || !close(fpr[b], wantFPRB) {
+	if !approxEq(sens[b], wantSensB) || !approxEq(fpr[b], wantFPRB) {
 		t.Fatalf("B: sens %v (want %v), fpr %v (want %v)", sens[b], wantSensB, fpr[b], wantFPRB)
 	}
 }
@@ -117,4 +117,4 @@ func TestRankedQuality(t *testing.T) {
 	}
 }
 
-func close(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+func approxEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }

@@ -58,7 +58,10 @@ func (af *AdversarialFilter) Run(ds *model.Dataset) (*FilterResult, error) {
 	cur := ds
 	out := &FilterResult{}
 	for round := 0; round < maxRounds; round++ {
-		fit, err := core.New(af.Config).Fit(cur)
+		// Each round fits a freshly rebuilt (shrunken) dataset, so the
+		// engine compiles per round; the win here is the engine's faster
+		// sweep, not layout reuse.
+		fit, err := core.Compile(cur).Fit(af.Config)
 		if err != nil {
 			return nil, fmt.Errorf("ltmx: round %d: %w", round, err)
 		}
@@ -87,7 +90,7 @@ func (af *AdversarialFilter) Run(ds *model.Dataset) (*FilterResult, error) {
 		cur = next
 	}
 	// Final fit on the last surviving dataset.
-	fit, err := core.New(af.Config).Fit(cur)
+	fit, err := core.Compile(cur).Fit(af.Config)
 	if err != nil {
 		return nil, fmt.Errorf("ltmx: final fit: %w", err)
 	}

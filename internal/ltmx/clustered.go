@@ -90,25 +90,34 @@ func (cl *Clustered) Fit(ds *model.Dataset) (*ClusteredResult, error) {
 	out := &ClusteredResult{Assignment: assign}
 	for round := 0; round < rounds; round++ {
 		out.Rounds = round + 1
-		// Build per-cluster datasets and fit; refresh global truth.
+		// Build per-cluster datasets and fit them concurrently — the
+		// clusters partition the entities, so the fits are independent and
+		// each writes a disjoint set of fact probabilities. Refresh global
+		// truth from the per-cluster posteriors.
 		out.Datasets = make([]*model.Dataset, k)
 		out.Fits = make([]*core.FitResult, k)
-		for c := 0; c < k; c++ {
-			c := c
+		errs := make([]error, k)
+		core.ParallelFor(k, func(c int) {
 			sub := store.FilterEntities(ds, func(e int, _ string) bool { return assign[e] == c })
 			if sub.NumFacts() == 0 {
 				// Empty cluster: leave nil; members cannot move here this
 				// round and no reassignment uses it.
-				continue
+				return
 			}
-			fit, err := core.New(cl.Config).Fit(sub)
+			fit, err := core.Compile(sub).Fit(cl.Config)
 			if err != nil {
-				return nil, fmt.Errorf("ltmx: cluster %d round %d: %w", c, round, err)
+				errs[c] = err
+				return
 			}
 			out.Datasets[c] = sub
 			out.Fits[c] = fit
 			for _, f := range sub.Facts {
 				prob[factOf[[2]string{sub.Entities[f.Entity], f.Attribute}]] = fit.Prob[f.ID]
+			}
+		})
+		for c, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("ltmx: cluster %d round %d: %w", c, round, err)
 			}
 		}
 		if round == rounds-1 {

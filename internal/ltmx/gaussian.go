@@ -145,6 +145,9 @@ func GaussianTruth(claims []NumericClaim, cfg GaussianConfig) (*GaussianResult, 
 	prev := make([]float64, len(entities))
 	// postVar[e] is V_e, the posterior variance of μ_e from the E-step.
 	postVar := make([]float64, len(entities))
+	// invVar[s] caches 1/σ²_s for the E-step: one division per source per
+	// sweep instead of one per claim per sweep.
+	invVar := make([]float64, len(sources))
 	k0 := cfg.PriorMeanWeight
 	iters := 0
 	for iter := 0; iter < cfg.Iterations; iter++ {
@@ -152,13 +155,16 @@ func GaussianTruth(claims []NumericClaim, cfg GaussianConfig) (*GaussianResult, 
 		// E-step: Gaussian posterior of each entity mean, centred (with
 		// tiny weight κ0) on the entity's unweighted claim mean.
 		copy(prev, mu)
+		for s := range sigma2 {
+			invVar[s] = 1 / sigma2[s]
+		}
 		for e, cs := range byEntity {
 			var ws, vs, plain float64
 			for _, ci := range cs {
-				w := 1 / sigma2[idx[ci].s]
+				w := invVar[idx[ci].s]
 				ws += w
-				vs += w * claims[ci].Value
-				plain += claims[ci].Value
+				vs += w * values[ci]
+				plain += values[ci]
 			}
 			m0 := plain / float64(len(cs))
 			mu[e] = (vs + k0*m0) / (ws + k0)
@@ -170,7 +176,7 @@ func GaussianTruth(claims []NumericClaim, cfg GaussianConfig) (*GaussianResult, 
 			ss := 0.0
 			for _, ci := range cs {
 				e := idx[ci].e
-				d := claims[ci].Value - mu[e]
+				d := values[ci] - mu[e]
 				ss += d*d + postVar[e]
 			}
 			n := float64(len(cs))

@@ -63,6 +63,13 @@ func (mt *MultiType) Fit(types map[string]*model.Dataset) ([]TypedFit, error) {
 	}
 	sort.Strings(names)
 
+	// Compile each type's claim table once; the flat layout is reused by
+	// every empirical-Bayes round (only the priors change between rounds).
+	engines := make(map[string]*core.Engine, len(types))
+	for _, name := range names {
+		engines[name] = core.Compile(types[name])
+	}
+
 	// pooled[source][i][j] accumulates expected counts across types.
 	var pooled map[string]*[2][2]float64
 	var fits []TypedFit
@@ -93,16 +100,26 @@ func (mt *MultiType) Fit(types map[string]*model.Dataset) ([]TypedFit, error) {
 				}
 			}
 		}
-		pooled = make(map[string]*[2][2]float64)
-		fits = fits[:0]
-		for _, name := range names {
-			ds := types[name]
+		// Types within a round are independent given the shared priors:
+		// fit them concurrently, then pool counts in deterministic name
+		// order.
+		roundFits := make([]*core.FitResult, len(names))
+		roundErrs := make([]error, len(names))
+		core.ParallelFor(len(names), func(i int) {
 			cfg := mt.Config
 			cfg.SourcePriors = sp
-			fit, err := core.New(cfg).Fit(ds)
-			if err != nil {
-				return nil, fmt.Errorf("ltmx: type %q round %d: %w", name, round, err)
+			roundFits[i], roundErrs[i] = engines[names[i]].Fit(cfg)
+		})
+		for i, name := range names {
+			if roundErrs[i] != nil {
+				return nil, fmt.Errorf("ltmx: type %q round %d: %w", name, round, roundErrs[i])
 			}
+		}
+		pooled = make(map[string]*[2][2]float64)
+		fits = fits[:0]
+		for i, name := range names {
+			ds := types[name]
+			fit := roundFits[i]
 			fits = append(fits, TypedFit{Type: name, Fit: fit})
 			e := core.ExpectedCounts(ds, fit.Prob)
 			for s, src := range ds.Sources {

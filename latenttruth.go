@@ -129,9 +129,25 @@ type (
 	EMLTM = core.EM
 )
 
+// NoBurnIn and NoSampleGap are sentinel Config values requesting an
+// explicit zero where the zero value itself means "use the default".
+const (
+	NoBurnIn    = core.NoBurnIn
+	NoSampleGap = core.NoSampleGap
+)
+
 // NewLTM returns an LTM estimator; zero-valued Config fields take the
 // paper's defaults.
 func NewLTM(cfg Config) *LTM { return core.New(cfg) }
+
+// Engine is a dataset compiled once into the sampler's flat claim layout;
+// reuse it to fit the same dataset repeatedly (different priors, seeds, or
+// chain counts) without paying the per-fit flattening cost.
+type Engine = core.Engine
+
+// CompileDataset compiles ds for repeated sampling with Engine.Fit and
+// Engine.FitChains.
+func CompileDataset(ds *Dataset) *Engine { return core.Compile(ds) }
 
 // NewLTMPos returns the positive-claims-only variant (ablation).
 func NewLTMPos(cfg Config) *LTMPos { return core.NewPos(cfg) }
