@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,26 +24,35 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "truthfind:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run executes the tool with explicit arguments and output streams so the
+// end-to-end golden tests can drive it exactly like a shell would.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("truthfind", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		input      = flag.String("input", "", "triples CSV (entity,attribute,source); required")
-		method     = flag.String("method", "LTM", "method name: "+strings.Join(latenttruth.MethodNames(), ", "))
-		threshold  = flag.Float64("threshold", 0.5, "decision threshold for the truth table")
-		output     = flag.String("output", "", "truth table CSV output (default stdout)")
-		quality    = flag.String("quality", "", "source quality CSV output (LTM only)")
-		labels     = flag.String("labels", "", "labels CSV (entity,attribute,truth) for evaluation")
-		iterations = flag.Int("iterations", 0, "Gibbs iterations for LTM (0 = default 100)")
-		seed       = flag.Int64("seed", 1, "sampler seed")
+		input      = fs.String("input", "", "triples CSV (entity,attribute,source); required")
+		method     = fs.String("method", "LTM", "method name: "+strings.Join(latenttruth.MethodNames(), ", "))
+		threshold  = fs.Float64("threshold", 0.5, "decision threshold for the truth table")
+		output     = fs.String("output", "", "truth table CSV output (default stdout)")
+		quality    = fs.String("quality", "", "source quality CSV output (LTM only)")
+		labels     = fs.String("labels", "", "labels CSV (entity,attribute,truth) for evaluation")
+		iterations = fs.Int("iterations", 0, "Gibbs iterations for LTM (0 = default 100)")
+		seed       = fs.Int64("seed", 1, "sampler seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 	if *input == "" {
-		flag.Usage()
+		fs.Usage()
 		return fmt.Errorf("-input is required")
 	}
 	f, err := os.Open(*input)
@@ -55,7 +65,7 @@ func run() error {
 		return err
 	}
 	ds := latenttruth.BuildDataset(db)
-	fmt.Fprintf(os.Stderr, "loaded %d entities, %d facts, %d claims from %d sources\n",
+	fmt.Fprintf(stderr, "loaded %d entities, %d facts, %d claims from %d sources\n",
 		ds.NumEntities(), ds.NumFacts(), ds.NumClaims(), ds.NumSources())
 
 	if *labels != "" {
@@ -103,15 +113,15 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(os.Stderr, metrics)
+		fmt.Fprintln(stderr, metrics)
 		if auc, err := latenttruth.AUC(ds, res); err == nil {
-			fmt.Fprintf(os.Stderr, "AUC = %.4f\n", auc)
+			fmt.Fprintf(stderr, "AUC = %.4f\n", auc)
 		}
 	}
 
 	write := func(w io.Writer) error { return latenttruth.WriteTruth(w, ds, res, *threshold) }
 	if *output == "" {
-		return write(os.Stdout)
+		return write(stdout)
 	}
 	return writeTo(*output, write)
 }

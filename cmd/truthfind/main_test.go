@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update regenerates the golden files:
+//
+//	go test ./cmd/truthfind -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestTruthfindGolden runs the complete tool — CSV in, truth/quality
+// tables out — over the committed fixture for LTM and two baselines, and
+// compares every emitted artifact byte-for-byte against golden files. The
+// sampler is seeded, so any drift in the data model, the engines, the
+// evaluation path or the CSV writers shows up as a diff here.
+func TestTruthfindGolden(t *testing.T) {
+	cases := []struct {
+		name    string
+		method  string
+		quality bool
+	}{
+		{name: "ltm", method: "LTM", quality: true},
+		{name: "voting", method: "Voting"},
+		{name: "truthfinder", method: "TruthFinder"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			truthOut := filepath.Join(dir, "truth.csv")
+			args := []string{
+				"-input", "testdata/triples.csv",
+				"-labels", "testdata/labels.csv",
+				"-method", tc.method,
+				"-seed", "1",
+				"-output", truthOut,
+			}
+			qualityOut := filepath.Join(dir, "quality.csv")
+			if tc.quality {
+				args = append(args, "-quality", qualityOut)
+			}
+			var stdout, stderr bytes.Buffer
+			if err := run(args, &stdout, &stderr); err != nil {
+				t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+			}
+			if stdout.Len() != 0 {
+				t.Errorf("unexpected stdout with -output: %q", stdout.String())
+			}
+			for _, want := range []string{"loaded 30 entities", tc.method, "AUC ="} {
+				if !strings.Contains(stderr.String(), want) {
+					t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+				}
+			}
+			compareGolden(t, truthOut, filepath.Join("testdata", "golden_truth_"+tc.name+".csv"))
+			if tc.quality {
+				compareGolden(t, qualityOut, filepath.Join("testdata", "golden_quality_ltm.csv"))
+			}
+		})
+	}
+}
+
+// TestTruthfindStdout checks the default-output path used by shell
+// pipelines: no -output means the truth table goes to stdout.
+func TestTruthfindStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-input", "testdata/triples.csv", "-method", "Voting"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden_truth_voting.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout.String() != string(golden) {
+		t.Errorf("stdout truth table differs from golden_truth_voting.csv")
+	}
+}
+
+// TestTruthfindErrors covers the argument-validation paths.
+func TestTruthfindErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, &out, &errb); err == nil {
+		t.Error("missing -input accepted")
+	}
+	if err := run([]string{"-h"}, &out, &errb); err != nil {
+		t.Errorf("-h should exit cleanly, got %v", err)
+	}
+	if err := run([]string{"-input", "testdata/triples.csv", "-method", "NoSuch"}, &out, &errb); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run([]string{"-input", "testdata/triples.csv", "-method", "Voting", "-quality", "q.csv"}, &out, &errb); err == nil {
+		t.Error("-quality accepted for a non-LTM method")
+	}
+	if err := run([]string{"-input", "testdata/nope.csv"}, &out, &errb); err == nil {
+		t.Error("missing input file accepted")
+	}
+}
+
+// compareGolden compares got (a freshly written file) against the golden
+// file at want, rewriting the golden when -update is set.
+func compareGolden(t *testing.T, got, want string) {
+	t.Helper()
+	gotBytes, err := os.ReadFile(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(want, gotBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantBytes, err := os.ReadFile(want)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create golden files)", err)
+	}
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Errorf("%s differs from golden %s:\ngot:\n%s\nwant:\n%s",
+			got, want, firstDiffContext(gotBytes, wantBytes), firstDiffContext(wantBytes, gotBytes))
+	}
+}
+
+// firstDiffContext returns the first few lines around the first differing
+// line, to keep failure output readable.
+func firstDiffContext(a, b []byte) string {
+	al := strings.Split(string(a), "\n")
+	bl := strings.Split(string(b), "\n")
+	for i := range al {
+		if i >= len(bl) || al[i] != bl[i] {
+			lo := max(0, i-1)
+			hi := min(len(al), i+3)
+			return strings.Join(al[lo:hi], "\n")
+		}
+	}
+	return "(prefix identical; lengths differ)"
+}

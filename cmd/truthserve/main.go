@@ -1,0 +1,119 @@
+// Command truthserve runs the always-on truth-serving daemon: it ingests
+// (entity, attribute, source) triples over HTTP while they arrive, refits
+// the Latent Truth Model in the background per the configured policy, and
+// serves inferred truth, source quality and statistics from an immutable
+// snapshot that is atomically swapped on every refit.
+//
+// Usage:
+//
+//	truthserve [-addr :8080] [-policy full|incremental|online]
+//	           [-refit-interval 2s] [-full-every 10] [-min-batch 1]
+//	           [-threshold 0.5] [-iterations 100] [-seed 1]
+//	           [-preload triples.csv]
+//
+// Endpoints:
+//
+//	POST /claims  {"claims":[{"entity":"...","attribute":"...","source":"..."}]}
+//	GET  /truth   [?entity=...[&attribute=...]]
+//	GET  /quality
+//	GET  /records ?entity=...
+//	GET  /stats
+//	GET  /healthz
+//	POST /refit   [?policy=full|incremental|online]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"latenttruth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "truthserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		policy     = flag.String("policy", "full", "refit policy: full, incremental or online")
+		interval   = flag.Duration("refit-interval", 2*time.Second, "background refit period (0 disables the timer; use POST /refit)")
+		fullEvery  = flag.Int("full-every", 10, "force a full engine refit every n-th refit under the fast-path policies")
+		minBatch   = flag.Int("min-batch", 1, "pending claims required before a timed refit fires")
+		threshold  = flag.Float64("threshold", 0.5, "integration threshold for the served truth table")
+		iterations = flag.Int("iterations", 0, "Gibbs iterations per full refit (0 = default 100)")
+		seed       = flag.Int64("seed", 1, "sampler seed")
+		preload    = flag.String("preload", "", "triples CSV to ingest before serving (optional)")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv, err := latenttruth.NewTruthServer(latenttruth.ServeConfig{
+		LTM:           latenttruth.Config{Iterations: *iterations, Seed: *seed},
+		Threshold:     *threshold,
+		Policy:        latenttruth.RefitPolicy(*policy),
+		FullEvery:     *fullEvery,
+		RefitInterval: *interval,
+		MinBatch:      *minBatch,
+		Logger:        logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *preload != "" {
+		f, err := os.Open(*preload)
+		if err != nil {
+			return err
+		}
+		db, err := latenttruth.ReadTriples(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if _, err := srv.Ingest(db.Rows()); err != nil {
+			return err
+		}
+		sn, err := srv.Refit("")
+		if err != nil {
+			return err
+		}
+		logger.Printf("truthserve: preloaded %s: %s", *preload, sn.Stats)
+	}
+
+	srv.Start()
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("truthserve: listening on %s (policy=%s, refit every %s)", *addr, *policy, *interval)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		logger.Printf("truthserve: %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"latenttruth/internal/model"
+)
+
+// FuzzReadTriples asserts the triples reader's robustness contract:
+// whatever bytes arrive — malformed CSV, broken quoting, empty fields,
+// wrong column counts, huge lines, binary garbage — ReadTriples either
+// returns a valid raw database or an error. It must never panic, and any
+// database it does return must rebuild into a dataset satisfying the
+// Definition 2–3 invariants.
+func FuzzReadTriples(f *testing.F) {
+	// Seed corpus: the canonical shapes plus the malformations the strict
+	// reader documents.
+	seeds := []string{
+		"entity,attribute,source\ne1,a1,s1\ne1,a2,s2\ne2,a1,s1\n",
+		"e1,a1,s1\n",
+		"e1,a1,s1",                  // no trailing newline
+		"",                          // empty input
+		"entity,attribute,source\n", // header only
+		"e1,a1\n",                   // too few columns
+		"e1,a1,s1,extra\n",          // too many columns
+		"e1,,s1\n",                  // empty field
+		",,\n",                      // all empty
+		"\"e1\",\"a 1\",\"s,1\"\n",  // quoting, embedded comma
+		"\"unterminated,a1,s1\n",    // broken quote
+		"e\"mid\"quote,a1,s1\n",     // bare quote mid-field
+		"e1,a1,s1\r\ne2,a2,s2\r\n",  // CRLF
+		"e1,a\n1,s1\n",              // newline inside unquoted field
+		"\"e\n1\",a1,s1\n",          // quoted newline
+		"e1,a1," + strings.Repeat("x", 1<<16) + "\n",         // huge field
+		strings.Repeat("e,a,s\n", 2000),                      // many duplicate rows
+		"\xff\xfe\x00binary,a,b\n",                           // non-UTF8 bytes
+		"entity,attribute,source\nentity,attribute,source\n", // header twice
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		db, err := ReadTriples(strings.NewReader(in))
+		if err != nil {
+			if db != nil {
+				t.Fatalf("non-nil database alongside error %v", err)
+			}
+			return
+		}
+		if db.Len() == 0 {
+			t.Fatal("reader returned an empty database without error")
+		}
+		for i, r := range db.Rows() {
+			if r.Entity == "" || r.Attribute == "" || r.Source == "" {
+				t.Fatalf("row %d has an empty component: %+v", i, r)
+			}
+		}
+		// Accepted input must round-trip through the full data model.
+		ds := buildFromDB(t, db)
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("accepted input builds an invalid dataset: %v", err)
+		}
+		if ds.NumClaims() < db.Len() {
+			t.Fatalf("%d claims derived from %d rows", ds.NumClaims(), db.Len())
+		}
+	})
+}
+
+// buildFromDB wraps model.Build, converting any panic (which would mean
+// the reader accepted rows the model rejects) into a test failure.
+func buildFromDB(t *testing.T, db *model.RawDB) *model.Dataset {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("model.Build panicked on reader-accepted input: %v", r)
+		}
+	}()
+	return model.Build(db)
+}
+
+// FuzzReadQuality gives the quality-table reader the same never-panic
+// treatment: arbitrary bytes yield a table or an error.
+func FuzzReadQuality(f *testing.F) {
+	seeds := []string{
+		"source,sensitivity,specificity,precision,accuracy\ns1,0.9,0.8,0.7,0.6\n",
+		"s1,0.9,0.8,0.7,0.6\n",
+		"s1,0.9,0.8,0.7\n",   // too few columns
+		"s1,x,0.8,0.7,0.6\n", // non-numeric
+		"s1,NaN,Inf,-1,2\n",  // odd but parseable floats
+		"",                   // empty
+		"source,sensitivity,specificity,precision,accuracy\n", // header only
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		rows, err := ReadQuality(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if len(rows) == 0 {
+			t.Fatal("reader returned an empty table without error")
+		}
+	})
+}

@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"latenttruth/internal/integrate"
+	"latenttruth/internal/model"
+)
+
+// maxClaimsBody bounds a POST /claims request body (32 MiB).
+const maxClaimsBody = 32 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /claims  — ingest a batch of triples
+//	GET  /truth   — the truth table (optionally ?entity= and ?attribute=)
+//	GET  /quality — the per-source quality table (Table 8 order)
+//	GET  /records — one entity's integrated record (?entity=)
+//	GET  /stats   — corpus and serving statistics
+//	GET  /healthz — liveness and readiness
+//	POST /refit   — force a synchronous refit (optionally ?policy=)
+//
+// All read endpoints serve from the current immutable snapshot: one atomic
+// pointer load, no locks, never blocked by a background refit.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /claims", s.handleClaims)
+	mux.HandleFunc("GET /truth", s.handleTruth)
+	mux.HandleFunc("GET /quality", s.handleQuality)
+	mux.HandleFunc("GET /records", s.handleRecords)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /refit", s.handleRefit)
+	return mux
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// errNoSnapshot is the 503 payload served before the first refit.
+var errNoSnapshot = errors.New("serve: no snapshot yet (ingest claims and refit first)")
+
+// claimJSON is the wire form of one triple.
+type claimJSON struct {
+	Entity    string `json:"entity"`
+	Attribute string `json:"attribute"`
+	Source    string `json:"source"`
+}
+
+// handleClaims ingests a batch: either {"claims": [...]} or a bare array.
+func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxClaimsBody)
+	dec := json.NewDecoder(body)
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var claims []claimJSON
+	if len(raw) > 0 && raw[0] == '{' {
+		var envelope struct {
+			Claims []claimJSON `json:"claims"`
+		}
+		if err := json.Unmarshal(raw, &envelope); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		claims = envelope.Claims
+	} else if err := json.Unmarshal(raw, &claims); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(claims) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: empty claim batch"))
+		return
+	}
+	rows := make([]model.Row, len(claims))
+	for i, c := range claims {
+		rows[i] = model.Row{Entity: c.Entity, Attribute: c.Attribute, Source: c.Source}
+	}
+	n, err := s.Ingest(rows)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"accepted": n,
+		"pending":  s.ingest.Len(),
+		"total":    s.ingest.Total(),
+	})
+}
+
+// truthResponse is the GET /truth payload. Facts always equals len(Rows);
+// the race tests use this pairing to detect torn snapshots.
+type truthResponse struct {
+	Seq       int64       `json:"seq"`
+	Mode      RefitPolicy `json:"mode"`
+	FittedAt  time.Time   `json:"fitted_at"`
+	Threshold float64     `json:"threshold"`
+	Facts     int         `json:"facts"`
+	Rows      []TruthRow  `json:"rows"`
+}
+
+func (s *Server) handleTruth(w http.ResponseWriter, r *http.Request) {
+	sn := s.Snapshot()
+	if sn == nil {
+		writeError(w, http.StatusServiceUnavailable, errNoSnapshot)
+		return
+	}
+	entity := r.URL.Query().Get("entity")
+	attribute := r.URL.Query().Get("attribute")
+	var rows []TruthRow
+	switch {
+	case entity != "" && attribute != "":
+		row, ok := sn.Truth(entity, attribute)
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("serve: no such fact"))
+			return
+		}
+		rows = []TruthRow{row}
+	case entity != "":
+		var ok bool
+		if rows, ok = sn.EntityTruth(entity); !ok {
+			writeError(w, http.StatusNotFound, errors.New("serve: no such entity"))
+			return
+		}
+	case attribute != "":
+		writeError(w, http.StatusBadRequest, errors.New("serve: attribute filter requires entity"))
+		return
+	default:
+		rows = sn.AllTruth()
+	}
+	writeJSON(w, http.StatusOK, truthResponse{
+		Seq:       sn.Seq,
+		Mode:      sn.Mode,
+		FittedAt:  sn.FittedAt,
+		Threshold: sn.Threshold,
+		Facts:     len(rows),
+		Rows:      rows,
+	})
+}
+
+// qualityJSON is the wire form of one source-quality row.
+type qualityJSON struct {
+	Source      string  `json:"source"`
+	Sensitivity float64 `json:"sensitivity"`
+	Specificity float64 `json:"specificity"`
+	Precision   float64 `json:"precision"`
+	Accuracy    float64 `json:"accuracy"`
+}
+
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	sn := s.Snapshot()
+	if sn == nil {
+		writeError(w, http.StatusServiceUnavailable, errNoSnapshot)
+		return
+	}
+	rows := make([]qualityJSON, len(sn.Quality))
+	for i, q := range sn.Quality {
+		rows[i] = qualityJSON{
+			Source:      q.Source,
+			Sensitivity: q.Sensitivity,
+			Specificity: q.Specificity,
+			Precision:   q.Precision,
+			Accuracy:    q.Accuracy,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"seq": sn.Seq, "sources": rows})
+}
+
+// attributeJSON and recordJSON are the wire forms of an integrated record.
+type attributeJSON struct {
+	Value       string   `json:"value"`
+	Probability float64  `json:"probability"`
+	Supporters  []string `json:"supporters,omitempty"`
+	Deniers     []string `json:"deniers,omitempty"`
+}
+
+type recordJSON struct {
+	Entity     string          `json:"entity"`
+	Attributes []attributeJSON `json:"attributes"`
+	Rejected   []attributeJSON `json:"rejected,omitempty"`
+}
+
+func toAttrJSON(attrs []integrate.Attribute) []attributeJSON {
+	out := make([]attributeJSON, len(attrs))
+	for i, a := range attrs {
+		out[i] = attributeJSON{
+			Value:       a.Value,
+			Probability: a.Probability,
+			Supporters:  a.Supporters,
+			Deniers:     a.Deniers,
+		}
+	}
+	return out
+}
+
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	sn := s.Snapshot()
+	if sn == nil {
+		writeError(w, http.StatusServiceUnavailable, errNoSnapshot)
+		return
+	}
+	entity := r.URL.Query().Get("entity")
+	if entity == "" {
+		writeError(w, http.StatusBadRequest, errors.New("serve: records requires ?entity="))
+		return
+	}
+	rec, ok := sn.Record(entity)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such entity"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"seq": sn.Seq,
+		"record": recordJSON{
+			Entity:     rec.Entity,
+			Attributes: toAttrJSON(rec.Attributes),
+			Rejected:   toAttrJSON(rec.Rejected),
+		},
+	})
+}
+
+// statsResponse is the GET /stats payload.
+type statsResponse struct {
+	Ready         bool        `json:"ready"`
+	Seq           int64       `json:"seq"`
+	Mode          RefitPolicy `json:"mode,omitempty"`
+	Policy        RefitPolicy `json:"policy"`
+	Pending       int         `json:"pending"`
+	IngestedTotal int64       `json:"ingested_total"`
+	Refits        int64       `json:"refits"`
+	FullRefits    int64       `json:"full_refits"`
+	LastRefitMS   float64     `json:"last_refit_ms"`
+	UptimeS       float64     `json:"uptime_s"`
+
+	Entities       int `json:"entities"`
+	Sources        int `json:"sources"`
+	Facts          int `json:"facts"`
+	Claims         int `json:"claims"`
+	PositiveClaims int `json:"positive_claims"`
+	NegativeClaims int `json:"negative_claims"`
+	Labeled        int `json:"labeled"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	rs := s.Refits()
+	resp := statsResponse{
+		Policy:        s.cfg.Policy,
+		Pending:       s.ingest.Len(),
+		IngestedTotal: s.ingest.Total(),
+		Refits:        rs.Refits,
+		FullRefits:    rs.FullRefits,
+		UptimeS:       time.Since(s.started).Seconds(),
+	}
+	if sn := s.Snapshot(); sn != nil {
+		resp.Ready = true
+		resp.Seq = sn.Seq
+		resp.Mode = sn.Mode
+		resp.LastRefitMS = float64(sn.RefitDuration) / float64(time.Millisecond)
+		resp.Entities = sn.Stats.Entities
+		resp.Sources = sn.Stats.Sources
+		resp.Facts = sn.Stats.Facts
+		resp.Claims = sn.Stats.Claims
+		resp.PositiveClaims = sn.Stats.PositiveClaims
+		resp.NegativeClaims = sn.Stats.NegativeClaims
+		resp.Labeled = sn.Stats.Labeled
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var seq int64
+	ready := false
+	if sn := s.Snapshot(); sn != nil {
+		ready, seq = true, sn.Seq
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"ready":    ready,
+		"seq":      seq,
+		"uptime_s": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
+	override := RefitPolicy(r.URL.Query().Get("policy"))
+	if override != "" && !override.valid() {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown refit policy %q", override))
+		return
+	}
+	sn, err := s.Refit(override)
+	switch {
+	case err == ErrNoData:
+		writeError(w, http.StatusConflict, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"seq":       sn.Seq,
+		"mode":      sn.Mode,
+		"compacted": sn.Compacted,
+		"facts":     sn.Stats.Facts,
+		"refit_ms":  float64(sn.RefitDuration) / float64(time.Millisecond),
+	})
+}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"latenttruth/internal/model"
+)
+
+// ingestLog is the server's mutation log: arriving triples are appended
+// here by request handlers and drained by the refit loop, which compacts
+// them into the next snapshot's cumulative dataset. Appends never touch the
+// dataset, so ingestion stays cheap and lock contention is limited to a
+// slice append.
+type ingestLog struct {
+	mu      sync.Mutex
+	pending []model.Row
+	// total counts rows accepted over the server's lifetime.
+	total int64
+}
+
+// validateRow rejects triples that the data model cannot represent.
+func validateRow(r model.Row) error {
+	if r.Entity == "" || r.Attribute == "" || r.Source == "" {
+		return fmt.Errorf("serve: claim (%q, %q, %q) has an empty component",
+			r.Entity, r.Attribute, r.Source)
+	}
+	return nil
+}
+
+// Append validates and appends rows, returning the number accepted. The
+// batch is all-or-nothing: the first invalid row rejects the whole request
+// so callers can retry without partial state.
+func (l *ingestLog) Append(rows []model.Row) (int, error) {
+	for i, r := range rows {
+		if err := validateRow(r); err != nil {
+			return 0, fmt.Errorf("claim %d: %w", i, err)
+		}
+	}
+	l.mu.Lock()
+	l.pending = append(l.pending, rows...)
+	l.total += int64(len(rows))
+	n := len(rows)
+	l.mu.Unlock()
+	return n, nil
+}
+
+// Drain removes and returns all pending rows.
+func (l *ingestLog) Drain() []model.Row {
+	l.mu.Lock()
+	rows := l.pending
+	l.pending = nil
+	l.mu.Unlock()
+	return rows
+}
+
+// Len returns the number of pending rows.
+func (l *ingestLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending)
+}
+
+// Total returns the lifetime number of accepted rows.
+func (l *ingestLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

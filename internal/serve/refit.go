@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"latenttruth/internal/core"
+	"latenttruth/internal/model"
+	"latenttruth/internal/stream"
+)
+
+// ErrNoData is returned by Refit when no claims have ever been ingested.
+var ErrNoData = errors.New("serve: no claims ingested yet")
+
+// Refit drains the mutation log, compacts it into the cumulative dataset,
+// fits per the configured policy (override selects a specific policy for
+// this refit only; empty means "use the configured one"), and publishes a
+// new snapshot. Refits are serialized; readers keep serving the previous
+// snapshot until the atomic swap. Drained rows are folded into the
+// cumulative database before fitting, so a failed fit loses nothing — the
+// next refit covers them.
+func (s *Server) Refit(override RefitPolicy) (*Snapshot, error) {
+	if override != "" && !override.valid() {
+		return nil, fmt.Errorf("serve: unknown refit policy %q", override)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// fresh keeps only the rows the cumulative database had not seen, so
+	// the online fast path never double-counts a retried batch.
+	var fresh []model.Row
+	for _, r := range s.ingest.Drain() {
+		if s.db.AddRow(r) {
+			fresh = append(fresh, r)
+		}
+	}
+	compacted := len(fresh)
+	if s.db.Len() == 0 {
+		return nil, ErrNoData
+	}
+	ds := model.Build(s.db)
+	if err := s.ensureOnline(ds.NumFacts()); err != nil {
+		return nil, err
+	}
+
+	policy := s.cfg.Policy
+	if override != "" {
+		policy = override
+	}
+	// The first refit (no accumulated quality yet), and every FullEvery-th
+	// one under the fast-path policies, re-anchors quality with a full
+	// engine fit.
+	done := s.refits.Load()
+	full := policy == RefitFull || !s.online.HasQuality() ||
+		(s.cfg.FullEvery > 0 && done%int64(s.cfg.FullEvery) == 0)
+
+	start := time.Now()
+	var (
+		res     *model.Result
+		quality []model.SourceQuality
+		mode    RefitPolicy
+		err     error
+	)
+	if full {
+		var fit *core.FitResult
+		if fit, err = s.online.Refit(ds); err != nil {
+			return nil, fmt.Errorf("serve: full refit: %w", err)
+		}
+		res, quality, mode = fit.Result, fit.Quality, RefitFull
+	} else {
+		if policy == RefitOnline && len(fresh) > 0 {
+			if err = s.stepBatch(fresh); err != nil {
+				return nil, err
+			}
+		}
+		if res, err = s.online.Predict(ds); err != nil {
+			return nil, fmt.Errorf("serve: incremental refit: %w", err)
+		}
+		quality, mode = s.online.Quality(), policy
+	}
+
+	snap, err := newSnapshot(done+1, ds, res, core.RankedQuality(quality),
+		s.cfg.Threshold, mode, time.Since(start), compacted)
+	if err != nil {
+		return nil, fmt.Errorf("serve: building snapshot: %w", err)
+	}
+	s.snap.Store(snap)
+	s.refits.Add(1)
+	if full {
+		s.fullRefits.Add(1)
+	}
+	s.logf("serve: refit %d (%s): %d new rows, %s, %s",
+		snap.Seq, mode, compacted, snap.Stats, snap.RefitDuration.Round(time.Millisecond))
+	return snap, nil
+}
+
+// stepBatch runs §5.4 full incremental learning on just the newly arrived
+// rows: a Gibbs fit of the batch with the accumulated per-source quality
+// priors, folding the batch's expected confusion counts into the
+// accumulator (stream.Online.Step). Called under mu.
+func (s *Server) stepBatch(rows []model.Row) error {
+	batch := model.NewRawDB()
+	for _, r := range rows {
+		batch.AddRow(r)
+	}
+	bds := model.Build(batch)
+	if _, err := s.online.Step(bds); err != nil {
+		return fmt.Errorf("serve: online step: %w", err)
+	}
+	return nil
+}
+
+// ensureOnline lazily creates the §5.4 online state, sizing default priors
+// to the first fitted dataset when the base config leaves them zero.
+// Called under mu.
+func (s *Server) ensureOnline(numFacts int) error {
+	if s.online != nil {
+		return nil
+	}
+	base := s.cfg.LTM
+	if base.Priors == (core.Priors{}) {
+		base.Priors = core.DefaultPriors(numFacts)
+	}
+	o, err := stream.NewOnline(base)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	s.online = o
+	return nil
+}
+
+// RefitStats reports the server's refit counters.
+type RefitStats struct {
+	Refits     int64 `json:"refits"`
+	FullRefits int64 `json:"full_refits"`
+}
+
+// Refits returns the completed refit counters. It reads atomics, not mu,
+// so stats queries are never blocked by an in-flight refit.
+func (s *Server) Refits() RefitStats {
+	return RefitStats{Refits: s.refits.Load(), FullRefits: s.fullRefits.Load()}
+}

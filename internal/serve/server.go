@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"latenttruth/internal/core"
+	"latenttruth/internal/model"
+	"latenttruth/internal/stream"
+)
+
+// RefitPolicy selects how the background refit turns accumulated claims
+// into a new snapshot.
+type RefitPolicy string
+
+const (
+	// RefitFull runs the full collapsed Gibbs engine over the cumulative
+	// dataset on every refit — the most accurate and most expensive policy.
+	RefitFull RefitPolicy = "full"
+	// RefitIncremental serves the closed-form LTMinc posterior (Equation 3)
+	// over the cumulative dataset from the accumulated source quality — no
+	// sampling at all — and re-anchors with a full fit every FullEvery
+	// refits (§5.4's "quality remains relatively unchanged" fast path).
+	RefitIncremental RefitPolicy = "incremental"
+	// RefitOnline additionally Gibbs-fits each newly arrived batch with the
+	// accumulated per-source quality priors (stream.Online.Step, §5.4's full
+	// incremental learning) before serving the LTMinc posterior, so source
+	// quality keeps learning from new claims between full refits.
+	RefitOnline RefitPolicy = "online"
+)
+
+// valid reports whether p names a known policy.
+func (p RefitPolicy) valid() bool {
+	switch p {
+	case RefitFull, RefitIncremental, RefitOnline:
+		return true
+	}
+	return false
+}
+
+// Config parameterizes a truth-serving daemon.
+type Config struct {
+	// LTM is the base fit configuration; zero-valued fields take the
+	// paper's defaults (priors are sized to the first fitted dataset).
+	LTM core.Config
+	// Threshold is the integration threshold truth tables are cut at
+	// (default 0.5).
+	Threshold float64
+	// Policy selects the refit strategy (default RefitFull).
+	Policy RefitPolicy
+	// FullEvery forces a full engine refit every n-th refit under the
+	// incremental and online policies (default 10; the first refit is
+	// always full). Ignored under RefitFull.
+	FullEvery int
+	// RefitInterval is the background refit period (default 2s). Zero or
+	// negative disables the timer; refits then only happen via Refit (the
+	// POST /refit endpoint).
+	RefitInterval time.Duration
+	// MinBatch is the number of pending mutations required before a timed
+	// refit fires (default 1: any pending claim triggers a refit). Forced
+	// refits ignore it.
+	MinBatch int
+	// Logger receives refit-loop diagnostics; nil discards them.
+	Logger *log.Logger
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Threshold == 0 {
+		c.Threshold = 0.5
+	}
+	if c.Policy == "" {
+		c.Policy = RefitFull
+	}
+	if c.FullEvery == 0 {
+		c.FullEvery = 10
+	}
+	if c.RefitInterval == 0 {
+		c.RefitInterval = 2 * time.Second
+	}
+	if c.MinBatch <= 0 {
+		c.MinBatch = 1
+	}
+	return c
+}
+
+// Server is the truth-serving daemon state. Readers load the current
+// snapshot with a single atomic pointer read and never take locks; writers
+// append to the mutation log; the refit path is serialized by mu and
+// publishes complete snapshots only.
+type Server struct {
+	cfg Config
+
+	// snap is the atomically swapped serving state; nil until first refit.
+	snap atomic.Pointer[Snapshot]
+	// ingest is the mutation log of arrived-but-uncompacted triples.
+	ingest *ingestLog
+
+	// mu serializes refits and guards db, online and the refit counters.
+	mu sync.Mutex
+	// db is the cumulative raw database every snapshot is compacted from.
+	db *model.RawDB
+	// online carries accumulated source quality across refits (§5.4). It is
+	// created lazily at the first refit so default priors can be sized to
+	// the data actually seen; stream.Online is not concurrency-safe, so all
+	// access happens under mu.
+	online *stream.Online
+	// refits counts completed refits; fullRefits the full-engine subset.
+	// Written under mu, read atomically so /stats never waits on a refit.
+	refits     atomic.Int64
+	fullRefits atomic.Int64
+
+	started time.Time
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New returns a server with the given configuration. Call Start to run the
+// background refit loop, Handler for the HTTP API, and Close to shut down.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if !cfg.Policy.valid() {
+		return nil, fmt.Errorf("serve: unknown refit policy %q", cfg.Policy)
+	}
+	if cfg.Threshold < 0 || cfg.Threshold > 1 {
+		return nil, fmt.Errorf("serve: threshold %v outside [0,1]", cfg.Threshold)
+	}
+	if cfg.FullEvery < 0 {
+		return nil, fmt.Errorf("serve: FullEvery = %d must be non-negative", cfg.FullEvery)
+	}
+	return &Server{
+		cfg:     cfg,
+		ingest:  &ingestLog{},
+		db:      model.NewRawDB(),
+		started: time.Now(),
+		stop:    make(chan struct{}),
+	}, nil
+}
+
+// logf logs through the configured logger, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// Ingest appends a batch of triples to the mutation log. The batch is
+// validated as a unit; it becomes visible to queries after the next refit.
+func (s *Server) Ingest(rows []model.Row) (int, error) {
+	select {
+	case <-s.stop:
+		return 0, fmt.Errorf("serve: server is shut down")
+	default:
+	}
+	return s.ingest.Append(rows)
+}
+
+// Snapshot returns the current serving snapshot, or nil before the first
+// successful refit. The returned snapshot is immutable and remains valid
+// (and consistent) regardless of concurrent refits.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Pending returns the number of mutations awaiting compaction.
+func (s *Server) Pending() int { return s.ingest.Len() }
+
+// Start launches the background refit loop. It is a no-op when
+// RefitInterval is disabled.
+func (s *Server) Start() {
+	if s.cfg.RefitInterval <= 0 {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(s.cfg.RefitInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				if s.ingest.Len() < s.cfg.MinBatch && s.Snapshot() != nil {
+					continue
+				}
+				if _, err := s.Refit(""); err != nil && err != ErrNoData {
+					s.logf("serve: background refit: %v", err)
+				}
+			}
+		}
+	}()
+}
+
+// Close stops the background refit loop and rejects further ingestion.
+// Queries against the last published snapshot keep working.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}

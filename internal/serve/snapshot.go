@@ -1,0 +1,151 @@
+// Package serve implements the always-on truth-serving layer: a long-lived
+// HTTP/JSON daemon that ingests (entity, attribute, source) triples while
+// they arrive, periodically refits the Latent Truth Model in the background
+// (full engine refit or the §5.4 incremental/online fast paths, policy
+// configurable), and answers truth, quality and stats queries from an
+// immutable fitted Snapshot swapped in with an atomic pointer — readers are
+// never blocked by a refit and never observe a half-updated model.
+package serve
+
+import (
+	"time"
+
+	"latenttruth/internal/integrate"
+	"latenttruth/internal/model"
+	"latenttruth/internal/store"
+)
+
+// TruthRow is one row of the served truth table: a fact with its posterior
+// truth probability and thresholded prediction (Definition 4).
+type TruthRow struct {
+	Entity      string  `json:"entity"`
+	Attribute   string  `json:"attribute"`
+	Probability float64 `json:"probability"`
+	Predicted   bool    `json:"predicted"`
+}
+
+// Snapshot is one immutable serving state: the compacted dataset paired
+// with the fit that produced the current truth estimates, plus the derived
+// read models (truth index, integrated record table, corpus stats) that
+// make hot queries map lookups instead of recomputation. Snapshots are
+// built off the request path and published wholesale via an atomic pointer
+// swap; all fields and methods are read-only after publication.
+type Snapshot struct {
+	// Seq is the monotonically increasing refit sequence number.
+	Seq int64
+	// Dataset is the compacted cumulative dataset the fit ran on.
+	Dataset *model.Dataset
+	// Result holds the per-fact truth probabilities.
+	Result *model.Result
+	// Quality is the per-source quality table in Table 8 order
+	// (decreasing sensitivity).
+	Quality []model.SourceQuality
+	// Records is the cached integrated record table: one merged record per
+	// entity at Threshold, in dataset entity order.
+	Records []integrate.Record
+	// Stats summarizes the dataset's shape.
+	Stats store.Stats
+	// Threshold is the integration threshold the truth table was cut at.
+	Threshold float64
+	// Mode is the refit policy that produced this snapshot ("full",
+	// "incremental" or "online").
+	Mode RefitPolicy
+	// FittedAt and RefitDuration record when and how long the refit ran.
+	FittedAt      time.Time
+	RefitDuration time.Duration
+	// Compacted is the number of mutation-log rows folded into this
+	// snapshot's dataset (new rows, after de-duplication).
+	Compacted int
+
+	// factByName indexes fact ids by (entity, attribute) name.
+	factByName map[[2]string]int
+	// entityByName indexes entity ids by name; Records shares the same
+	// order (integrate.Merge emits one record per entity in entity order).
+	entityByName map[string]int
+}
+
+// newSnapshot derives the read models and freezes the serving state.
+func newSnapshot(seq int64, ds *model.Dataset, res *model.Result,
+	quality []model.SourceQuality, threshold float64, mode RefitPolicy,
+	dur time.Duration, compacted int) (*Snapshot, error) {
+
+	records, err := integrate.Merge(ds, res, threshold)
+	if err != nil {
+		return nil, err
+	}
+	sn := &Snapshot{
+		Seq:           seq,
+		Dataset:       ds,
+		Result:        res,
+		Quality:       quality,
+		Records:       records,
+		Stats:         store.Summarize(ds),
+		Threshold:     threshold,
+		Mode:          mode,
+		FittedAt:      time.Now(),
+		RefitDuration: dur,
+		Compacted:     compacted,
+		factByName:    make(map[[2]string]int, ds.NumFacts()),
+		entityByName:  make(map[string]int, len(ds.Entities)),
+	}
+	for _, f := range ds.Facts {
+		sn.factByName[[2]string{ds.Entities[f.Entity], f.Attribute}] = f.ID
+	}
+	for e, name := range ds.Entities {
+		sn.entityByName[name] = e
+	}
+	return sn, nil
+}
+
+// row materializes the truth row of fact f.
+func (sn *Snapshot) row(f int) TruthRow {
+	fact := sn.Dataset.Facts[f]
+	return TruthRow{
+		Entity:      sn.Dataset.Entities[fact.Entity],
+		Attribute:   fact.Attribute,
+		Probability: sn.Result.Prob[f],
+		Predicted:   sn.Result.Predict(f, sn.Threshold),
+	}
+}
+
+// Truth returns the truth row of the named fact, if present.
+func (sn *Snapshot) Truth(entity, attribute string) (TruthRow, bool) {
+	f, ok := sn.factByName[[2]string{entity, attribute}]
+	if !ok {
+		return TruthRow{}, false
+	}
+	return sn.row(f), true
+}
+
+// EntityTruth returns the truth rows of every fact of the named entity, in
+// fact-id order. The second return reports whether the entity exists.
+func (sn *Snapshot) EntityTruth(entity string) ([]TruthRow, bool) {
+	e, ok := sn.entityByName[entity]
+	if !ok {
+		return nil, false
+	}
+	facts := sn.Dataset.FactsByEntity[e]
+	rows := make([]TruthRow, 0, len(facts))
+	for _, f := range facts {
+		rows = append(rows, sn.row(f))
+	}
+	return rows, true
+}
+
+// AllTruth materializes the full truth table in fact-id order.
+func (sn *Snapshot) AllTruth() []TruthRow {
+	rows := make([]TruthRow, 0, sn.Dataset.NumFacts())
+	for f := range sn.Dataset.Facts {
+		rows = append(rows, sn.row(f))
+	}
+	return rows
+}
+
+// Record returns the cached integrated record of the named entity.
+func (sn *Snapshot) Record(entity string) (integrate.Record, bool) {
+	e, ok := sn.entityByName[entity]
+	if !ok {
+		return integrate.Record{}, false
+	}
+	return sn.Records[e], true
+}

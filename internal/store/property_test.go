@@ -1,0 +1,226 @@
+package store_test
+
+import (
+	"fmt"
+	"testing"
+
+	"latenttruth/internal/model"
+	"latenttruth/internal/stats"
+	. "latenttruth/internal/store"
+	"latenttruth/internal/synth"
+)
+
+// propertyCorpus draws a randomized corpus with a fixed seed. Varying the
+// seed varies entity counts, densities and source behaviour, so the
+// properties below are checked over structurally different datasets.
+func propertyCorpus(t *testing.T, seed int64) *model.Dataset {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	spec := synth.CorpusSpec{
+		Name:             fmt.Sprintf("prop-%d", seed),
+		NumEntities:      40 + rng.Intn(120),
+		TrueAttrWeights:  []float64{0.5, 0.3, 0.2},
+		FalseCandWeights: []float64{0.4, 0.4, 0.2},
+		LabelEntities:    5 + rng.Intn(20),
+		Seed:             seed,
+		Sources: []synth.SourceProfile{
+			{Name: "alpha", Coverage: 0.5 + 0.5*rng.Float64(), Sensitivity: 0.9, FPR: 0.05},
+			{Name: "beta", Coverage: 0.5 + 0.5*rng.Float64(), Sensitivity: 0.6, FPR: 0.1},
+			{Name: "gamma", Coverage: rng.Float64(), Sensitivity: 0.8, FPR: 0.3},
+			{Name: "delta", Coverage: 0.2 * rng.Float64(), Sensitivity: 0.7, FPR: 0.2},
+		},
+	}
+	c, err := synth.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Dataset
+}
+
+// claimKey identifies a claim by names, which survive re-indexing.
+type claimKey struct {
+	Entity, Attribute, Source string
+	Observation               bool
+}
+
+// claimMultiset counts claims by name-keyed identity.
+func claimMultiset(ds *model.Dataset) map[claimKey]int {
+	m := make(map[claimKey]int, ds.NumClaims())
+	for _, c := range ds.Claims {
+		f := ds.Facts[c.Fact]
+		m[claimKey{
+			Entity:      ds.Entities[f.Entity],
+			Attribute:   f.Attribute,
+			Source:      ds.Sources[c.Source],
+			Observation: c.Observation,
+		}]++
+	}
+	return m
+}
+
+// labelMultiset counts labels by (entity, attribute, truth).
+func labelMultiset(ds *model.Dataset) map[claimKey]int {
+	m := make(map[claimKey]int, len(ds.Labels))
+	for f, v := range ds.Labels {
+		fact := ds.Facts[f]
+		m[claimKey{Entity: ds.Entities[fact.Entity], Attribute: fact.Attribute, Observation: v}]++
+	}
+	return m
+}
+
+// equalMultisets reports whether two multisets match, describing the first
+// discrepancy.
+func equalMultisets(a, b map[claimKey]int) (string, bool) {
+	for k, n := range a {
+		if b[k] != n {
+			return fmt.Sprintf("key %+v: %d vs %d", k, n, b[k]), false
+		}
+	}
+	for k, n := range b {
+		if a[k] != n {
+			return fmt.Sprintf("key %+v: %d vs %d", k, a[k], n), false
+		}
+	}
+	return "", true
+}
+
+// subMultiset reports whether every element of sub occurs in super at
+// least as often.
+func subMultiset(sub, super map[claimKey]int) (string, bool) {
+	for k, n := range sub {
+		if super[k] < n {
+			return fmt.Sprintf("key %+v: %d > %d", k, n, super[k]), false
+		}
+	}
+	return "", true
+}
+
+// TestSplitMergeRoundTrip is the streaming substrate's conservation law:
+// partitioning a dataset into k batches and merging them back preserves
+// the claim multiset, the labels and the summary statistics exactly — no
+// claim is lost, duplicated or invented on the way through the batch
+// pipeline.
+func TestSplitMergeRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, k := range []int{1, 2, 3, 7} {
+			t.Run(fmt.Sprintf("seed=%d/k=%d", seed, k), func(t *testing.T) {
+				ds := propertyCorpus(t, seed)
+				// Normalize: FilterEntities(all) re-indexes and drops
+				// claim-less sources exactly as Split+Merge will.
+				norm := FilterEntities(ds, func(int, string) bool { return true })
+				if diff, ok := equalMultisets(claimMultiset(ds), claimMultiset(norm)); !ok {
+					t.Fatalf("normalization changed claims: %s", diff)
+				}
+
+				parts := SplitEntities(ds, k)
+				if len(parts) != k {
+					t.Fatalf("got %d parts, want %d", len(parts), k)
+				}
+				entities := 0
+				for _, p := range parts {
+					entities += p.NumEntities()
+				}
+				if entities != ds.NumEntities() {
+					t.Fatalf("parts cover %d entities of %d", entities, ds.NumEntities())
+				}
+
+				merged := parts[0]
+				var err error
+				for _, p := range parts[1:] {
+					if merged, err = Merge(merged, p); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := merged.ValidateBasic(); err != nil {
+					t.Fatal(err)
+				}
+				if diff, ok := equalMultisets(claimMultiset(norm), claimMultiset(merged)); !ok {
+					t.Fatalf("claim multiset not preserved: %s", diff)
+				}
+				if diff, ok := equalMultisets(labelMultiset(norm), labelMultiset(merged)); !ok {
+					t.Fatalf("labels not preserved: %s", diff)
+				}
+				if got, want := Summarize(merged), Summarize(norm); got != want {
+					t.Fatalf("stats not preserved:\ngot  %+v\nwant %+v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestFilterNeverInventsClaims: every filtering operation returns a strict
+// sub-multiset of the original claims and labels — filters select, they
+// never fabricate or duplicate.
+func TestFilterNeverInventsClaims(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ds := propertyCorpus(t, seed)
+			all := claimMultiset(ds)
+			allLabels := labelMultiset(ds)
+			rng := stats.NewRNG(seed * 31)
+
+			filters := map[string]*model.Dataset{
+				"conflicting(2,2)": ConflictingOnly(ds, 2, 2),
+				"conflicting(1,3)": ConflictingOnly(ds, 1, 3),
+				"random half":      FilterEntities(ds, func(int, string) bool { return rng.Float64() < 0.5 }),
+				"none":             FilterEntities(ds, func(int, string) bool { return false }),
+				"subsample":        SubsampleEntities(ds, ds.NumEntities()/3, stats.NewRNG(seed)),
+			}
+			for name, got := range filters {
+				if err := got.ValidateBasic(); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if diff, ok := subMultiset(claimMultiset(got), all); !ok {
+					t.Errorf("%s invented claims: %s", name, diff)
+				}
+				if diff, ok := subMultiset(labelMultiset(got), allLabels); !ok {
+					t.Errorf("%s invented labels: %s", name, diff)
+				}
+			}
+
+			// ConflictingOnly keeps exactly the qualifying entities, with
+			// all their claims.
+			kept := ConflictingOnly(ds, 2, 2)
+			keptClaims := claimMultiset(kept)
+			for e, facts := range ds.FactsByEntity {
+				srcs := make(map[int]struct{})
+				for _, f := range facts {
+					for _, ci := range ds.ClaimsByFact[f] {
+						srcs[ds.Claims[ci].Source] = struct{}{}
+					}
+				}
+				qualifies := len(facts) >= 2 && len(srcs) >= 2
+				for _, f := range facts {
+					for _, ci := range ds.ClaimsByFact[f] {
+						c := ds.Claims[ci]
+						k := claimKey{
+							Entity:      ds.Entities[e],
+							Attribute:   ds.Facts[f].Attribute,
+							Source:      ds.Sources[c.Source],
+							Observation: c.Observation,
+						}
+						if qualifies && keptClaims[k] == 0 {
+							t.Fatalf("qualifying claim dropped: %+v", k)
+						}
+						if !qualifies && keptClaims[k] != 0 {
+							t.Fatalf("non-qualifying claim kept: %+v", k)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSplitMergeOverlapRejected: entity overlap between split parts must
+// be detected, not silently merged into ambiguous facts.
+func TestSplitMergeOverlapRejected(t *testing.T) {
+	ds := propertyCorpus(t, 9)
+	parts := SplitEntities(ds, 2)
+	if _, err := Merge(parts[0], parts[0]); err == nil {
+		t.Fatal("merging a dataset with itself succeeded")
+	}
+	if _, err := Merge(parts[0], parts[1]); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -49,6 +49,15 @@ func NewOnline(base core.Config) (*Online, error) {
 // Batches returns the number of batches processed by Step so far.
 func (o *Online) Batches() int { return o.batches }
 
+// HasQuality reports whether any per-source quality has been accumulated
+// yet. Serving layers use it to decide whether the sampling-free Predict
+// fast path is meaningful or a full fit is needed first.
+func (o *Online) HasQuality() bool { return len(o.counts) > 0 }
+
+// SourcesSeen returns the number of distinct sources with accumulated
+// quality.
+func (o *Online) SourcesSeen() int { return len(o.counts) }
+
 // FactsSeen returns the cumulative number of facts across processed batches.
 func (o *Online) FactsSeen() int { return o.factsSeen }
 

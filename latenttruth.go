@@ -41,6 +41,7 @@ import (
 	"latenttruth/internal/integrate"
 	"latenttruth/internal/ltmx"
 	"latenttruth/internal/model"
+	"latenttruth/internal/serve"
 	"latenttruth/internal/stats"
 	"latenttruth/internal/store"
 	"latenttruth/internal/stream"
@@ -301,6 +302,40 @@ type (
 
 // NewOnline returns an online truth finder with the given base config.
 func NewOnline(base Config) (*Online, error) { return stream.NewOnline(base) }
+
+// Truth serving (the always-on daemon layer behind cmd/truthserve).
+type (
+	// TruthServer is the long-lived serving daemon: batched claim
+	// ingestion, background refits, snapshot-swapped lock-free reads.
+	TruthServer = serve.Server
+	// ServeConfig parameterizes a TruthServer.
+	ServeConfig = serve.Config
+	// RefitPolicy selects the background refit strategy.
+	RefitPolicy = serve.RefitPolicy
+	// TruthSnapshot is one immutable serving state (dataset + fit + cached
+	// integrated record table).
+	TruthSnapshot = serve.Snapshot
+	// TruthRow is one row of the served truth table.
+	TruthRow = serve.TruthRow
+)
+
+// The available refit policies: full engine refit every time, the
+// sampling-free LTMinc fast path with periodic full re-anchoring, or §5.4
+// full incremental learning on each arrived batch.
+const (
+	RefitFull        = serve.RefitFull
+	RefitIncremental = serve.RefitIncremental
+	RefitOnline      = serve.RefitOnline
+)
+
+// ErrNoServeData is returned by TruthServer.Refit before any claim has
+// been ingested.
+var ErrNoServeData = serve.ErrNoData
+
+// NewTruthServer returns a truth-serving daemon with the given
+// configuration. Call Start for the background refit loop, Handler for the
+// HTTP API, and Close to shut down.
+func NewTruthServer(cfg ServeConfig) (*TruthServer, error) { return serve.New(cfg) }
 
 // Extensions (paper §7).
 type (
