@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"latenttruth"
 	"latenttruth/internal/core"
@@ -341,6 +342,99 @@ func BenchmarkGibbsSweepCompiled(b *testing.B) {
 	}
 	b.ReportMetric(float64(ds.NumClaims()*sweepBenchIters)*float64(b.N)/b.Elapsed().Seconds(), "claimsweeps/s")
 }
+
+// --- Sharded fit benchmarks --------------------------------------------------
+//
+// BenchmarkShardedFit{2,4,8} run the entity-sharded parallel fitter on the
+// large synthetic dataset (2000 facts × 100 sources = 200k claims) at the
+// default sync interval, against the single-engine baseline
+// (BenchmarkShardedFitSingle). Each sharded bench reports speedup-vs-single
+// measured in-process, so `go test -bench ShardedFit` prints the scaling
+// curve directly; the speedup tracks available cores (shards sweep on a
+// GOMAXPROCS-bounded pool) and tops out at the shard count.
+
+// shardedBench lazily generates the shared dataset and times the
+// single-engine baseline once.
+var shardedBench struct {
+	once      sync.Once
+	ds        *latenttruth.Dataset
+	singleSec float64
+	err       error
+}
+
+const shardedBenchIters = 20
+
+func shardedBenchSetup(b *testing.B) (*latenttruth.Dataset, float64) {
+	b.Helper()
+	shardedBench.once.Do(func() {
+		ds, _, err := latenttruth.PaperSynthetic(latenttruth.PaperSyntheticConfig{
+			NumFacts: 2000, NumSources: 100,
+			Alpha0: [2]float64{5, 95}, Alpha1: [2]float64{85, 15},
+			Beta: [2]float64{10, 10}, Seed: 99,
+		})
+		if err != nil {
+			shardedBench.err = err
+			return
+		}
+		shardedBench.ds = ds
+		cfg := latenttruth.Config{Iterations: shardedBenchIters, BurnIn: 5, Seed: 7}
+		eng := latenttruth.CompileDataset(ds)
+		if _, err := eng.Fit(cfg); err != nil { // warm-up
+			shardedBench.err = err
+			return
+		}
+		start := time.Now()
+		const reps = 3
+		for i := 0; i < reps; i++ {
+			if _, err := eng.Fit(cfg); err != nil {
+				shardedBench.err = err
+				return
+			}
+		}
+		shardedBench.singleSec = time.Since(start).Seconds() / reps
+	})
+	if shardedBench.err != nil {
+		b.Fatal(shardedBench.err)
+	}
+	return shardedBench.ds, shardedBench.singleSec
+}
+
+// BenchmarkShardedFitSingle is the unsharded baseline on the same dataset
+// and iteration budget.
+func BenchmarkShardedFitSingle(b *testing.B) {
+	ds, _ := shardedBenchSetup(b)
+	cfg := latenttruth.Config{Iterations: shardedBenchIters, BurnIn: 5, Seed: 7}
+	eng := latenttruth.CompileDataset(ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Fit(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ds.NumClaims()*shardedBenchIters)*float64(b.N)/b.Elapsed().Seconds(), "claimsweeps/s")
+}
+
+func benchmarkShardedFit(b *testing.B, shards int) {
+	ds, singleSec := shardedBenchSetup(b)
+	cfg := latenttruth.Config{Iterations: shardedBenchIters, BurnIn: 5, Seed: 7}
+	fitter, err := latenttruth.CompileSharded(ds, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fitter.Fit(cfg, latenttruth.DefaultSyncEvery); err != nil {
+			b.Fatal(err)
+		}
+	}
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(ds.NumClaims()*shardedBenchIters)*float64(b.N)/b.Elapsed().Seconds(), "claimsweeps/s")
+	b.ReportMetric(singleSec/perOp, "speedup-vs-single")
+}
+
+func BenchmarkShardedFit2(b *testing.B) { benchmarkShardedFit(b, 2) }
+func BenchmarkShardedFit4(b *testing.B) { benchmarkShardedFit(b, 4) }
+func BenchmarkShardedFit8(b *testing.B) { benchmarkShardedFit(b, 8) }
 
 // --- Ablations (design choices from DESIGN.md §4) ----------------------------
 

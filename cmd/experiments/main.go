@@ -4,17 +4,22 @@
 //
 // Usage:
 //
-//	experiments [-run all|table7|table8|table9|figure2|figure3|figure4|figure5|figure6]
+//	experiments [-run all|table7|table8|table9|figure2|figure3|figure4|figure5|figure6|sharded]
 //	            [-seed 42] [-repeats 10] [-iterations 100]
+//	            [-shards 2,4,8] [-sync-every 5]
 //
-// Runtime-heavy experiments (table9, figure5, figure6) honour -repeats;
-// use -repeats 3 for a quick pass.
+// Runtime-heavy experiments (table9, figure5, figure6, sharded) honour
+// -repeats; use -repeats 3 for a quick pass. The sharded study (not a
+// paper artifact) compares the single-engine LTM fit with the
+// entity-sharded parallel fitter at the -shards counts, reporting
+// wall-clock speedup and posterior drift.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"latenttruth/internal/core"
@@ -34,8 +39,14 @@ func run() error {
 		seed       = flag.Int64("seed", 42, "corpus and sampler seed")
 		repeats    = flag.Int("repeats", 10, "repetitions for timing/convergence experiments")
 		iterations = flag.Int("iterations", 0, "LTM Gibbs iterations (0 = default 100)")
+		shards     = flag.String("shards", "2,4,8", "comma-separated shard counts for the sharded study")
+		syncEvery  = flag.Int("sync-every", 0, "shard count-sync interval in sweeps (1 = exact mode, 0 = default)")
 	)
 	flag.Parse()
+	shardCounts, err := parseShards(*shards)
+	if err != nil {
+		return err
+	}
 	cfg := experiments.Config{
 		Seed:    *seed,
 		Repeats: *repeats,
@@ -43,7 +54,8 @@ func run() error {
 	}
 	wants := func(name string) bool { return *which == "all" || *which == name }
 	known := map[string]bool{"all": true, "table7": true, "table8": true, "table9": true,
-		"figure2": true, "figure3": true, "figure4": true, "figure5": true, "figure6": true}
+		"figure2": true, "figure3": true, "figure4": true, "figure5": true, "figure6": true,
+		"sharded": true}
 	if !known[*which] {
 		flag.Usage()
 		return fmt.Errorf("unknown experiment %q", *which)
@@ -124,5 +136,32 @@ func run() error {
 		}
 		print(f.Render())
 	}
+	if wants("sharded") {
+		s, err := experiments.RunSharded(corpora.Movie, cfg, shardCounts, *syncEvery)
+		if err != nil {
+			return err
+		}
+		print(s.Render())
+	}
 	return nil
+}
+
+// parseShards parses the comma-separated -shards list.
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("-shards entries must be integers >= 2, got %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-shards list is empty")
+	}
+	return out, nil
 }

@@ -5,11 +5,14 @@
 //
 //	truthfind -input triples.csv [-method LTM] [-threshold 0.5]
 //	          [-output truth.csv] [-quality quality.csv] [-labels labels.csv]
-//	          [-iterations 100] [-seed 1]
+//	          [-iterations 100] [-seed 1] [-shards 1] [-sync-every 5]
 //
 // With -labels, the labeled subset is evaluated and Table 7-style metrics
 // are printed to stderr. With -quality (LTM only), the per-source quality
-// table is also written.
+// table is also written. With -shards N (LTM only, N > 1), inference runs
+// the entity-sharded parallel fitter with counts reconciled every
+// -sync-every sweeps; -sync-every 1 is the exact mode, bit-identical to
+// the single-engine fit.
 package main
 
 import (
@@ -44,6 +47,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		labels     = fs.String("labels", "", "labels CSV (entity,attribute,truth) for evaluation")
 		iterations = fs.Int("iterations", 0, "Gibbs iterations for LTM (0 = default 100)")
 		seed       = fs.Int64("seed", 1, "sampler seed")
+		shards     = fs.Int("shards", 1, "entity shards for parallel LTM inference (1 = single engine)")
+		syncEvery  = fs.Int("sync-every", 0, "shard count-sync interval in sweeps (1 = exact mode, 0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -83,7 +88,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg := latenttruth.Config{Iterations: *iterations, Seed: *seed}
 	var res *latenttruth.Result
 	if *method == "LTM" {
-		fit, err := latenttruth.NewLTM(cfg).Fit(ds)
+		fit, err := latenttruth.FitSharded(ds, cfg, *shards, *syncEvery)
 		if err != nil {
 			return err
 		}

@@ -139,3 +139,50 @@ func firstDiffContext(a, b []byte) string {
 	}
 	return "(prefix identical; lengths differ)"
 }
+
+// TestTruthfindShardedExactMatchesGolden: -shards with -sync-every 1 (the
+// exact barrier mode) must reproduce the single-engine golden artifacts
+// byte for byte, straight through the CLI.
+func TestTruthfindShardedExactMatchesGolden(t *testing.T) {
+	dir := t.TempDir()
+	truthOut := filepath.Join(dir, "truth.csv")
+	qualityOut := filepath.Join(dir, "quality.csv")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-input", "testdata/triples.csv",
+		"-labels", "testdata/labels.csv",
+		"-method", "LTM",
+		"-seed", "1",
+		"-shards", "4",
+		"-sync-every", "1",
+		"-output", truthOut,
+		"-quality", qualityOut,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	compareGolden(t, truthOut, filepath.Join("testdata", "golden_truth_ltm.csv"))
+	compareGolden(t, qualityOut, filepath.Join("testdata", "golden_quality_ltm.csv"))
+}
+
+// TestTruthfindShardedParallel: the approximate mode must still emit a
+// complete, well-formed truth table over the fixture.
+func TestTruthfindShardedParallel(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-input", "testdata/triples.csv",
+		"-method", "LTM",
+		"-seed", "1",
+		"-shards", "4",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_truth_ltm.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, wantLines := strings.Count(stdout.String(), "\n"), strings.Count(string(want), "\n"); got != wantLines {
+		t.Fatalf("sharded truth table has %d lines, want %d", got, wantLines)
+	}
+}

@@ -9,7 +9,12 @@
 //	truthserve [-addr :8080] [-policy full|incremental|online]
 //	           [-refit-interval 2s] [-full-every 10] [-min-batch 1]
 //	           [-threshold 0.5] [-iterations 100] [-seed 1]
-//	           [-preload triples.csv]
+//	           [-shards 1] [-sync-every 5] [-preload triples.csv]
+//
+// With -shards N (N > 1), full refits run the entity-sharded parallel
+// fitter — the cumulative dataset is partitioned by entity and swept
+// concurrently with per-source counts reconciled every -sync-every
+// sweeps — so background refits scale across cores as history grows.
 //
 // Endpoints:
 //
@@ -54,6 +59,8 @@ func run() error {
 		threshold  = flag.Float64("threshold", 0.5, "integration threshold for the served truth table")
 		iterations = flag.Int("iterations", 0, "Gibbs iterations per full refit (0 = default 100)")
 		seed       = flag.Int64("seed", 1, "sampler seed")
+		shards     = flag.Int("shards", 1, "entity shards for full refits (1 = single engine)")
+		syncEvery  = flag.Int("sync-every", 0, "shard count-sync interval in sweeps (1 = exact mode, 0 = default)")
 		preload    = flag.String("preload", "", "triples CSV to ingest before serving (optional)")
 	)
 	flag.Parse()
@@ -66,6 +73,8 @@ func run() error {
 		FullEvery:     *fullEvery,
 		RefitInterval: *interval,
 		MinBatch:      *minBatch,
+		Shards:        *shards,
+		SyncEvery:     *syncEvery,
 		Logger:        logger,
 	})
 	if err != nil {

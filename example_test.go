@@ -1,8 +1,12 @@
 package latenttruth_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 
 	"latenttruth"
 )
@@ -90,6 +94,112 @@ func ExampleNewIncremental() {
 	fmt.Println(res.Method, "scored", len(res.Prob), "facts without sampling")
 	// Output:
 	// LTMinc scored 1320 facts without sampling
+}
+
+// ExampleFitSharded shows entity-sharded parallel inference: the exact
+// barrier mode (syncEvery = 1) reproduces the single-engine fit bit for
+// bit, and the parallel mode (syncEvery > 1) trades per-sweep
+// synchronization for concurrency at a tiny posterior drift.
+func ExampleFitSharded() {
+	corpus, err := latenttruth.BookCorpus(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := corpus.Dataset
+	cfg := latenttruth.Config{Seed: 7}
+
+	single, err := latenttruth.NewLTM(cfg).Fit(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := latenttruth.FitSharded(ds, cfg, 4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	identical := true
+	for i := range single.Prob {
+		if exact.Prob[i] != single.Prob[i] {
+			identical = false
+		}
+	}
+	fmt.Printf("exact mode (S=1, 4 shards) bit-identical over %d facts: %v\n", ds.NumFacts(), identical)
+
+	parallel, err := latenttruth.FitSharded(ds, cfg, 4, latenttruth.DefaultSyncEvery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var worst float64
+	for i := range single.Prob {
+		if d := parallel.Prob[i] - single.Prob[i]; d > worst || -d > worst {
+			if d < 0 {
+				d = -d
+			}
+			worst = d
+		}
+	}
+	fmt.Printf("parallel mode (S=%d) max posterior drift below 0.01: %v\n",
+		latenttruth.DefaultSyncEvery, worst < 0.01)
+	// Output:
+	// exact mode (S=1, 4 shards) bit-identical over 2637 facts: true
+	// parallel mode (S=5) max posterior drift below 0.01: true
+}
+
+// ExampleNewTruthServer shows the truthserve client flow against an
+// in-process daemon: ingest claims over HTTP, force a refit, query the
+// served truth table. The same handler backs cmd/truthserve.
+func ExampleNewTruthServer() {
+	srv, err := latenttruth.NewTruthServer(latenttruth.ServeConfig{
+		LTM:           latenttruth.Config{Iterations: 200, Seed: 7},
+		RefitInterval: -1, // refit on demand here; production uses the timer
+		Shards:        2,  // entity-sharded full refits
+		SyncEvery:     1,  // exact mode: bit-identical to the single engine
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"claims":[
+		{"entity":"Harry Potter","attribute":"Daniel Radcliffe","source":"IMDB"},
+		{"entity":"Harry Potter","attribute":"Emma Watson","source":"IMDB"},
+		{"entity":"Harry Potter","attribute":"Daniel Radcliffe","source":"Netflix"},
+		{"entity":"Harry Potter","attribute":"Daniel Radcliffe","source":"BadSource.com"},
+		{"entity":"Harry Potter","attribute":"Johnny Depp","source":"BadSource.com"},
+		{"entity":"Pirates 4","attribute":"Johnny Depp","source":"IMDB"},
+		{"entity":"Pirates 4","attribute":"Johnny Depp","source":"Netflix"}]}`
+	resp, err := http.Post(ts.URL+"/claims", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(ts.URL+"/refit", "", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/truth?entity=Harry%20Potter&attribute=Daniel%20Radcliffe")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var truth struct {
+		Rows []struct {
+			Entity    string `json:"entity"`
+			Attribute string `json:"attribute"`
+			Predicted bool   `json:"predicted"`
+		} `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&truth); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	row := truth.Rows[0]
+	fmt.Printf("%s / %s predicted true: %v\n", row.Entity, row.Attribute, row.Predicted)
+	// Output:
+	// Harry Potter / Daniel Radcliffe predicted true: true
 }
 
 // ExampleGaussianTruth shows the §7 real-valued variant on numeric claims.

@@ -1,0 +1,15 @@
+// Package baselines implements every comparison method of the paper's
+// evaluation (§6.2, Table 7): Voting, TruthFinder [14], HubAuthority [9,10],
+// AvgLog [10,11], Investment [10], PooledInvestment [10,11], and
+// 3-Estimates [7]. All methods satisfy model.Method and output per-fact
+// truth probabilities so they can be swept over thresholds (Figure 2) and
+// ranked by AUC (Figure 3).
+//
+// The original fact-finders were designed for single-truth settings and
+// emit unbounded belief scores, not probabilities. Following the paper's
+// adaptation, positive-claim-only methods see only positive claims, and
+// belief scores are mapped to [0,1] in the way that preserves each
+// method's published behaviour at threshold 0.5 (optimistic for
+// TruthFinder/Investment, conservative for HubAuthority/AvgLog/
+// PooledInvestment); the mapping used is documented on each type.
+package baselines

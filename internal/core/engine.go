@@ -109,6 +109,15 @@ type tables struct {
 // newTables memoizes every log the sweep over lay can evaluate under cfg's
 // priors (including per-source overrides, resolved via ds's source names).
 func newTables(ds *model.Dataset, lay *layout, cfg Config) *tables {
+	return newTablesBounded(ds, lay, cfg, lay.deg, lay.obsDeg)
+}
+
+// newTablesBounded is newTables with explicit count domains: deg[s] and
+// obsDeg[s*2+j] bound the table sizes instead of the layout's own degrees.
+// The sharded fitter passes each source's GLOBAL degrees here, because a
+// shard's conditional evaluates counts that include other shards'
+// contributions and therefore exceed the shard-local degree.
+func newTablesBounded(ds *model.Dataset, lay *layout, cfg Config, deg, obsDeg []int32) *tables {
 	ns := lay.numSources
 	t := &tables{
 		alpha:    make([]float64, 4*ns),
@@ -128,7 +137,7 @@ func newTables(ds *model.Dataset, lay *layout, cfg Config) *tables {
 			for j := 0; j <= 1; j++ {
 				a := p.alpha(i, j)
 				t.alpha[s*4+i*2+j] = a
-				tab := make([]float64, lay.obsDeg[s*2+j]+1)
+				tab := make([]float64, obsDeg[s*2+j]+1)
 				for m := range tab {
 					tab[m] = math.Log(float64(m) + a)
 				}
@@ -136,7 +145,7 @@ func newTables(ds *model.Dataset, lay *layout, cfg Config) *tables {
 			}
 			at := p.alphaTotal(i)
 			t.alphaTot[s*2+i] = at
-			tab := make([]float64, lay.deg[s]+1)
+			tab := make([]float64, deg[s]+1)
 			for m := range tab {
 				tab[m] = math.Log(float64(m) + at)
 			}
@@ -170,7 +179,17 @@ type engine struct {
 // newEngine initializes a chain exactly as the reference sampler does: one
 // uniform draw per fact, counts built incrementally.
 func newEngine(lay *layout, tab *tables, cfg Config) *engine {
-	e := &engine{
+	e := newEngineState(lay, tab, cfg)
+	e.initTruth()
+	return e
+}
+
+// newEngineState allocates a chain's state without drawing the initial
+// truth assignment. The step-driven Sampler uses it when the caller owns
+// initialization (the sharded fitter's exact mode initializes facts in
+// global order from a shared RNG).
+func newEngineState(lay *layout, tab *tables, cfg Config) *engine {
+	return &engine{
 		lay:   lay,
 		tab:   tab,
 		cfg:   cfg,
@@ -181,6 +200,11 @@ func newEngine(lay *layout, tab *tables, cfg Config) *engine {
 		cond:  make([]float64, lay.numFacts),
 		sum:   make([]float64, lay.numFacts),
 	}
+}
+
+// initTruth draws the uniform initial assignment for every fact from the
+// engine's own RNG, building counts incrementally.
+func (e *engine) initTruth() {
 	for f := range e.truth {
 		if e.rng.Float64() < 0.5 {
 			e.truth[f] = 0
@@ -189,7 +213,6 @@ func newEngine(lay *layout, tab *tables, cfg Config) *engine {
 		}
 		e.applyFact(f, int(e.truth[f]), +1)
 	}
-	return e
 }
 
 // applyFact adds delta to the counts of all claims of fact f under truth
@@ -210,56 +233,71 @@ func (e *engine) applyFact(f, i, delta int) {
 // current truth assignment, and accumulates the default-schedule sample
 // average.
 func (e *engine) run(observe func(iter int, t []int8)) {
-	cfg := e.cfg
-	lay, tab := e.lay, e.tab
-	for iter := 1; iter <= cfg.Iterations; iter++ {
-		for f := range e.truth {
-			cur := int(e.truth[f])
-			alt := 1 - cur
-			// Log-space accumulation keeps long claim lists from
-			// underflowing the direct product of Algorithm 1. Every
-			// log(count + α) is a table read; no logs in the loop.
-			lcur := tab.logBeta[cur]
-			lalt := tab.logBeta[alt]
-			for _, c := range lay.claims[lay.offsets[f]:lay.offsets[f+1]] {
-				s4 := int(c.source) * 4
-				s2 := int(c.source) * 2
-				o := int(c.obs)
-				// Current label: this fact's claim is included in the
-				// counts, so discount it (the −1 terms of Algorithm 1).
-				icur := s4 + cur*2
-				lcur += tab.logNum[icur+o][e.n[icur+o]-1] - tab.logDen[s2+cur][e.tot[s2+cur]-1]
-				// Alternative label: counts exclude this fact already.
-				ialt := s4 + alt*2
-				lalt += tab.logNum[ialt+o][e.n[ialt+o]] - tab.logDen[s2+alt][e.tot[s2+alt]]
-			}
-			// P(flip) = exp(lalt) / (exp(lcur) + exp(lalt)).
-			pFlip := 1.0 / (1.0 + math.Exp(lcur-lalt))
-			if cur == 1 {
-				e.cond[f] = 1 - pFlip
-			} else {
-				e.cond[f] = pFlip
-			}
-			if e.rng.Float64() < pFlip {
-				e.applyFact(f, cur, -1)
-				e.truth[f] = int8(alt)
-				e.applyFact(f, alt, +1)
-			}
-		}
-		if iter > cfg.BurnIn && (iter-cfg.BurnIn-1)%(cfg.SampleGap+1) == 0 {
-			e.samples++
-			if cfg.BinarySamples {
-				for f, v := range e.truth {
-					e.sum[f] += float64(v)
-				}
-			} else {
-				for f, p := range e.cond {
-					e.sum[f] += p
-				}
-			}
+	for iter := 1; iter <= e.cfg.Iterations; iter++ {
+		e.sweep()
+		if keepIteration(e.cfg, iter) {
+			e.keep()
 		}
 		if observe != nil {
 			observe(iter, e.truth)
+		}
+	}
+}
+
+// keepIteration reports whether the default sampling schedule keeps the
+// sample produced by the given 1-based sweep number.
+func keepIteration(cfg Config, iter int) bool {
+	return iter > cfg.BurnIn && (iter-cfg.BurnIn-1)%(cfg.SampleGap+1) == 0
+}
+
+// sweep resamples every fact once against the engine's own count tables.
+func (e *engine) sweep() {
+	lay, tab := e.lay, e.tab
+	for f := range e.truth {
+		cur := int(e.truth[f])
+		alt := 1 - cur
+		// Log-space accumulation keeps long claim lists from
+		// underflowing the direct product of Algorithm 1. Every
+		// log(count + α) is a table read; no logs in the loop.
+		lcur := tab.logBeta[cur]
+		lalt := tab.logBeta[alt]
+		for _, c := range lay.claims[lay.offsets[f]:lay.offsets[f+1]] {
+			s4 := int(c.source) * 4
+			s2 := int(c.source) * 2
+			o := int(c.obs)
+			// Current label: this fact's claim is included in the
+			// counts, so discount it (the −1 terms of Algorithm 1).
+			icur := s4 + cur*2
+			lcur += tab.logNum[icur+o][e.n[icur+o]-1] - tab.logDen[s2+cur][e.tot[s2+cur]-1]
+			// Alternative label: counts exclude this fact already.
+			ialt := s4 + alt*2
+			lalt += tab.logNum[ialt+o][e.n[ialt+o]] - tab.logDen[s2+alt][e.tot[s2+alt]]
+		}
+		// P(flip) = exp(lalt) / (exp(lcur) + exp(lalt)).
+		pFlip := 1.0 / (1.0 + math.Exp(lcur-lalt))
+		if cur == 1 {
+			e.cond[f] = 1 - pFlip
+		} else {
+			e.cond[f] = pFlip
+		}
+		if e.rng.Float64() < pFlip {
+			e.applyFact(f, cur, -1)
+			e.truth[f] = int8(alt)
+			e.applyFact(f, alt, +1)
+		}
+	}
+}
+
+// keep accumulates the current state as one kept sample.
+func (e *engine) keep() {
+	e.samples++
+	if e.cfg.BinarySamples {
+		for f, v := range e.truth {
+			e.sum[f] += float64(v)
+		}
+	} else {
+		for f, p := range e.cond {
+			e.sum[f] += p
 		}
 	}
 }

@@ -1,20 +1,3 @@
-// Package core implements the paper's primary contribution: the Latent
-// Truth Model (§4), its collapsed Gibbs sampling inference (§5.2,
-// Algorithm 1, Equation 2), maximum-a-posteriori source-quality estimation
-// (§5.3), the incremental predictor LTMinc (§5.4, Equation 3), and the
-// positive-claims-only truncation LTMpos used as an ablation in §6.2.
-//
-// The generative process being inverted is:
-//
-//	for each source s:   φ0_s ~ Beta(α0,1, α0,0)   // false positive rate
-//	                     φ1_s ~ Beta(α1,1, α1,0)   // sensitivity
-//	for each fact f:     θ_f  ~ Beta(β1, β0)
-//	                     t_f  ~ Bernoulli(θ_f)
-//	for each claim c∈Cf: o_c  ~ Bernoulli(φ^{t_f}_{s_c})
-//
-// θ and φ are integrated out analytically (Beta–Bernoulli conjugacy), so
-// the sampler only walks the space of truth assignments t, with per-source
-// confusion counts as sufficient statistics.
 package core
 
 import (
@@ -143,6 +126,18 @@ const (
 	NoBurnIn    = -1
 	NoSampleGap = -1
 )
+
+// WithDefaults returns c with every zero-valued field replaced by the
+// paper's default, exactly as Fit resolves it at fit time; numFacts sizes
+// the default priors. Distributed fitters (internal/shard) resolve the
+// configuration once against the GLOBAL dataset and hand the result to
+// per-shard samplers, so every shard works under identical priors and
+// schedule.
+func (c Config) WithDefaults(numFacts int) Config { return c.withDefaults(numFacts) }
+
+// Validate rejects inconsistent settings; call on a WithDefaults-resolved
+// configuration.
+func (c Config) Validate() error { return c.validate() }
 
 // withDefaults fills unset fields. numFacts sizes the default priors.
 func (c Config) withDefaults(numFacts int) Config {

@@ -1,0 +1,261 @@
+package core
+
+// Step-level sampler API for distributed fitters.
+//
+// LTM.Fit owns the whole inference loop; the entity-sharded fitter
+// (internal/shard) instead needs to drive the loop itself: sweep each
+// shard independently, export and re-import the per-source confusion
+// counts at reconciliation barriers, and — in its exact mode — sample
+// single facts in global order against externally synchronized count
+// tables. Sampler exposes exactly those steps over a compiled Engine
+// without opening up the engine's internals.
+
+import (
+	"fmt"
+	"math"
+
+	"latenttruth/internal/model"
+	"latenttruth/internal/stats"
+)
+
+// Tables is an opaque, read-only handle over a fully memoized log-table
+// set built against a dataset's global source ids and global count
+// domains. Building the tables costs one math.Log per (source, count)
+// cell — a sizable fraction of a short fit — so a sharded fitter builds
+// them ONCE per fit and shares them across all shard samplers via
+// SamplerSpec.Shared; each sampler's per-source table slices then alias
+// the global backing arrays instead of being recomputed per shard.
+type Tables struct {
+	t   *tables
+	cfg Config
+}
+
+// NewGlobalTables memoizes every logarithm a sweep over ds can evaluate
+// under cfg's priors (including per-source overrides), with count domains
+// sized to each source's global claim degrees. cfg is resolved with
+// WithDefaults against ds; pass the same Config to every sampler sharing
+// the tables.
+func NewGlobalTables(ds *model.Dataset, cfg Config) (*Tables, error) {
+	cfg = cfg.withDefaults(ds.NumFacts())
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ns := ds.NumSources()
+	deg := make([]int32, ns)
+	obsDeg := make([]int32, 2*ns)
+	for _, c := range ds.Claims {
+		o := 0
+		if c.Observation {
+			o = 1
+		}
+		deg[c.Source]++
+		obsDeg[c.Source*2+o]++
+	}
+	t := newTablesBounded(ds, &layout{numSources: ns}, cfg, deg, obsDeg)
+	return &Tables{t: t, cfg: cfg}, nil
+}
+
+// view builds a local-source-indexed alias of the global tables: slice
+// headers are copied through src2g, the float backing arrays are shared.
+func (gt *Tables) view(src2g []int32) *tables {
+	ns := len(src2g)
+	t := &tables{
+		logBeta:  gt.t.logBeta,
+		alpha:    make([]float64, 4*ns),
+		alphaTot: make([]float64, 2*ns),
+		logNum:   make([][]float64, 4*ns),
+		logDen:   make([][]float64, 2*ns),
+	}
+	for ls, gs := range src2g {
+		for j := 0; j < 4; j++ {
+			t.alpha[ls*4+j] = gt.t.alpha[int(gs)*4+j]
+			t.logNum[ls*4+j] = gt.t.logNum[int(gs)*4+j]
+		}
+		for j := 0; j < 2; j++ {
+			t.alphaTot[ls*2+j] = gt.t.alphaTot[int(gs)*2+j]
+			t.logDen[ls*2+j] = gt.t.logDen[int(gs)*2+j]
+		}
+	}
+	return t
+}
+
+// SamplerSpec configures a step-driven sampler over a compiled engine.
+type SamplerSpec struct {
+	// Config is the fit configuration. Zero-valued fields take the paper's
+	// defaults sized to the engine's own dataset; distributed callers
+	// should pass a Config already resolved with WithDefaults against the
+	// global dataset so every shard agrees on priors and schedule.
+	Config Config
+	// Shared, when non-nil, reuses an already-built global table set
+	// instead of building tables for this sampler: the per-source table
+	// slices alias the shared backing arrays through Src2G
+	// (Src2G[localSource] = globalSource), giving the sampler global
+	// count domains — required when its counts include other shards'
+	// contributions. The spec's Config must be the same resolved
+	// configuration the tables were built under. Nil builds private
+	// tables over the engine's own degrees (the single-engine behaviour).
+	Shared *Tables
+	Src2G  []int32
+	// DeferInit skips the uniform initial truth draw. The caller must then
+	// initialize every fact exactly once (InitFactShared) before sweeping.
+	DeferInit bool
+}
+
+// Sampler is one chain's sampler state with step-level control: single
+// sweeps, sample keeps, and confusion-count export/import. It is the
+// building block of the entity-sharded fitter; LTM.Fit remains the
+// one-call path. Not safe for concurrent use.
+type Sampler struct {
+	e *engine
+}
+
+// NewSampler returns a step-driven sampler over the compiled engine.
+func (e *Engine) NewSampler(spec SamplerSpec) (*Sampler, error) {
+	cfg := spec.Config.withDefaults(e.ds.NumFacts())
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var tab *tables
+	if spec.Shared != nil {
+		if len(spec.Src2G) != e.lay.numSources {
+			return nil, fmt.Errorf("core: sampler Src2G sized %d, want %d", len(spec.Src2G), e.lay.numSources)
+		}
+		tab = spec.Shared.view(spec.Src2G)
+	} else {
+		tab = newTablesBounded(e.ds, e.lay, cfg, e.lay.deg, e.lay.obsDeg)
+	}
+	g := newEngineState(e.lay, tab, cfg)
+	if !spec.DeferInit {
+		g.initTruth()
+	}
+	return &Sampler{e: g}, nil
+}
+
+// Config returns the fully resolved configuration the sampler runs under.
+func (s *Sampler) Config() Config { return s.e.cfg }
+
+// NumFacts returns the number of facts this sampler sweeps.
+func (s *Sampler) NumFacts() int { return len(s.e.truth) }
+
+// Sweep resamples every fact once against the sampler's own count tables
+// (the per-shard step of the sharded fitter's parallel mode).
+func (s *Sampler) Sweep() { s.e.sweep() }
+
+// Keep accumulates the current state as one kept sample, exactly as the
+// engine's default schedule does. The caller owns the schedule; use
+// KeepIteration to reproduce the default one.
+func (s *Sampler) Keep() { s.e.keep() }
+
+// KeepIteration reports whether the default sampling schedule of cfg keeps
+// the sample produced by the given 1-based sweep number.
+func KeepIteration(cfg Config, iter int) bool { return keepIteration(cfg, iter) }
+
+// Counts returns copies of the confusion-count tables: n[s*4+i*2+j] is the
+// count of source s's claims with observation j on facts currently labeled
+// i, and tot[s*2+i] its per-label margin, indexed by the engine's own
+// (local) source ids.
+func (s *Sampler) Counts() (n, tot []int32) {
+	n = append([]int32(nil), s.e.n...)
+	tot = append([]int32(nil), s.e.tot...)
+	return n, tot
+}
+
+// SetCounts replaces the confusion-count tables, e.g. with globally
+// reconciled counts at a sync barrier. The slices are copied in.
+func (s *Sampler) SetCounts(n, tot []int32) error {
+	if len(n) != len(s.e.n) || len(tot) != len(s.e.tot) {
+		return fmt.Errorf("core: SetCounts sized %d/%d, want %d/%d", len(n), len(tot), len(s.e.n), len(s.e.tot))
+	}
+	copy(s.e.n, n)
+	copy(s.e.tot, tot)
+	return nil
+}
+
+// Probabilities returns the posterior mean of each fact over kept samples
+// (falling back to the final state when none were kept), indexed by the
+// engine's own fact ids.
+func (s *Sampler) Probabilities() []float64 { return s.e.probabilities() }
+
+// SamplesKept returns the number of samples accumulated by Keep.
+func (s *Sampler) SamplesKept() int { return s.e.samples }
+
+// InitFactShared draws fact f's uniform initial truth from rng and counts
+// its claims into the shared tables n and tot, which are indexed by GLOBAL
+// source ids through src2g (src2g[localSource] = globalSource). It is the
+// exact-mode counterpart of the engine's own initialization and consumes
+// one rng draw, like it.
+func (s *Sampler) InitFactShared(f int, rng *stats.RNG, n, tot []int32, src2g []int32) {
+	e := s.e
+	if rng.Float64() < 0.5 {
+		e.truth[f] = 0
+	} else {
+		e.truth[f] = 1
+	}
+	e.applyFactShared(f, int(e.truth[f]), +1, n, tot, src2g)
+}
+
+// SampleFactShared resamples local fact f against the shared, globally
+// indexed count tables n and tot, drawing from rng and updating the tables
+// in place on a flip. The per-claim log reads go through the sampler's own
+// tables (indexed by local source ids — hence the tables must have been
+// built with global count domains via SamplerSpec.Deg/ObsDeg), so the
+// floating-point operations are bit-identical to the single-engine sweep's
+// when the shared counts are kept globally synchronized. This is the
+// sharded fitter's exact (S=1 barrier) mode.
+func (s *Sampler) SampleFactShared(f int, rng *stats.RNG, n, tot []int32, src2g []int32) {
+	e := s.e
+	lay, tab := e.lay, e.tab
+	cur := int(e.truth[f])
+	alt := 1 - cur
+	lcur := tab.logBeta[cur]
+	lalt := tab.logBeta[alt]
+	for _, c := range lay.claims[lay.offsets[f]:lay.offsets[f+1]] {
+		ls4 := int(c.source) * 4
+		ls2 := int(c.source) * 2
+		gs4 := int(src2g[c.source]) * 4
+		gs2 := int(src2g[c.source]) * 2
+		o := int(c.obs)
+		icur := cur * 2
+		lcur += tab.logNum[ls4+icur+o][n[gs4+icur+o]-1] - tab.logDen[ls2+cur][tot[gs2+cur]-1]
+		ialt := alt * 2
+		lalt += tab.logNum[ls4+ialt+o][n[gs4+ialt+o]] - tab.logDen[ls2+alt][tot[gs2+alt]]
+	}
+	pFlip := 1.0 / (1.0 + math.Exp(lcur-lalt))
+	if cur == 1 {
+		e.cond[f] = 1 - pFlip
+	} else {
+		e.cond[f] = pFlip
+	}
+	if rng.Float64() < pFlip {
+		e.applyFactShared(f, cur, -1, n, tot, src2g)
+		e.truth[f] = int8(alt)
+		e.applyFactShared(f, alt, +1, n, tot, src2g)
+	}
+}
+
+// applyFactShared adds delta to the globally indexed shared counts for all
+// claims of fact f under truth label i.
+func (e *engine) applyFactShared(f, i, delta int, n, tot []int32, src2g []int32) {
+	d := int32(delta)
+	i2 := i * 2
+	for _, c := range e.lay.claims[e.lay.offsets[f]:e.lay.offsets[f+1]] {
+		gs := int(src2g[c.source])
+		n[gs*4+i2+int(c.obs)] += d
+		tot[gs*2+i] += d
+	}
+}
+
+// AssembleFit builds a FitResult from already computed posterior truth
+// probabilities exactly as LTM.Fit does — shared by the single-engine and
+// sharded fitters so both report identical quality read-offs. cfg must be
+// the WithDefaults-resolved configuration the probabilities were sampled
+// under (its SourcePriors participate in the §5.3 quality estimate).
+func AssembleFit(ds *model.Dataset, prob []float64, cfg Config, samples int) *FitResult {
+	fit := &FitResult{
+		Result:      &model.Result{Method: "LTM", Prob: prob},
+		SamplesKept: samples,
+		Priors:      cfg.Priors,
+	}
+	fit.Quality, fit.Sensitivity, fit.FalsePositiveRate = estimateQuality(ds, prob, cfg)
+	return fit
+}

@@ -1,0 +1,14 @@
+// Package dataset reads and writes the library's on-disk formats, all CSV:
+//
+//   - triples: entity,attribute,source — the raw database of Definition 1;
+//   - labels: entity,attribute,truth — the human-labeled evaluation subset
+//     (§6.1.2);
+//   - truth tables: entity,attribute,probability,predicted — a method's
+//     output at a threshold (Definition 4, Table 4);
+//   - quality tables: source,sensitivity,specificity,precision,accuracy —
+//     the §5.3 read-off (Table 8).
+//
+// All readers are strict about column counts and value syntax, and report
+// the offending line number in errors; fuzz tests assert they never panic
+// on arbitrary input.
+package dataset

@@ -1,0 +1,9 @@
+// Package eval implements the paper's evaluation machinery (§3.1, §6.2):
+// per-source and per-method confusion matrices (Table 5), the derived
+// quality measures (precision, recall/sensitivity, specificity, false
+// positive rate, accuracy, F1 — Table 6), threshold sweeps for Figure 2,
+// and ROC curves with area-under-curve for Figure 3. Beyond the paper it
+// adds precision–recall curves, calibration/reliability diagrams, Brier
+// scores, and percentile-bootstrap confidence intervals for Table 7-style
+// metrics.
+package eval

@@ -1,8 +1,3 @@
-// Package eval implements the paper's evaluation machinery (§3.1, §6.2):
-// per-source and per-method confusion matrices, the derived quality
-// measures (precision, recall/sensitivity, specificity, false positive
-// rate, accuracy, F1), threshold sweeps for Figure 2, and ROC curves with
-// area-under-curve for Figure 3.
 package eval
 
 import (

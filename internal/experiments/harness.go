@@ -1,18 +1,3 @@
-// Package experiments reproduces every table and figure of the paper's
-// evaluation section (§6) on the simulated corpora:
-//
-//	Table 7  — per-method inference quality at threshold 0.5
-//	Table 8  — LTM source quality on the movie data (+ quantitative check)
-//	Table 9  — runtime vs entity count per method
-//	Figure 2 — accuracy vs decision threshold per method
-//	Figure 3 — AUC per method per dataset
-//	Figure 4 — LTM accuracy under degraded synthetic source quality
-//	Figure 5 — convergence: accuracy vs Gibbs iterations, 95% CIs
-//	Figure 6 — LTM runtime vs number of claims, linear fit R²
-//
-// Each experiment is a pure function from a configuration to a result
-// struct with a Render method producing an aligned text table; cmd/
-// experiments and the root bench suite are thin wrappers around these.
 package experiments
 
 import (

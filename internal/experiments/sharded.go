@@ -1,0 +1,137 @@
+package experiments
+
+// The entity-sharded inference study: not a paper artifact but the scaling
+// experiment behind the shard layer (internal/shard) — single-engine fit
+// vs sharded fits at increasing shard counts, measuring wall-clock
+// speedup, labeled-subset quality, and posterior drift against the
+// single-engine reference.
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"latenttruth/internal/core"
+	"latenttruth/internal/eval"
+	"latenttruth/internal/shard"
+	"latenttruth/internal/synth"
+)
+
+// ShardedRow is one configuration of the sharded-inference study.
+type ShardedRow struct {
+	// Shards and SyncEvery identify the configuration; Shards = 1 is the
+	// single-engine baseline (SyncEvery is then meaningless and 0).
+	Shards    int
+	SyncEvery int
+	// Seconds is the mean fit wall-clock over cfg.Repeats runs; Speedup is
+	// the baseline's Seconds divided by this row's.
+	Seconds float64
+	Speedup float64
+	// Accuracy and F1 are labeled-subset quality at threshold 0.5.
+	Accuracy float64
+	F1       float64
+	// MeanDrift and MaxDrift are the mean and maximum |Δp| against the
+	// single-engine posteriors (0 for the baseline row and for exact mode).
+	MeanDrift float64
+	MaxDrift  float64
+}
+
+// Sharded is the study's result table.
+type Sharded struct {
+	Rows []ShardedRow
+}
+
+// RunSharded fits the corpus once per configuration: single-engine
+// baseline, then an entity-sharded fit per requested shard count at the
+// given sync interval. Timings average cfg.Repeats runs.
+func RunSharded(c *synth.Corpus, cfg Config, shardCounts []int, syncEvery int) (*Sharded, error) {
+	cfg = cfg.WithDefaults()
+	if syncEvery == 0 {
+		syncEvery = shard.DefaultSyncEvery
+	}
+	ds := c.Dataset
+	out := &Sharded{}
+
+	timeFit := func(fit func() (*core.FitResult, error)) (*core.FitResult, float64, error) {
+		var last *core.FitResult
+		start := time.Now()
+		for r := 0; r < cfg.Repeats; r++ {
+			var err error
+			if last, err = fit(); err != nil {
+				return nil, 0, err
+			}
+		}
+		return last, time.Since(start).Seconds() / float64(cfg.Repeats), nil
+	}
+
+	ref, baseSec, err := timeFit(func() (*core.FitResult, error) { return core.New(cfg.LTM).Fit(ds) })
+	if err != nil {
+		return nil, err
+	}
+	row, err := shardedRow(c, cfg, ref, ref)
+	if err != nil {
+		return nil, err
+	}
+	row.Shards, row.Seconds, row.Speedup = 1, baseSec, 1
+	out.Rows = append(out.Rows, row)
+
+	for _, k := range shardCounts {
+		if k <= 1 {
+			continue
+		}
+		fitter, err := shard.Compile(ds, k)
+		if err != nil {
+			return nil, err
+		}
+		fit, sec, err := timeFit(func() (*core.FitResult, error) { return fitter.Fit(cfg.LTM, syncEvery) })
+		if err != nil {
+			return nil, err
+		}
+		row, err := shardedRow(c, cfg, fit, ref)
+		if err != nil {
+			return nil, err
+		}
+		row.Shards, row.SyncEvery, row.Seconds, row.Speedup = k, syncEvery, sec, baseSec/sec
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// shardedRow evaluates one fit against the labels and the single-engine
+// posteriors.
+func shardedRow(c *synth.Corpus, cfg Config, fit, ref *core.FitResult) (ShardedRow, error) {
+	m, err := eval.Evaluate(c.Dataset, fit.Result, cfg.Threshold)
+	if err != nil {
+		return ShardedRow{}, err
+	}
+	row := ShardedRow{Accuracy: m.Accuracy, F1: m.F1}
+	var sum float64
+	for i := range ref.Prob {
+		d := math.Abs(fit.Prob[i] - ref.Prob[i])
+		sum += d
+		if d > row.MaxDrift {
+			row.MaxDrift = d
+		}
+	}
+	row.MeanDrift = sum / float64(len(ref.Prob))
+	return row, nil
+}
+
+// Render produces the aligned text table.
+func (s *Sharded) Render() string {
+	tb := table{
+		title:  "Sharded inference: entity shards vs single engine (same data, same iterations)",
+		header: []string{"Shards", "SyncEvery", "Seconds", "Speedup", "Accuracy", "F1", "MeanDrift", "MaxDrift"},
+	}
+	for _, r := range s.Rows {
+		sync := "-"
+		if r.Shards > 1 {
+			sync = fmt.Sprintf("%d", r.SyncEvery)
+		}
+		tb.addRow(fmt.Sprintf("%d", r.Shards), sync,
+			fmt.Sprintf("%.3f", r.Seconds), fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.4f", r.Accuracy), fmt.Sprintf("%.4f", r.F1),
+			fmt.Sprintf("%.5f", r.MeanDrift), fmt.Sprintf("%.5f", r.MaxDrift))
+	}
+	return tb.render()
+}

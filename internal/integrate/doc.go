@@ -1,0 +1,7 @@
+// Package integrate turns inferred truth back into the data-integration
+// end product the paper's introduction motivates (§1, the integrated view
+// of Tables 1–3): one merged record per entity carrying the attribute
+// values predicted true at the decision threshold (Definition 4), plus a
+// conflict report explaining how each disputed value was resolved and
+// which sources supported or contradicted it.
+package integrate

@@ -1,8 +1,3 @@
-// Package integrate turns inferred truth back into the data-integration
-// end product the paper's introduction motivates: one merged record per
-// entity carrying the attribute values predicted true, plus a conflict
-// report explaining how each disputed value was resolved and which sources
-// supported or contradicted it.
 package integrate
 
 import (

@@ -1,9 +1,3 @@
-// Package ltmx implements the extensions the paper sketches in §7
-// (Discussions): iterative filtering of adversarial sources, joint
-// inference over multiple attribute types with a shared quality prior, and
-// a real-valued (Gaussian) observation variant for numeric attributes.
-// These go beyond the evaluated system and are benchmarked separately as
-// ablations.
 package ltmx
 
 import (

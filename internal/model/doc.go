@@ -1,0 +1,13 @@
+// Package model implements the paper's data model (§2, Definitions 1–4):
+// a raw database of (entity, attribute, source) triples (Definition 1,
+// Table 1's raw cast listings), the derived fact table (Definition 2,
+// distinct entity–attribute pairs), and the derived claim table with both
+// positive and negative claims (Definition 3). Negative-claim generation —
+// a source that asserted *some* fact of an entity implicitly denies that
+// entity's other facts — is the structural ingredient that lets the
+// Latent Truth Model score two-sided source quality (§4.1).
+//
+// Dataset is the immutable, fully indexed form every inference method
+// consumes; Build derives it from a RawDB, and Validate/ValidateBasic
+// check the Definition 2–3 invariants the rest of the system relies on.
+package model

@@ -1,10 +1,3 @@
-// Package model implements the paper's data model (§2, Definitions 1–4):
-// a raw database of (entity, attribute, source) triples, the derived fact
-// table (distinct entity–attribute pairs), and the derived claim table with
-// both positive and negative claims. Negative-claim generation — a source
-// that asserted *some* fact of an entity implicitly denies that entity's
-// other facts — is the structural ingredient that lets the Latent Truth
-// Model score two-sided source quality.
 package model
 
 import (

@@ -1,10 +1,3 @@
-// Package serve implements the always-on truth-serving layer: a long-lived
-// HTTP/JSON daemon that ingests (entity, attribute, source) triples while
-// they arrive, periodically refits the Latent Truth Model in the background
-// (full engine refit or the §5.4 incremental/online fast paths, policy
-// configurable), and answers truth, quality and stats queries from an
-// immutable fitted Snapshot swapped in with an atomic pointer — readers are
-// never blocked by a refit and never observe a half-updated model.
 package serve
 
 import (

@@ -1,0 +1,339 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"latenttruth/internal/core"
+	"latenttruth/internal/model"
+	"latenttruth/internal/stats"
+	"latenttruth/internal/synth"
+)
+
+// propertyCorpus draws a randomized sparse corpus (uneven fan-out,
+// negative claims, sources with partial coverage) with a fixed seed, the
+// same shape the store property tests use. Varying the seed varies entity
+// counts and densities.
+func propertyCorpus(t *testing.T, seed int64) *model.Dataset {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	spec := synth.CorpusSpec{
+		Name:             fmt.Sprintf("shardprop-%d", seed),
+		NumEntities:      40 + rng.Intn(120),
+		TrueAttrWeights:  []float64{0.5, 0.3, 0.2},
+		FalseCandWeights: []float64{0.4, 0.4, 0.2},
+		LabelEntities:    5 + rng.Intn(20),
+		Seed:             seed,
+		Sources: []synth.SourceProfile{
+			{Name: "alpha", Coverage: 0.5 + 0.5*rng.Float64(), Sensitivity: 0.9, FPR: 0.05},
+			{Name: "beta", Coverage: 0.5 + 0.5*rng.Float64(), Sensitivity: 0.6, FPR: 0.1},
+			{Name: "gamma", Coverage: rng.Float64(), Sensitivity: 0.8, FPR: 0.3},
+			{Name: "delta", Coverage: 0.2 * rng.Float64(), Sensitivity: 0.7, FPR: 0.2},
+		},
+	}
+	c, err := synth.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Dataset
+}
+
+// shardConfigs spans the configuration surface the sharded fitter must
+// reproduce exactly in S=1 mode: defaults, binary sampling, explicit
+// schedules, per-source prior overrides.
+func shardConfigs(srcName string) []core.Config {
+	return []core.Config{
+		{Seed: 1, Iterations: 40, BurnIn: 10},
+		{Seed: 5, Iterations: 30, BurnIn: 5, BinarySamples: true},
+		{Seed: 9, Iterations: 37, BurnIn: 11, SampleGap: 2},
+		{Seed: 7, Iterations: 25, BurnIn: 5, SourcePriors: map[string]core.Priors{
+			srcName: {FP: 1, TN: 199, TP: 30, FN: 5},
+		}},
+	}
+}
+
+// TestShardedFitExactMatchesReference: S=1 exact mode must be
+// bit-identical to the single-engine fit — posteriors, quality read-off
+// and kept-sample count — for any shard count.
+func TestShardedFitExactMatchesReference(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		ds := propertyCorpus(t, seed)
+		for _, cfg := range shardConfigs(ds.Sources[0]) {
+			ref, err := core.New(cfg).Fit(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 3, 7} {
+				f, err := Compile(ds, shards)
+				if err != nil {
+					t.Fatalf("Compile(%d): %v", shards, err)
+				}
+				fit, err := f.Fit(cfg, 1)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				for i := range ref.Prob {
+					if fit.Prob[i] != ref.Prob[i] {
+						t.Fatalf("seed=%d shards=%d fact %d: sharded %v, reference %v (Δ=%v)",
+							seed, shards, i, fit.Prob[i], ref.Prob[i], math.Abs(fit.Prob[i]-ref.Prob[i]))
+					}
+				}
+				if fit.SamplesKept != ref.SamplesKept {
+					t.Fatalf("seed=%d shards=%d: kept %d samples, reference %d", seed, shards, fit.SamplesKept, ref.SamplesKept)
+				}
+				for s := range ref.Sensitivity {
+					if fit.Sensitivity[s] != ref.Sensitivity[s] || fit.FalsePositiveRate[s] != ref.FalsePositiveRate[s] {
+						t.Fatalf("seed=%d shards=%d source %d: quality drifted", seed, shards, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSingleShardParallelMatchesReference: with one shard the
+// parallel mode has no remote counts and an identical RNG stream, so even
+// S>1 must reproduce the single-engine fit bit for bit.
+func TestShardedSingleShardParallelMatchesReference(t *testing.T) {
+	ds := propertyCorpus(t, 17)
+	cfg := core.Config{Seed: 7, Iterations: 40, BurnIn: 10}
+	ref, err := core.New(cfg).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Compile(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, syncEvery := range []int{2, 5, 100} {
+		fit, err := f.Fit(cfg, syncEvery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Prob {
+			if fit.Prob[i] != ref.Prob[i] {
+				t.Fatalf("syncEvery=%d fact %d: sharded %v, reference %v", syncEvery, i, fit.Prob[i], ref.Prob[i])
+			}
+		}
+	}
+}
+
+// TestShardedFitCloseToReference: S>1 trades per-sweep synchronization for
+// parallelism; the stale-count approximation must stay within a small
+// posterior tolerance of the single-engine fit on the simulated book
+// corpus, and must not move the labeled-subset decisions materially.
+func TestShardedFitCloseToReference(t *testing.T) {
+	corpus, err := synth.BookCorpus(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := corpus.Dataset
+	cfg := core.Config{Seed: 7}
+	ref, err := core.New(cfg).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ shards, syncEvery int }{{2, 5}, {4, 5}, {4, 10}} {
+		f, err := Compile(ds, tc.shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fit, err := f.Fit(cfg, tc.syncEvery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum, worst float64
+		flips := 0
+		for i := range ref.Prob {
+			d := math.Abs(fit.Prob[i] - ref.Prob[i])
+			sum += d
+			if d > worst {
+				worst = d
+			}
+			if (fit.Prob[i] >= 0.5) != (ref.Prob[i] >= 0.5) {
+				flips++
+			}
+		}
+		mean := sum / float64(len(ref.Prob))
+		t.Logf("shards=%d S=%d: mean |Δp| = %.5f, max = %.5f, decision flips = %d/%d",
+			tc.shards, tc.syncEvery, mean, worst, flips, len(ref.Prob))
+		if mean > 0.02 {
+			t.Errorf("shards=%d S=%d: mean posterior drift %.5f exceeds 0.02", tc.shards, tc.syncEvery, mean)
+		}
+		if float64(flips) > 0.02*float64(len(ref.Prob)) {
+			t.Errorf("shards=%d S=%d: %d decision flips exceed 2%% of facts", tc.shards, tc.syncEvery, flips)
+		}
+	}
+}
+
+// TestShardedFitDeterministic: the parallel mode must be a pure function
+// of (dataset, config, shards, syncEvery) regardless of scheduling.
+func TestShardedFitDeterministic(t *testing.T) {
+	ds := propertyCorpus(t, 29)
+	cfg := core.Config{Seed: 3, Iterations: 40, BurnIn: 10}
+	f1, err := Compile(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := f1.Fit(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Compile(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f2.Fit(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Prob {
+		if a.Prob[i] != b.Prob[i] {
+			t.Fatalf("fact %d: run A %v, run B %v", i, a.Prob[i], b.Prob[i])
+		}
+	}
+	// Refitting through the same compiled fitter must also reproduce.
+	c, err := f1.Fit(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Prob {
+		if a.Prob[i] != c.Prob[i] {
+			t.Fatalf("refit through same fitter drifted at fact %d", i)
+		}
+	}
+}
+
+// claimKey identifies a claim by names, which survive re-indexing.
+type claimKey struct {
+	entity, attribute, source string
+	observation               bool
+}
+
+func claimMultiset(ds *model.Dataset) map[claimKey]int {
+	m := make(map[claimKey]int, ds.NumClaims())
+	for _, c := range ds.Claims {
+		f := ds.Facts[c.Fact]
+		m[claimKey{ds.Entities[f.Entity], f.Attribute, ds.Sources[c.Source], c.Observation}]++
+	}
+	return m
+}
+
+// TestShardPartitionNeverDropsOrDuplicatesClaims: the partition property —
+// across randomized corpora and shard counts, the union of shard claim
+// tables is exactly the global claim table (no claim dropped, none
+// duplicated), every global fact lands in exactly one shard, and the id
+// mappings agree with the name-level identities.
+func TestShardPartitionNeverDropsOrDuplicatesClaims(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		ds := propertyCorpus(t, seed)
+		rng := stats.NewRNG(seed * 997)
+		for trial := 0; trial < 3; trial++ {
+			shards := 1 + rng.Intn(9)
+			f, err := Compile(ds, shards)
+			if err != nil {
+				t.Fatalf("seed=%d shards=%d: %v", seed, shards, err)
+			}
+			want := claimMultiset(ds)
+			got := make(map[claimKey]int)
+			facts := 0
+			for _, p := range f.parts {
+				for k, n := range claimMultiset(p.ds) {
+					got[k] += n
+				}
+				facts += p.ds.NumFacts()
+				// Mapped ids must agree with name identities.
+				for i, g := range p.fact2g {
+					pf, gf := p.ds.Facts[i], ds.Facts[g]
+					if p.ds.Entities[pf.Entity] != ds.Entities[gf.Entity] || pf.Attribute != gf.Attribute {
+						t.Fatalf("seed=%d shards=%d: fact mapping %d->%d names disagree", seed, shards, i, g)
+					}
+				}
+				for s, g := range p.src2g {
+					if p.ds.Sources[s] != ds.Sources[g] {
+						t.Fatalf("seed=%d shards=%d: source mapping %d->%d names disagree", seed, shards, s, g)
+					}
+				}
+			}
+			if facts != ds.NumFacts() {
+				t.Fatalf("seed=%d shards=%d: shards carry %d facts, dataset has %d", seed, shards, facts, ds.NumFacts())
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed=%d shards=%d: claim multiset keys %d != %d", seed, shards, len(got), len(want))
+			}
+			for k, n := range want {
+				if got[k] != n {
+					t.Fatalf("seed=%d shards=%d: claim %+v count %d != %d", seed, shards, k, got[k], n)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedFitMoreShardsThanEntities: empty partitions are dropped and
+// the fit still covers every fact.
+func TestShardedFitMoreShardsThanEntities(t *testing.T) {
+	corpus := synth.Table1Example()
+	ds := corpus.Dataset
+	f, err := Compile(ds, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Shards() > ds.NumEntities() {
+		t.Fatalf("%d non-empty shards from %d entities", f.Shards(), ds.NumEntities())
+	}
+	fit, err := f.Fit(core.Config{Seed: 7, Iterations: 30, BurnIn: 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fit.Prob) != ds.NumFacts() {
+		t.Fatalf("fit covers %d facts, want %d", len(fit.Prob), ds.NumFacts())
+	}
+	for i, p := range fit.Prob {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			t.Fatalf("fact %d: probability %v out of range", i, p)
+		}
+	}
+}
+
+// TestShardedFitErrors: invalid arguments are rejected up front.
+func TestShardedFitErrors(t *testing.T) {
+	ds := propertyCorpus(t, 5)
+	if _, err := Compile(ds, 0); err == nil {
+		t.Error("Compile with 0 shards should fail")
+	}
+	if _, err := Compile(&model.Dataset{}, 2); err == nil {
+		t.Error("Compile with empty dataset should fail")
+	}
+	f, err := Compile(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Fit(core.Config{Seed: 1}, -3); err == nil {
+		t.Error("negative syncEvery should fail")
+	}
+	if _, err := f.Fit(core.Config{Iterations: -1}, 2); err == nil {
+		t.Error("invalid LTM config should fail")
+	}
+}
+
+// TestShardFitFallback: the one-call Fit with Shards <= 1 delegates to the
+// single-engine path and matches it exactly.
+func TestShardFitFallback(t *testing.T) {
+	ds := propertyCorpus(t, 23)
+	cfg := core.Config{Seed: 11, Iterations: 30, BurnIn: 5}
+	ref, err := core.New(cfg).Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := Fit(ds, Config{Shards: 1, LTM: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Prob {
+		if fit.Prob[i] != ref.Prob[i] {
+			t.Fatalf("fact %d: fallback %v, reference %v", i, fit.Prob[i], ref.Prob[i])
+		}
+	}
+}

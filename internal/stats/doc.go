@@ -1,0 +1,13 @@
+// Package stats provides the numerical substrate for the truth-discovery
+// library: a deterministic random number generator (the seed behind every
+// §6 experiment's reproducibility), samplers for the distributions used by
+// the Latent Truth Model's generative process (§4.2: Bernoulli, Beta,
+// Gamma, Binomial), special functions (log-Beta, regularized incomplete
+// Beta), descriptive statistics with the confidence intervals of Figure 5,
+// Gelman–Rubin convergence diagnostics for multi-chain fits, and the
+// least-squares linear regression behind Figure 6's runtime fit.
+//
+// Everything is implemented from scratch on top of the standard library so
+// that experiments are reproducible bit-for-bit from a seed and the module
+// has no external dependencies.
+package stats

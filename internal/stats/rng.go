@@ -1,13 +1,3 @@
-// Package stats provides the numerical substrate for the truth-discovery
-// library: a deterministic random number generator, samplers for the
-// distributions used by the Latent Truth Model's generative process
-// (Bernoulli, Beta, Gamma, Binomial), special functions (log-Beta,
-// regularized incomplete Beta), descriptive statistics with confidence
-// intervals, and least-squares linear regression.
-//
-// Everything is implemented from scratch on top of the standard library so
-// that experiments are reproducible bit-for-bit from a seed and the module
-// has no external dependencies.
 package stats
 
 import "math/rand"

@@ -1,0 +1,10 @@
+// Package store provides database-style operations over built datasets:
+// entity subsampling (Table 9's 3k–15k scaling study), conflicting-record
+// filtering (how the paper constructs the movie corpus, §6.1.1), dataset
+// merging for streaming arrivals (§5.4), entity-range splitting
+// (SplitEntities — the batch construction of the streaming mode and the
+// partitioner behind internal/shard's entity-sharded inference), and
+// summary statistics mirroring the corpus tables of §6.1.1. All
+// operations are pure: they return new datasets and never mutate their
+// inputs.
+package store

@@ -1,8 +1,3 @@
-// Package store provides database-style operations over built datasets:
-// entity subsampling (Table 9's 3k–15k scaling study), conflicting-record
-// filtering (how the paper constructs the movie corpus), dataset merging
-// for streaming arrivals, and summary statistics. All operations are pure:
-// they return new datasets and never mutate their inputs.
 package store
 
 import (

@@ -1,16 +1,3 @@
-// Package stream implements the online / incremental integration mode of
-// §5.4: when data arrives as a stream of batches, source quality learned
-// on already-integrated batches becomes the prior for new batches, so the
-// model never needs to re-train on the cumulative data.
-//
-// Two §5.4 policies are provided:
-//
-//   - Online.Step: fit LTM on the new batch only, with each source's
-//     hyperparameters set to prior + expected confusion counts accumulated
-//     so far (full incremental learning);
-//   - Online.Predict: assume quality is unchanged over the medium term and
-//     apply the closed-form LTMinc posterior (Equation 3) — no sampling at
-//     all, the fastest path (Table 9's LTMinc row).
 package stream
 
 import (
@@ -19,12 +6,17 @@ import (
 
 	"latenttruth/internal/core"
 	"latenttruth/internal/model"
+	"latenttruth/internal/shard"
 )
 
 // Online is a stateful incremental truth finder. It is not safe for
 // concurrent use.
 type Online struct {
 	base core.Config
+	// shards/syncEvery configure entity-sharded periodic refits; see
+	// SetSharding.
+	shards    int
+	syncEvery int
 	// counts[source][i][j] accumulates expected confusion counts over all
 	// processed batches.
 	counts map[string]*[2][2]float64
@@ -44,6 +36,19 @@ func NewOnline(base core.Config) (*Online, error) {
 		return nil, err
 	}
 	return &Online{base: base, counts: make(map[string]*[2][2]float64)}, nil
+}
+
+// SetSharding configures entity-sharded execution for Refit: shards > 1
+// partitions the cumulative dataset by entity and sweeps the shards
+// concurrently with per-source counts reconciled every syncEvery sweeps
+// (internal/shard). shards <= 1 restores the single-engine refit;
+// syncEvery 1 selects the exact (bit-identical) barrier mode and 0 the
+// shard package's default interval. Step and Predict are unaffected —
+// batches are small by construction; the cumulative refit is the sweep
+// that grows without bound.
+func (o *Online) SetSharding(shards, syncEvery int) {
+	o.shards = shards
+	o.syncEvery = syncEvery
 }
 
 // Batches returns the number of batches processed by Step so far.
@@ -116,8 +121,12 @@ func (o *Online) Step(batch *model.Dataset) (*core.FitResult, error) {
 // accumulated expected counts with the refit's. The caller is responsible
 // for retaining and merging the arrived batches (see store.Merge).
 // Batch and fact counters are reset to reflect the refit dataset.
+//
+// When sharding is configured (SetSharding), the refit runs the
+// entity-sharded fitter over the cumulative dataset so the one
+// whole-history sweep in the streaming pipeline scales across cores.
 func (o *Online) Refit(cumulative *model.Dataset) (*core.FitResult, error) {
-	fit, err := core.New(o.base).Fit(cumulative)
+	fit, err := shard.Fit(cumulative, shard.Config{Shards: o.shards, SyncEvery: o.syncEvery, LTM: o.base})
 	if err != nil {
 		return nil, fmt.Errorf("stream: refit: %w", err)
 	}

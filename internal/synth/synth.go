@@ -1,14 +1,3 @@
-// Package synth generates the three datasets of the paper's evaluation
-// (§6.1.1). The synthetic dataset follows the paper's specification
-// exactly: it draws source quality and fact truth from the model's own
-// generative process and has every source claim every fact. The book and
-// movie corpora are simulated stand-ins for the abebooks.com crawl and the
-// Bing movies feed, which are not publicly distributable: the generators
-// reproduce the published corpus statistics (entity/fact/claim/source
-// counts) and quality regimes (879 long-tail, omission-heavy book sellers;
-// 12 movie sources with the Table 8 sensitivity/specificity profile), so
-// every experiment exercises the same code paths at the same scale. See
-// DESIGN.md §3 for the substitution rationale.
 package synth
 
 import (

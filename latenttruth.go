@@ -1,34 +1,3 @@
-// Package latenttruth is a truth-discovery library for data integration,
-// implementing the Latent Truth Model (LTM) of Zhao, Rubinstein, Gemmell &
-// Han, "A Bayesian Approach to Discovering Truth from Conflicting Sources
-// for Data Integration", VLDB 2012, together with the full set of
-// comparison methods from the paper's evaluation.
-//
-// Given a raw database of (entity, attribute, source) triples in which
-// sources conflict, the library infers which facts are true and how
-// reliable each source is — without supervision — by modeling two-sided
-// source quality (sensitivity and specificity) with a collapsed Gibbs
-// sampler. Multi-valued attributes (a book's authors, a movie's cast) are
-// supported natively: any number of facts per entity may be true.
-//
-// Quickstart:
-//
-//	db := latenttruth.NewRawDB()
-//	db.Add("Harry Potter", "Daniel Radcliffe", "IMDB")
-//	db.Add("Harry Potter", "Johnny Depp", "BadSource.com")
-//	// ... more triples ...
-//	ds := latenttruth.BuildDataset(db)
-//	fit, err := latenttruth.NewLTM(latenttruth.Config{}).Fit(ds)
-//	if err != nil { ... }
-//	records, err := latenttruth.Integrate(ds, fit.Result, 0.5)
-//
-// This root package is a facade over the internal packages; it re-exports
-// everything a downstream integrator needs: the data model, LTM and its
-// incremental/online variants, the seven baseline methods, evaluation
-// utilities (threshold sweeps, ROC/AUC), dataset I/O, and the simulated
-// evaluation corpora. The cmd/ directory provides executables, examples/
-// runnable walkthroughs, and bench_test.go regenerates every table and
-// figure of the paper.
 package latenttruth
 
 import (
@@ -42,6 +11,7 @@ import (
 	"latenttruth/internal/ltmx"
 	"latenttruth/internal/model"
 	"latenttruth/internal/serve"
+	"latenttruth/internal/shard"
 	"latenttruth/internal/stats"
 	"latenttruth/internal/store"
 	"latenttruth/internal/stream"
@@ -149,6 +119,33 @@ type Engine = core.Engine
 // CompileDataset compiles ds for repeated sampling with Engine.Fit and
 // Engine.FitChains.
 func CompileDataset(ds *Dataset) *Engine { return core.Compile(ds) }
+
+// ShardedFitter is a dataset compiled for entity-sharded parallel
+// inference: the claim store partitioned by entity, one engine layout per
+// shard, per-source counts reconciled at a configurable sync interval
+// (distributed-LDA style). Compile once with CompileSharded and call Fit
+// with as many configurations as needed.
+type ShardedFitter = shard.Fitter
+
+// DefaultSyncEvery is the shard count-reconciliation interval used when a
+// caller leaves it zero (5 sweeps).
+const DefaultSyncEvery = shard.DefaultSyncEvery
+
+// CompileSharded partitions ds into (at most) shards entity shards and
+// compiles one sampler engine per shard for repeated sharded fits.
+func CompileSharded(ds *Dataset, shards int) (*ShardedFitter, error) {
+	return shard.Compile(ds, shards)
+}
+
+// FitSharded runs entity-sharded collapsed Gibbs sampling: the dataset is
+// partitioned by entity into shards swept concurrently, with the global
+// per-source confusion counts reconciled every syncEvery sweeps.
+// syncEvery = 1 selects the exact barrier mode, which is bit-identical to
+// NewLTM(cfg).Fit(ds) but sequential; syncEvery = 0 means DefaultSyncEvery.
+// shards <= 1 falls back to the single-engine fit.
+func FitSharded(ds *Dataset, cfg Config, shards, syncEvery int) (*FitResult, error) {
+	return shard.Fit(ds, shard.Config{Shards: shards, SyncEvery: syncEvery, LTM: cfg})
+}
 
 // NewLTMPos returns the positive-claims-only variant (ablation).
 func NewLTMPos(cfg Config) *LTMPos { return core.NewPos(cfg) }

@@ -1,0 +1,87 @@
+package latenttruth_test
+
+// Documentation enforcement: every package in the module must carry a
+// godoc package comment, and library packages must keep it in a dedicated
+// doc.go so it is easy to find and cannot silently vanish in a refactor.
+// CI runs this test (see .github/workflows/ci.yml, "Package docs" step);
+// it fails naming the offending package.
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// packageDirs lists every directory under root that contains non-test Go
+// files, skipping testdata and hidden directories.
+func packageDirs(t *testing.T, root string) []string {
+	t.Helper()
+	var dirs []string
+	seen := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || (len(name) > 1 && strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		if dir := filepath.Dir(path); !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}
+
+// TestPackageComments fails if any package in the module lacks a godoc
+// package comment, or if a library package (the facade and internal/*)
+// keeps it outside doc.go.
+func TestPackageComments(t *testing.T) {
+	for _, dir := range packageDirs(t, ".") {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var docFile string
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				if docFile != "" {
+					t.Errorf("package %s: package comments in both %s and %s — keep one, in doc.go", dir, docFile, name)
+				}
+				docFile = name
+			}
+		}
+		if docFile == "" {
+			t.Errorf("package %s has no godoc package comment — add a doc.go", dir)
+			continue
+		}
+		library := dir == "." || strings.HasPrefix(dir, "internal"+string(filepath.Separator))
+		if library && docFile != "doc.go" {
+			t.Errorf("package %s keeps its package comment in %s — move it to doc.go", dir, docFile)
+		}
+	}
+}
