@@ -12,7 +12,10 @@ package latenttruth_test
 // cost is excluded from timings via b.ResetTimer.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -620,4 +623,206 @@ func BenchmarkAblationAdversarialFilter(b *testing.B) {
 			b.ReportMetric(float64(len(out.Removed)), "removed")
 		}
 	})
+}
+
+// --- Durability: WAL append and crash recovery ------------------------------
+
+// walBenchBatch is the ingest batch every durability bench appends: 128
+// rows, a realistic bulk-ingest request.
+func walBenchBatch() []latenttruth.Row {
+	rows := make([]latenttruth.Row, 0, 128)
+	for j := 0; len(rows) < 128; j++ {
+		e := fmt.Sprintf("entity-%04d", j%997)
+		for s := 0; s < 4 && len(rows) < 128; s++ {
+			rows = append(rows, latenttruth.Row{
+				Entity:    e,
+				Attribute: fmt.Sprintf("attribute-%d", (j+s)%7),
+				Source:    fmt.Sprintf("source-%02d", (j*3+s)%41),
+			})
+		}
+	}
+	return rows
+}
+
+// walBenchBody is the walBenchBatch marshaled as a POST /claims request
+// body, built once.
+var walBenchBody struct {
+	sync.Once
+	body []byte
+}
+
+func walBenchRequestBody(b *testing.B) []byte {
+	b.Helper()
+	walBenchBody.Do(func() {
+		type claim struct {
+			Entity    string `json:"entity"`
+			Attribute string `json:"attribute"`
+			Source    string `json:"source"`
+		}
+		var claims []claim
+		for _, r := range walBenchBatch() {
+			claims = append(claims, claim{r.Entity, r.Attribute, r.Source})
+		}
+		var err error
+		walBenchBody.body, err = json.Marshal(map[string]any{"claims": claims})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	return walBenchBody.body
+}
+
+// benchmarkIngest measures the daemon's ingest path — POST /claims through
+// the real handler, JSON decode included — for one durability
+// configuration, returning seconds per batch. To keep memory bounded
+// regardless of b.N, the server is recycled (off the clock) every
+// ingestResetEvery batches — identically for the in-memory baseline and
+// every WAL variant, so the comparison stays apples-to-apples.
+const ingestResetEvery = 4096
+
+func benchmarkIngest(b *testing.B, durability latenttruth.DurabilityConfig) float64 {
+	b.Helper()
+	body := walBenchRequestBody(b)
+	rowsPerBatch := len(walBenchBatch())
+	newServer := func() *latenttruth.TruthServer {
+		if durability.DataDir != "" {
+			durability.DataDir = b.TempDir()
+		}
+		s, err := latenttruth.NewTruthServer(latenttruth.ServeConfig{
+			RefitInterval: -1,
+			Durability:    durability,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	s := newServer()
+	h := s.Handler()
+	defer func() { s.Close() }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%ingestResetEvery == 0 {
+			b.StopTimer()
+			s.Close()
+			s = newServer()
+			h = s.Handler()
+			b.StartTimer()
+		}
+		req := httptest.NewRequest("POST", "/claims", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != 202 {
+			b.Fatalf("POST /claims: status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	b.StopTimer()
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(rowsPerBatch)/perOp, "rows/s")
+	return perOp
+}
+
+// ingestBaseline memoizes the in-memory (no WAL) seconds per batch so the
+// WAL benches can report their overhead percentage directly (the
+// acceptance metric: NoSync overhead < 15% vs the in-memory path).
+var ingestBaseline struct {
+	sync.Once
+	secPerOp float64
+}
+
+func ingestBaselineSec(b *testing.B) float64 {
+	b.Helper()
+	ingestBaseline.Do(func() {
+		body := walBenchRequestBody(b)
+		s, err := latenttruth.NewTruthServer(latenttruth.ServeConfig{RefitInterval: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		h := s.Handler()
+		const reps = 4096
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			req := httptest.NewRequest("POST", "/claims", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != 202 {
+				b.Fatalf("POST /claims: status %d", w.Code)
+			}
+		}
+		ingestBaseline.secPerOp = time.Since(start).Seconds() / reps
+	})
+	return ingestBaseline.secPerOp
+}
+
+// BenchmarkIngestInMemory is the pre-durability baseline: the full
+// POST /claims path with nothing touching disk.
+func BenchmarkIngestInMemory(b *testing.B) {
+	benchmarkIngest(b, latenttruth.DurabilityConfig{})
+}
+
+func benchmarkWALAppend(b *testing.B, fsync latenttruth.FsyncPolicy) {
+	base := ingestBaselineSec(b)
+	perOp := benchmarkIngest(b, latenttruth.DurabilityConfig{
+		DataDir: "pending", // replaced with a fresh TempDir per server
+		Fsync:   fsync,
+	})
+	b.ReportMetric((perOp-base)/base*100, "overhead-vs-memory-%")
+}
+
+// BenchmarkWALAppendNoSync: write-ahead to the page cache only (survives
+// SIGKILL, not power loss) — the fastest durable mode.
+func BenchmarkWALAppendNoSync(b *testing.B) { benchmarkWALAppend(b, latenttruth.FsyncNever) }
+
+// BenchmarkWALAppendInterval: fsync piggybacked at most every 100ms.
+func BenchmarkWALAppendInterval(b *testing.B) { benchmarkWALAppend(b, latenttruth.FsyncInterval) }
+
+// BenchmarkWALAppendAlways: fsync on every batch — each op pays a disk
+// round trip.
+func BenchmarkWALAppendAlways(b *testing.B) { benchmarkWALAppend(b, latenttruth.FsyncAlways) }
+
+// BenchmarkRecovery measures a cold server boot against an existing data
+// directory: load the newest checkpoint (a fitted corpus) and replay a
+// 64-batch WAL tail.
+func BenchmarkRecovery(b *testing.B) {
+	dir := b.TempDir()
+	cfg := latenttruth.ServeConfig{
+		LTM:           latenttruth.Config{Iterations: 40},
+		RefitInterval: -1,
+		Durability:    latenttruth.DurabilityConfig{DataDir: dir, Fsync: latenttruth.FsyncNever},
+	}
+	s, err := latenttruth.NewTruthServer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := walBenchBatch()
+	if _, err := s.Ingest(rows); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Refit(""); err != nil { // writes the checkpoint
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ { // acknowledged tail, never checkpointed
+		if _, err := s.Ingest(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := latenttruth.NewTruthServer(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs := r.RecoveryStats()
+		if rs.ColdStart || rs.ReplayedBatches != 64 {
+			b.Fatalf("recovery stats %+v", rs)
+		}
+		b.StopTimer()
+		r.Close()
+		b.StartTimer()
+	}
 }

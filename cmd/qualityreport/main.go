@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"latenttruth"
@@ -55,15 +56,9 @@ func run() error {
 			q.Source, q.Sensitivity, q.Specificity, q.Precision, q.Accuracy)
 	}
 	if *csvOut != "" {
-		out, err := os.Create(*csvOut)
-		if err != nil {
-			return err
-		}
-		if err := latenttruth.WriteQuality(out, ranked); err != nil {
-			out.Close()
-			return err
-		}
-		return out.Close()
+		return latenttruth.SaveFile(*csvOut, func(w io.Writer) error {
+			return latenttruth.WriteQuality(w, ranked)
+		})
 	}
 	return nil
 }

@@ -94,7 +94,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		res = fit.Result
 		if *quality != "" {
-			if err := writeTo(*quality, func(w io.Writer) error {
+			if err := latenttruth.SaveFile(*quality, func(w io.Writer) error {
 				return latenttruth.WriteQuality(w, latenttruth.RankedQuality(fit.Quality))
 			}); err != nil {
 				return err
@@ -128,18 +128,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *output == "" {
 		return write(stdout)
 	}
-	return writeTo(*output, write)
-}
-
-// writeTo writes via fn into a freshly created file.
-func writeTo(path string, fn func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := fn(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	// Crash-safe: goldens regenerated with -update (and any -o output) are
+	// atomically renamed into place, never observable half-written.
+	return latenttruth.SaveFile(*output, write)
 }

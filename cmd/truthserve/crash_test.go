@@ -1,0 +1,269 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"latenttruth"
+)
+
+// TestCrashRecoveryEndToEnd is the acceptance scenario against the real
+// binary: start truthserve with a data directory, ingest acknowledged
+// batches, SIGKILL it while a client is actively ingesting, restart it on
+// the same directory, and assert the recovered truth table is
+// bit-identical to an uninterrupted in-process run over exactly the
+// batches the WAL acknowledged.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-level crash test in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "truthserve")
+	build := exec.Command(goBin, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building truthserve: %v\n%s", err, out)
+	}
+
+	dataDir := filepath.Join(tmp, "state")
+	addr := freeAddr(t)
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin,
+			"-addr", addr,
+			"-refit-interval", "-1s", // manual refits only
+			"-iterations", "40",
+			"-data-dir", dataDir,
+			"-fsync", "interval",
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting truthserve: %v", err)
+		}
+		waitHealthy(t, addr)
+		return cmd
+	}
+
+	srv := start()
+	defer func() { srv.Process.Kill(); srv.Wait() }()
+
+	// Batch 1 is refitted (so a checkpoint exists), then a client streams
+	// batches 2..N while a timer SIGKILLs the server mid-stream: the kill
+	// lands during active ingest, between (or inside) acknowledgments.
+	postBatch(t, addr, 1)
+	postRefit(t, addr)
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(100 * time.Millisecond)
+		srv.Process.Kill() // SIGKILL: no shutdown path runs
+	}()
+	acked := 1
+	for i := 2; i <= 100_000; i++ {
+		if err := tryPostBatch(addr, i); err != nil {
+			break // the server died under this request
+		}
+		acked = i
+	}
+	<-killed
+	srv.Wait()
+	if acked < 2 {
+		t.Fatalf("client never got a batch acknowledged before the kill")
+	}
+
+	// Restart on the same directory and ask the WAL how many batches were
+	// durably acknowledged: an in-flight batch at kill time may have been
+	// logged without its response arriving, and it is part of the acked
+	// state recovery must reproduce.
+	srv2 := start()
+	defer func() { srv2.Process.Kill(); srv2.Wait() }()
+	logged := walLastSeq(t, addr)
+	if logged < uint64(acked) {
+		t.Fatalf("WAL lost acknowledged batches: last_seq=%d < acked=%d", logged, acked)
+	}
+	postRefit(t, addr)
+	recovered := getTruth(t, addr)
+
+	// Uninterrupted reference over exactly the logged batches, with the
+	// same configuration and refit schedule.
+	ref, err := latenttruth.NewTruthServer(latenttruth.ServeConfig{
+		LTM:           latenttruth.Config{Iterations: 40},
+		RefitInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	ingestRef := func(i int) {
+		if _, err := ref.Ingest(claimRows(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ingestRef(1)
+	if _, err := ref.Refit(""); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i <= int(logged); i++ {
+		ingestRef(i)
+	}
+	refSnap, err := ref.Refit("")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := refSnap.AllTruth()
+	if len(recovered.Rows) != len(want) {
+		t.Fatalf("recovered %d truth rows, want %d", len(recovered.Rows), len(want))
+	}
+	for i, row := range recovered.Rows {
+		w := want[i]
+		if row.Entity != w.Entity || row.Attribute != w.Attribute ||
+			row.Probability != w.Probability || row.Predicted != w.Predicted {
+			t.Fatalf("truth row %d: %+v, want %+v", i, row, w)
+		}
+	}
+	if recovered.Seq != refSnap.Seq {
+		t.Fatalf("recovered seq %d, want %d", recovered.Seq, refSnap.Seq)
+	}
+}
+
+// claimRows is the deterministic batch the crash client posts.
+func claimRows(i int) []latenttruth.Row {
+	rows := make([]latenttruth.Row, 0, 9)
+	for j := 0; j < 3; j++ {
+		e := fmt.Sprintf("e%02d", (i*5+j)%23)
+		for s := 0; s < 3; s++ {
+			rows = append(rows, latenttruth.Row{
+				Entity:    e,
+				Attribute: fmt.Sprintf("a%d", (i+j+s)%4),
+				Source:    fmt.Sprintf("s%d", (i+s)%5),
+			})
+		}
+	}
+	return rows
+}
+
+// freeAddr reserves a localhost port and returns host:port.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// waitHealthy polls /healthz until the server answers.
+func waitHealthy(t *testing.T, addr string) {
+	t.Helper()
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("truthserve on %s never became healthy", addr)
+}
+
+// tryPostBatch posts batch i, returning any transport or status error.
+func tryPostBatch(addr string, i int) error {
+	var claims []map[string]string
+	for _, r := range claimRows(i) {
+		claims = append(claims, map[string]string{
+			"entity": r.Entity, "attribute": r.Attribute, "source": r.Source,
+		})
+	}
+	body, err := json.Marshal(map[string]any{"claims": claims})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post("http://"+addr+"/claims", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("POST /claims: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func postBatch(t *testing.T, addr string, i int) {
+	t.Helper()
+	if err := tryPostBatch(addr, i); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func postRefit(t *testing.T, addr string) {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/refit", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /refit: status %d", resp.StatusCode)
+	}
+}
+
+// walLastSeq reads the WAL's newest sequence number from /durability.
+func walLastSeq(t *testing.T, addr string) uint64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/durability")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		WAL struct {
+			LastSeq uint64 `json:"last_seq"`
+		} `json:"wal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body.WAL.LastSeq
+}
+
+// truthTable is the /truth payload shape the test needs.
+type truthTable struct {
+	Seq  int64 `json:"seq"`
+	Rows []struct {
+		Entity      string  `json:"entity"`
+		Attribute   string  `json:"attribute"`
+		Probability float64 `json:"probability"`
+		Predicted   bool    `json:"predicted"`
+	} `json:"rows"`
+}
+
+func getTruth(t *testing.T, addr string) truthTable {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/truth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tt truthTable
+	if err := json.NewDecoder(resp.Body).Decode(&tt); err != nil {
+		t.Fatal(err)
+	}
+	return tt
+}

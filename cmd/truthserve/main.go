@@ -10,11 +10,22 @@
 //	           [-refit-interval 2s] [-full-every 10] [-min-batch 1]
 //	           [-threshold 0.5] [-iterations 100] [-seed 1]
 //	           [-shards 1] [-sync-every 5] [-preload triples.csv]
+//	           [-data-dir state/] [-fsync always|interval|never]
+//	           [-fsync-interval 100ms] [-segment-bytes 67108864]
+//	           [-retain-checkpoints 3]
 //
 // With -shards N (N > 1), full refits run the entity-sharded parallel
 // fitter — the cumulative dataset is partitioned by entity and swept
 // concurrently with per-source counts reconciled every -sync-every
 // sweeps — so background refits scale across cores as history grows.
+//
+// With -data-dir, the daemon is crash-safe: every acknowledged claim
+// batch is written ahead to a segmented, CRC-framed WAL before the HTTP
+// response, every refit checkpoints the cumulative state, and a restart
+// recovers the exact pre-crash model (newest checkpoint + WAL tail
+// replay). -fsync trades durability against ingest latency: "always"
+// survives power loss, "interval" bounds loss to -fsync-interval, "never"
+// leaves syncing to the OS — all three survive a SIGKILL of the process.
 //
 // Endpoints:
 //
@@ -24,6 +35,7 @@
 //	GET  /records ?entity=...
 //	GET  /stats
 //	GET  /healthz
+//	GET  /durability
 //	POST /refit   [?policy=full|incremental|online]
 package main
 
@@ -62,6 +74,12 @@ func run() error {
 		shards     = flag.Int("shards", 1, "entity shards for full refits (1 = single engine)")
 		syncEvery  = flag.Int("sync-every", 0, "shard count-sync interval in sweeps (1 = exact mode, 0 = default)")
 		preload    = flag.String("preload", "", "triples CSV to ingest before serving (optional)")
+
+		dataDir       = flag.String("data-dir", "", "state directory for the WAL and checkpoints (empty = memory-only)")
+		fsync         = flag.String("fsync", "interval", "WAL fsync policy: always, interval or never")
+		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "max unsynced time under -fsync interval")
+		segmentBytes  = flag.Int64("segment-bytes", 64<<20, "WAL segment rotation size in bytes")
+		retain        = flag.Int("retain-checkpoints", 3, "checkpoints to keep (WAL is truncated behind the oldest)")
 	)
 	flag.Parse()
 
@@ -75,12 +93,26 @@ func run() error {
 		MinBatch:      *minBatch,
 		Shards:        *shards,
 		SyncEvery:     *syncEvery,
-		Logger:        logger,
+		Durability: latenttruth.DurabilityConfig{
+			DataDir:           *dataDir,
+			Fsync:             latenttruth.FsyncPolicy(*fsync),
+			FsyncInterval:     *fsyncInterval,
+			SegmentBytes:      *segmentBytes,
+			RetainCheckpoints: *retain,
+		},
+		Logger: logger,
 	})
 	if err != nil {
 		return err
 	}
-
+	// The serve layer already logged the recovery/cold-start report through
+	// the same logger; only the preload decision is main's to make. On a
+	// warm restart the preload CSV is already part of the recovered state —
+	// re-ingesting it would re-log every row to the WAL on each boot.
+	if *preload != "" && *dataDir != "" && !srv.RecoveryStats().ColdStart {
+		logger.Printf("truthserve: skipping -preload %s: %s already holds recovered state", *preload, *dataDir)
+		*preload = ""
+	}
 	if *preload != "" {
 		f, err := os.Open(*preload)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 
 	"latenttruth/internal/model"
@@ -216,18 +217,55 @@ func LoadTriplesFile(path string) (*model.Dataset, error) {
 	return model.Build(db), nil
 }
 
-// SaveFile writes the output of write to path, creating or truncating it.
+// SaveFile writes the output of write to path, crash-safely: the content
+// goes to a temporary file in the target directory, is fsynced, and is
+// atomically renamed over path (with a directory fsync), so readers — and
+// a post-crash filesystem — observe either the old file or the complete
+// new one, never a truncated or half-written state. On any error the
+// original file is left untouched and the temporary file is removed.
 func SaveFile(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("dataset: %w", err)
 	}
-	if err := write(f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	// CreateTemp makes 0600 files; give the result normal output-file
+	// permissions (preserving the target's mode when it already exists).
+	perm := os.FileMode(0o644)
+	if info, serr := os.Stat(path); serr == nil {
+		perm = info.Mode().Perm()
+	}
+	if err := f.Chmod(perm); err != nil {
+		return fail(fmt.Errorf("dataset: chmod %s: %w", tmp, err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("dataset: fsync %s: %w", tmp, err))
+	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("dataset: closing %s: %w", path, err)
+		os.Remove(tmp)
+		return fmt.Errorf("dataset: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dataset: %w", err)
+	}
+	// Make the rename itself durable.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("dataset: fsync %s: %w", dir, err)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math"
 	"os"
@@ -202,5 +203,61 @@ func TestLoadTriplesFileAndSaveFile(t *testing.T) {
 	}
 	if _, err := os.Stat(path); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSaveFileAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := os.WriteFile(path, []byte("original"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A failing writer must leave the original untouched and no temp
+	// files behind.
+	boom := errors.New("boom")
+	err := SaveFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "original" {
+		t.Fatalf("failed save clobbered the file: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+
+	// A successful save replaces the content atomically, preserving the
+	// target's permissions (CreateTemp alone would leave 0600).
+	if err := SaveFile(path, func(w io.Writer) error {
+		_, werr := io.WriteString(w, "fresh")
+		return werr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "fresh" {
+		t.Fatalf("content = %q, want fresh", got)
+	}
+	if info, err := os.Stat(path); err != nil || info.Mode().Perm() != 0o644 {
+		t.Fatalf("mode = %v (err=%v), want 0644", info.Mode(), err)
+	}
+	if entries, _ = os.ReadDir(dir); len(entries) != 1 {
+		t.Fatalf("temp files left behind after success: %v", entries)
+	}
+
+	// A missing target directory fails up front.
+	if err := SaveFile(filepath.Join(dir, "nope", "x.csv"), func(io.Writer) error { return nil }); err == nil {
+		t.Fatal("expected error for missing directory")
 	}
 }

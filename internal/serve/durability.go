@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"latenttruth/internal/dataset"
+	"latenttruth/internal/stream"
+	"latenttruth/internal/wal"
+)
+
+// Durability configures write-ahead logging and checkpointing. The zero
+// value (empty DataDir) keeps the server memory-only: a restart then loses
+// all ingested state, exactly the pre-durability behavior.
+type Durability struct {
+	// DataDir is the state directory; the WAL lives in DataDir/wal and
+	// checkpoints in DataDir/checkpoints. Empty disables durability.
+	DataDir string
+	// Fsync is the WAL fsync policy (default wal.SyncInterval): "always"
+	// survives power loss per acknowledged batch, "interval" bounds loss to
+	// FsyncInterval, "never" leaves syncing to the OS — all three survive a
+	// SIGKILL of the process, because records hit the page cache per batch.
+	Fsync wal.SyncPolicy
+	// FsyncInterval bounds unsynced time under the interval policy
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// SegmentBytes is the WAL segment rotation size (default 64 MiB).
+	SegmentBytes int64
+	// RetainCheckpoints is how many checkpoints to keep (default 3). WAL
+	// segments are only deleted once every retained checkpoint covers
+	// them, so recovery can always fall back to an older checkpoint.
+	RetainCheckpoints int
+}
+
+// Enabled reports whether durability is configured.
+func (d Durability) Enabled() bool { return d.DataDir != "" }
+
+// withDefaults fills unset fields.
+func (d Durability) withDefaults() Durability {
+	if d.Fsync == "" {
+		d.Fsync = wal.SyncInterval
+	}
+	if d.RetainCheckpoints == 0 {
+		d.RetainCheckpoints = 3
+	}
+	return d
+}
+
+// durable is the server's durability runtime: nil when not configured.
+type durable struct {
+	cfg   Durability
+	log   *wal.Log
+	store *wal.Store
+	// recovery is what startup found; immutable after New.
+	recovery wal.RecoveryStats
+	// qualityDropped is set when a checkpoint's policy state was discarded
+	// because the configuration hash did not match.
+	qualityDropped bool
+	// configHash fingerprints the model-relevant configuration.
+	configHash string
+
+	// Checkpoint counters: written under Server.mu (only refits touch
+	// them) but read atomically, so GET /durability is never blocked by an
+	// in-flight refit — same discipline as the refit counters.
+	checkpoints   atomic.Int64
+	checkpointErr atomic.Int64
+	lastSeq       atomic.Int64
+	lastWALSeq    atomic.Uint64
+	lastDurationN atomic.Int64 // nanoseconds
+}
+
+// configHash fingerprints every configuration field that shapes the model
+// state a checkpoint captures. Restoring policy state under a different
+// fingerprint would silently change inference, so recovery drops the
+// accumulated quality (keeping the triples, which are config-independent)
+// when the hash differs.
+func configHash(c Config) string {
+	h := sha256.New()
+	ltm := c.LTM
+	fmt.Fprintf(h, "priors=%v|iter=%d|burnin=%d|gap=%d|seed=%d|binary=%t|",
+		ltm.Priors, ltm.Iterations, ltm.BurnIn, ltm.SampleGap, ltm.Seed, ltm.BinarySamples)
+	names := make([]string, 0, len(ltm.SourcePriors))
+	for name := range ltm.SourcePriors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "src:%q=%v|", name, ltm.SourcePriors[name])
+	}
+	fmt.Fprintf(h, "threshold=%v|policy=%s|fullevery=%d|shards=%d|sync=%d",
+		c.Threshold, c.Policy, c.FullEvery, c.Shards, c.SyncEvery)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// openDurable recovers the durable state under cfg.Durability.DataDir and
+// installs it into the server: the cumulative database, the accumulated
+// quality and refit counters from the newest readable checkpoint, and the
+// acknowledged-but-uncheckpointed WAL tail as pending mutations. After it
+// returns, the server's in-memory state is bit-identical to the crashed
+// process's at its last acknowledged batch (modulo the published snapshot,
+// which the next refit reconstructs deterministically).
+func (s *Server) openDurable() error {
+	dcfg := s.cfg.Durability.withDefaults()
+	rec, err := wal.Recover(dcfg.DataDir, wal.Options{
+		SegmentBytes: dcfg.SegmentBytes,
+		Sync:         dcfg.Fsync,
+		SyncInterval: dcfg.FsyncInterval,
+	})
+	if err != nil {
+		return fmt.Errorf("serve: recovering %s: %w", dcfg.DataDir, err)
+	}
+	d := &durable{
+		cfg:        dcfg,
+		log:        rec.Log,
+		store:      rec.Store,
+		recovery:   rec.Stats,
+		configHash: configHash(s.cfg),
+	}
+	d.checkpoints.Store(int64(rec.Store.Count()))
+
+	s.db = rec.DB
+	s.ingest.log = rec.Log
+	if cp := rec.Checkpoint; cp != nil {
+		m := cp.Manifest
+		s.refits.Store(m.Refits)
+		s.fullRefits.Store(m.FullRefits)
+		s.walSeqCompacted = m.WALSeq
+		s.totalCompacted = m.IngestedTotal
+		s.ingest.restoreTotal(m.IngestedTotal)
+		d.lastSeq.Store(m.Seq)
+		d.lastWALSeq.Store(m.WALSeq)
+		switch {
+		case len(m.Policy) == 0:
+			// Nothing to restore; the first refit will be full.
+		case m.ConfigHash != d.configHash:
+			d.qualityDropped = true
+			s.logf("serve: checkpoint %d config hash %s != %s; discarding accumulated quality (next refit is full)",
+				m.Seq, m.ConfigHash, d.configHash)
+		default:
+			var st stream.State
+			if err := json.Unmarshal(m.Policy, &st); err != nil {
+				rec.Log.Close()
+				return fmt.Errorf("serve: checkpoint %d policy state: %w", m.Seq, err)
+			}
+			online, err := stream.RestoreOnline(s.cfg.LTM, st)
+			if err != nil {
+				rec.Log.Close()
+				return fmt.Errorf("serve: checkpoint %d policy state: %w", m.Seq, err)
+			}
+			online.SetSharding(s.cfg.Shards, s.cfg.SyncEvery)
+			s.online = online
+		}
+	}
+	for _, b := range rec.Tail {
+		s.ingest.replay(b)
+	}
+	s.dur = d
+	if rec.Stats.ColdStart {
+		s.logf("serve: durability on (%s, fsync=%s): cold start", dcfg.DataDir, dcfg.Fsync)
+	} else {
+		s.logf("serve: recovered %s: checkpoint seq=%d wal_seq=%d, replayed %d batches (%d rows), torn=%dB corrupt=%d",
+			dcfg.DataDir, rec.Stats.CheckpointSeq, rec.Stats.CheckpointWALSeq,
+			rec.Stats.ReplayedBatches, rec.Stats.ReplayedRows, rec.Stats.TornBytes, rec.Stats.CorruptRecords)
+	}
+	return nil
+}
+
+// checkpoint persists the just-published snapshot's inputs and advances
+// the log: manifest + triples + quality land atomically in the checkpoint
+// store, old checkpoints beyond the retention count are pruned, and WAL
+// segments covered by every surviving checkpoint are deleted. Called under
+// Server.mu right after the snapshot swap. A checkpoint failure does not
+// fail the refit — the snapshot is already live and the WAL still covers
+// everything — it is logged and counted for /durability.
+//
+// Cost note: every checkpoint serializes the WHOLE cumulative database,
+// so the per-refit I/O is O(history) — the price of making every
+// published snapshot a recovery point that restarts bit-identically
+// (counters, cadence and accumulated quality included). For very large
+// histories with frequent tiny refits, stretch RefitInterval / MinBatch;
+// the WAL alone keeps every acknowledged batch durable between refits.
+func (s *Server) checkpoint(snap *Snapshot) {
+	d := s.dur
+	start := time.Now()
+	m := wal.Manifest{
+		Seq:           snap.Seq,
+		WALSeq:        s.walSeqCompacted,
+		ConfigHash:    d.configHash,
+		Refits:        s.refits.Load(),
+		FullRefits:    s.fullRefits.Load(),
+		IngestedTotal: s.totalCompacted,
+	}
+	state, err := json.Marshal(s.online.State())
+	if err != nil {
+		s.checkpointFailed(fmt.Errorf("encoding policy state: %w", err))
+		return
+	}
+	m.Policy = state
+	err = d.store.Write(m,
+		func(w io.Writer) error { return dataset.WriteTriples(w, s.db) },
+		func(w io.Writer) error { return dataset.WriteQuality(w, s.online.Quality()) })
+	if err != nil {
+		s.checkpointFailed(err)
+		return
+	}
+	left, err := d.store.Prune(d.cfg.RetainCheckpoints)
+	if err != nil || len(left) == 0 {
+		s.checkpointFailed(fmt.Errorf("pruning checkpoints: %w", err))
+		return
+	}
+	// Truncate behind the OLDEST retained checkpoint so recovery can fall
+	// back across the whole retention window.
+	if err := d.log.TruncateBefore(left[0].Manifest.WALSeq + 1); err != nil {
+		s.checkpointFailed(err)
+		return
+	}
+	d.checkpoints.Store(int64(len(left)))
+	d.lastSeq.Store(m.Seq)
+	d.lastWALSeq.Store(m.WALSeq)
+	dur := time.Since(start)
+	d.lastDurationN.Store(int64(dur))
+	s.logf("serve: checkpoint seq=%d wal_seq=%d (%d retained, %s)",
+		m.Seq, m.WALSeq, len(left), dur.Round(time.Millisecond))
+}
+
+// checkpointFailed records a failed checkpoint attempt.
+func (s *Server) checkpointFailed(err error) {
+	s.dur.checkpointErr.Add(1)
+	s.logf("serve: checkpoint failed: %v", err)
+}
+
+// DurabilityStats is the GET /durability payload.
+type DurabilityStats struct {
+	Enabled bool   `json:"enabled"`
+	DataDir string `json:"data_dir,omitempty"`
+	Fsync   string `json:"fsync,omitempty"`
+
+	WAL *wal.Stats `json:"wal,omitempty"`
+
+	Checkpoints       int64   `json:"checkpoints,omitempty"`
+	CheckpointErrors  int64   `json:"checkpoint_errors,omitempty"`
+	LastCheckpointSeq int64   `json:"last_checkpoint_seq,omitempty"`
+	LastCheckpointWAL uint64  `json:"last_checkpoint_wal_seq,omitempty"`
+	LastCheckpointMS  float64 `json:"last_checkpoint_ms,omitempty"`
+
+	Recovery       *wal.RecoveryStats `json:"recovery,omitempty"`
+	QualityDropped bool               `json:"quality_dropped,omitempty"`
+}
+
+// DurabilityStats reports the WAL, checkpoint and recovery state. It
+// reads atomics and the log's own synchronized snapshot — like /stats, it
+// is never blocked by an in-flight refit.
+func (s *Server) DurabilityStats() DurabilityStats {
+	d := s.dur
+	if d == nil {
+		return DurabilityStats{}
+	}
+	walStats := d.log.Stats()
+	rec := d.recovery
+	return DurabilityStats{
+		Enabled:           true,
+		DataDir:           d.cfg.DataDir,
+		Fsync:             string(d.cfg.Fsync),
+		WAL:               &walStats,
+		Checkpoints:       d.checkpoints.Load(),
+		CheckpointErrors:  d.checkpointErr.Load(),
+		LastCheckpointSeq: d.lastSeq.Load(),
+		LastCheckpointWAL: d.lastWALSeq.Load(),
+		LastCheckpointMS:  float64(d.lastDurationN.Load()) / float64(time.Millisecond),
+		Recovery:          &rec,
+		QualityDropped:    d.qualityDropped,
+	}
+}
+
+// RecoveryStats returns what startup recovery found (zero value when the
+// server is not durable).
+func (s *Server) RecoveryStats() wal.RecoveryStats {
+	if s.dur == nil {
+		return wal.RecoveryStats{}
+	}
+	return s.dur.recovery
+}

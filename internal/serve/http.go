@@ -22,6 +22,7 @@ const maxClaimsBody = 32 << 20
 //	GET  /records — one entity's integrated record (?entity=)
 //	GET  /stats   — corpus and serving statistics
 //	GET  /healthz — liveness and readiness
+//	GET  /durability — WAL, checkpoint and recovery state
 //	POST /refit   — force a synchronous refit (optionally ?policy=)
 //
 // All read endpoints serve from the current immutable snapshot: one atomic
@@ -34,6 +35,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /records", s.handleRecords)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /durability", s.handleDurability)
 	mux.HandleFunc("POST /refit", s.handleRefit)
 	return mux
 }
@@ -95,7 +97,14 @@ func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
 	}
 	n, err := s.Ingest(rows)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		// Malformed claims are the client's fault; anything else (WAL I/O
+		// failure, shutdown) is a server-side condition worth retrying.
+		code := http.StatusServiceUnavailable
+		var bad badBatchError
+		if errors.As(err, &bad) {
+			code = http.StatusBadRequest
+		}
+		writeError(w, code, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{
@@ -296,6 +305,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"seq":      seq,
 		"uptime_s": time.Since(s.started).Seconds(),
 	})
+}
+
+// handleDurability reports the WAL, checkpoint and recovery state:
+// {"enabled":false} on a memory-only server.
+func (s *Server) handleDurability(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.DurabilityStats())
 }
 
 func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {

@@ -2,56 +2,120 @@ package serve
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"latenttruth/internal/model"
+	"latenttruth/internal/wal"
 )
 
 // ingestLog is the server's mutation log: arriving triples are appended
 // here by request handlers and drained by the refit loop, which compacts
-// them into the next snapshot's cumulative dataset. Appends never touch the
-// dataset, so ingestion stays cheap and lock contention is limited to a
-// slice append.
+// them into the next snapshot's cumulative dataset. When the server is
+// durable, the append is write-ahead: the batch is framed into the WAL —
+// and on disk, per the configured fsync policy — before it becomes visible
+// in memory, so a batch is never acknowledged that a restart would lose.
 type ingestLog struct {
 	mu      sync.Mutex
 	pending []model.Row
-	// total counts rows accepted over the server's lifetime.
+	// log, when non-nil, receives every batch before it is accepted.
+	log *wal.Log
+	// lastSeq is the WAL sequence number of the newest accepted batch
+	// (0 when not durable or nothing accepted yet).
+	lastSeq uint64
+	// total counts rows accepted over the server's lifetime (restored
+	// across restarts from the checkpoint manifest plus the replayed tail).
 	total int64
 }
 
 // validateRow rejects triples that the data model cannot represent.
+// Carriage returns and newlines are rejected because checkpoint files are
+// CSV and Go's CSV reader normalizes \r\n inside quoted fields — allowing
+// them would break the bit-exact recovery guarantee.
 func validateRow(r model.Row) error {
 	if r.Entity == "" || r.Attribute == "" || r.Source == "" {
 		return fmt.Errorf("serve: claim (%q, %q, %q) has an empty component",
 			r.Entity, r.Attribute, r.Source)
 	}
+	for _, s := range [3]string{r.Entity, r.Attribute, r.Source} {
+		if strings.ContainsAny(s, "\r\n") {
+			return fmt.Errorf("serve: claim (%q, %q, %q) contains a line break",
+				r.Entity, r.Attribute, r.Source)
+		}
+	}
 	return nil
 }
 
-// Append validates and appends rows, returning the number accepted. The
-// batch is all-or-nothing: the first invalid row rejects the whole request
-// so callers can retry without partial state.
+// badBatchError marks a client-side validation failure: the request was
+// malformed, not the server. The HTTP layer maps it to 400 where every
+// other ingest failure (WAL I/O, shutdown) is a retryable 503.
+type badBatchError struct{ err error }
+
+func (e badBatchError) Error() string { return e.err.Error() }
+func (e badBatchError) Unwrap() error { return e.err }
+
+// Append validates and appends rows, returning the number accepted.
+//
+// The batch is all-or-nothing: every row is validated before anything is
+// appended, and a durable append that fails leaves no trace in memory
+// either — the caller sees an error if and only if no row of the batch was
+// accepted, so a retry can never double-apply a prefix. (Exactly-once WAL
+// replay depends on this: a batch is on disk iff it was acknowledged.)
 func (l *ingestLog) Append(rows []model.Row) (int, error) {
 	for i, r := range rows {
 		if err := validateRow(r); err != nil {
-			return 0, fmt.Errorf("claim %d: %w", i, err)
+			return 0, badBatchError{fmt.Errorf("claim %d: %w", i, err)}
 		}
 	}
 	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.log != nil {
+		// Under l.mu, so WAL order and in-memory order are identical.
+		seq, err := l.log.Append(rows)
+		if err != nil {
+			return 0, err
+		}
+		l.lastSeq = seq
+	}
 	l.pending = append(l.pending, rows...)
 	l.total += int64(len(rows))
-	n := len(rows)
-	l.mu.Unlock()
-	return n, nil
+	return len(rows), nil
 }
 
-// Drain removes and returns all pending rows.
-func (l *ingestLog) Drain() []model.Row {
+// replay re-applies a recovered WAL batch without re-logging it. Called
+// only during startup recovery, before the server is reachable.
+func (l *ingestLog) replay(b wal.Batch) {
 	l.mu.Lock()
-	rows := l.pending
+	l.pending = append(l.pending, b.Rows...)
+	l.lastSeq = b.Seq
+	l.total += int64(len(b.Rows))
+	l.mu.Unlock()
+}
+
+// restoreTotal seeds the lifetime row counter from a checkpoint manifest.
+func (l *ingestLog) restoreTotal(total int64) {
+	l.mu.Lock()
+	l.total = total
+	l.mu.Unlock()
+}
+
+// drainResult is a consistent cut of the log: the drained rows, the WAL
+// sequence number of the newest drained batch, and the lifetime total at
+// the instant of the cut. Refits persist lastSeq/total into the checkpoint
+// manifest so recovery replays exactly the batches after the cut.
+type drainResult struct {
+	rows    []model.Row
+	lastSeq uint64
+	total   int64
+}
+
+// Drain removes and returns all pending rows with their WAL watermark.
+func (l *ingestLog) Drain() drainResult {
+	l.mu.Lock()
+	dr := drainResult{rows: l.pending, lastSeq: l.lastSeq, total: l.total}
 	l.pending = nil
 	l.mu.Unlock()
-	return rows
+	return dr
 }
 
 // Len returns the number of pending rows.

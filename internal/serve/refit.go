@@ -19,7 +19,8 @@ var ErrNoData = errors.New("serve: no claims ingested yet")
 // new snapshot. Refits are serialized; readers keep serving the previous
 // snapshot until the atomic swap. Drained rows are folded into the
 // cumulative database before fitting, so a failed fit loses nothing — the
-// next refit covers them.
+// next refit covers them. On a durable server every published snapshot is
+// also checkpointed and the WAL truncated behind the retention window.
 func (s *Server) Refit(override RefitPolicy) (*Snapshot, error) {
 	if override != "" && !override.valid() {
 		return nil, fmt.Errorf("serve: unknown refit policy %q", override)
@@ -29,11 +30,20 @@ func (s *Server) Refit(override RefitPolicy) (*Snapshot, error) {
 
 	// fresh keeps only the rows the cumulative database had not seen, so
 	// the online fast path never double-counts a retried batch.
+	dr := s.ingest.Drain()
 	var fresh []model.Row
-	for _, r := range s.ingest.Drain() {
+	for _, r := range dr.rows {
 		if s.db.AddRow(r) {
 			fresh = append(fresh, r)
 		}
+	}
+	// Drained rows are in db from here on (even if the fit below fails),
+	// so the watermark the next successful checkpoint covers advances now.
+	if dr.lastSeq > s.walSeqCompacted {
+		s.walSeqCompacted = dr.lastSeq
+	}
+	if dr.total > s.totalCompacted {
+		s.totalCompacted = dr.total
 	}
 	compacted := len(fresh)
 	if s.db.Len() == 0 {
@@ -89,6 +99,9 @@ func (s *Server) Refit(override RefitPolicy) (*Snapshot, error) {
 	s.refits.Add(1)
 	if full {
 		s.fullRefits.Add(1)
+	}
+	if s.dur != nil {
+		s.checkpoint(snap)
 	}
 	s.logf("serve: refit %d (%s): %d new rows, %s, %s",
 		snap.Seq, mode, compacted, snap.Stats, snap.RefitDuration.Round(time.Millisecond))

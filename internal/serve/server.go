@@ -72,6 +72,11 @@ type Config struct {
 	// 1 forces the exact (bit-identical, sequential) barrier mode, 0 the
 	// shard package's default. Ignored unless Shards > 1.
 	SyncEvery int
+	// Durability, when DataDir is set, makes the server crash-safe: every
+	// accepted batch is written ahead to a segmented WAL before it is
+	// acknowledged, every published snapshot is checkpointed, and startup
+	// recovers the exact pre-crash state (checkpoint + WAL tail replay).
+	Durability Durability
 	// Logger receives refit-loop diagnostics; nil discards them.
 	Logger *log.Logger
 }
@@ -122,6 +127,14 @@ type Server struct {
 	refits     atomic.Int64
 	fullRefits atomic.Int64
 
+	// dur is the durability runtime (WAL + checkpoint store); nil when the
+	// server is memory-only. walSeqCompacted / totalCompacted are the
+	// newest WAL sequence number and lifetime row total ever drained into
+	// db — the watermark the next checkpoint covers. Guarded by mu.
+	dur             *durable
+	walSeqCompacted uint64
+	totalCompacted  int64
+
 	started time.Time
 
 	stop     chan struct{}
@@ -148,13 +161,22 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SyncEvery < 0 {
 		return nil, fmt.Errorf("serve: SyncEvery = %d must be non-negative", cfg.SyncEvery)
 	}
-	return &Server{
+	if f := cfg.Durability.Fsync; f != "" && !f.Valid() {
+		return nil, fmt.Errorf("serve: unknown fsync policy %q", f)
+	}
+	s := &Server{
 		cfg:     cfg,
 		ingest:  &ingestLog{},
 		db:      model.NewRawDB(),
 		started: time.Now(),
 		stop:    make(chan struct{}),
-	}, nil
+	}
+	if cfg.Durability.Enabled() {
+		if err := s.openDurable(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // logf logs through the configured logger, if any.
@@ -165,7 +187,10 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // Ingest appends a batch of triples to the mutation log. The batch is
-// validated as a unit; it becomes visible to queries after the next refit.
+// validated as a unit and accepted all-or-nothing; when the server is
+// durable it is written ahead to the WAL before Ingest returns, so an
+// acknowledged batch survives a crash. It becomes visible to queries after
+// the next refit.
 func (s *Server) Ingest(rows []model.Row) (int, error) {
 	select {
 	case <-s.stop:
@@ -210,9 +235,18 @@ func (s *Server) Start() {
 	}()
 }
 
-// Close stops the background refit loop and rejects further ingestion.
-// Queries against the last published snapshot keep working.
+// Close stops the background refit loop, syncs and closes the WAL (when
+// durable), and rejects further ingestion. Queries against the last
+// published snapshot keep working.
 func (s *Server) Close() {
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
+	if s.dur != nil {
+		// Let any in-flight forced refit finish before closing the log.
+		s.mu.Lock()
+		if err := s.dur.log.Close(); err != nil {
+			s.logf("serve: closing WAL: %v", err)
+		}
+		s.mu.Unlock()
+	}
 }

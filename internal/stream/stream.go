@@ -154,6 +154,53 @@ func (o *Online) Predict(batch *model.Dataset) (*model.Result, error) {
 	return inc.Infer(batch)
 }
 
+// State is the serializable part of an Online accumulator: everything
+// needed to reconstruct it bit-identically in a fresh process. Counts are
+// deep-copied in both directions; JSON round-trips are exact because Go
+// marshals float64 with the shortest representation that parses back to
+// the same bits.
+type State struct {
+	Batches   int                      `json:"batches"`
+	FactsSeen int                      `json:"facts_seen"`
+	Priors    core.Priors              `json:"priors"`
+	Counts    map[string][2][2]float64 `json:"counts"`
+}
+
+// State captures the accumulator for checkpointing.
+func (o *Online) State() State {
+	st := State{
+		Batches:   o.batches,
+		FactsSeen: o.factsSeen,
+		Priors:    o.base.Priors,
+		Counts:    make(map[string][2][2]float64, len(o.counts)),
+	}
+	for name, e := range o.counts {
+		st.Counts[name] = *e
+	}
+	return st
+}
+
+// RestoreOnline reconstructs an online truth finder from a checkpointed
+// State: base supplies the fit configuration (iterations, seed, sharding
+// defaults, ...) while the priors and accumulated counts come from the
+// state, so a restored accumulator predicts and refits bit-identically to
+// the one that was checkpointed.
+func RestoreOnline(base core.Config, st State) (*Online, error) {
+	base.Priors = st.Priors
+	o, err := NewOnline(base)
+	if err != nil {
+		return nil, err
+	}
+	o.batches = st.Batches
+	o.factsSeen = st.FactsSeen
+	for name, e := range st.Counts {
+		acc := new([2][2]float64)
+		*acc = e
+		o.counts[name] = acc
+	}
+	return o, nil
+}
+
 // Quality returns the current accumulated MAP quality estimate per source,
 // in lexicographic source-name order.
 func (o *Online) Quality() []model.SourceQuality {

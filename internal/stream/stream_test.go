@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 
@@ -299,5 +300,84 @@ func TestOnlineShardedRefit(t *testing.T) {
 	}
 	if _, err := par.Predict(c.Dataset); err != nil {
 		t.Fatalf("Predict after sharded refit: %v", err)
+	}
+}
+
+func TestStateRoundTripIsBitIdentical(t *testing.T) {
+	c := testCorpus(t, 7)
+	batches := store.SplitEntities(c.Dataset, 4)
+	o, err := NewOnline(core.Config{Priors: core.DefaultPriors(300), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches[:3] {
+		if _, err := o.Step(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Serialize through JSON exactly as the checkpoint manifest does.
+	raw, err := json.Marshal(o.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st State
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreOnline(core.Config{Seed: 5}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.Batches() != o.Batches() || restored.FactsSeen() != o.FactsSeen() {
+		t.Fatalf("counters: restored (%d, %d), want (%d, %d)",
+			restored.Batches(), restored.FactsSeen(), o.Batches(), o.FactsSeen())
+	}
+	// Quality must match to the last bit: JSON float64 round-trips are
+	// exact and the counts are copied verbatim.
+	qa, qb := o.Quality(), restored.Quality()
+	if len(qa) != len(qb) {
+		t.Fatalf("quality rows: %d vs %d", len(qa), len(qb))
+	}
+	for i := range qa {
+		if qa[i] != qb[i] {
+			t.Fatalf("quality row %d differs: %+v vs %+v", i, qa[i], qb[i])
+		}
+	}
+	// And so must downstream inference: Predict and Step from the restored
+	// accumulator produce bit-identical results.
+	last := batches[3]
+	ra, err := o.Predict(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := restored.Predict(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range ra.Prob {
+		if ra.Prob[f] != rb.Prob[f] {
+			t.Fatalf("fact %d: %v vs %v", f, ra.Prob[f], rb.Prob[f])
+		}
+	}
+	fa, err := o.Step(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := restored.Step(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range fa.Prob {
+		if fa.Prob[f] != fb.Prob[f] {
+			t.Fatalf("post-step fact %d: %v vs %v", f, fa.Prob[f], fb.Prob[f])
+		}
+	}
+}
+
+func TestRestoreOnlineRejectsBadPriors(t *testing.T) {
+	if _, err := RestoreOnline(core.Config{}, State{}); err == nil {
+		t.Fatal("expected error restoring a state with zero priors")
 	}
 }

@@ -1,0 +1,167 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"latenttruth/internal/model"
+)
+
+// Segment and record framing. A segment file is
+//
+//	header:  magic "LTWALSEG" | uint32 version | uint32 reserved
+//	records: uint32 payloadLen | uint32 crc32c(payload) | payload
+//
+// and a record payload is
+//
+//	uint64 seq | uint32 nrows | nrows × (entity, attribute, source)
+//
+// where each string is uint32 len | bytes. All integers are little-endian.
+// The frame CRC is Castagnoli (CRC32C), the polynomial with hardware
+// support on both amd64 and arm64.
+const (
+	segMagic      = "LTWALSEG"
+	segVersion    = 1
+	segHeaderSize = 16
+	recHeaderSize = 8
+	// maxRecordBytes bounds a single record payload so that a corrupt
+	// length field cannot drive a multi-gigabyte allocation during scan.
+	maxRecordBytes = 1 << 30
+)
+
+// castagnoli is the CRC32C table shared by writers and readers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Batch is one durably logged claim batch: the rows a single Append call
+// accepted, under the sequence number the log assigned to it.
+type Batch struct {
+	Seq  uint64
+	Rows []model.Row
+}
+
+// appendSegmentHeader appends a fresh segment header to buf.
+func appendSegmentHeader(buf []byte) []byte {
+	buf = append(buf, segMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, segVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+	return buf
+}
+
+// checkSegmentHeader validates the first segHeaderSize bytes of a segment.
+func checkSegmentHeader(data []byte) error {
+	if len(data) < segHeaderSize {
+		return fmt.Errorf("wal: segment shorter than its header (%d bytes)", len(data))
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return fmt.Errorf("wal: bad segment magic %q", data[:len(segMagic)])
+	}
+	if v := binary.LittleEndian.Uint32(data[len(segMagic):]); v != segVersion {
+		return fmt.Errorf("wal: unsupported segment version %d", v)
+	}
+	return nil
+}
+
+// appendRecord appends the framed record for (seq, rows) to buf.
+func appendRecord(buf []byte, seq uint64, rows []model.Row) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rows)))
+	for _, r := range rows {
+		for _, s := range [3]string{r.Entity, r.Attribute, r.Source} {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+			buf = append(buf, s...)
+		}
+	}
+	payload := buf[start+recHeaderSize:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// recStatus classifies the outcome of parsing one record.
+type recStatus int
+
+const (
+	// recOK: a complete, CRC-clean, well-formed record.
+	recOK recStatus = iota
+	// recEnd: an all-zero frame header — the untouched preallocated region
+	// of the active segment, i.e. the clean end of the data. (A record
+	// whose header was only partially written before a crash also reads as
+	// zeros, but such a record's write(2) never returned, so it was never
+	// acknowledged — treating it as the end loses nothing acked.)
+	recEnd
+	// recTorn: the data ends mid-record — the signature of a crash during
+	// an append. Everything before the record is intact.
+	recTorn
+	// recCorrupt: the frame is complete but the CRC or the payload
+	// structure is wrong — bit rot or an overwritten region.
+	recCorrupt
+)
+
+// parseRecord parses the record starting at data[off:]. It returns the
+// decoded batch, the offset just past the record, and the classification;
+// batch is meaningful only for recOK.
+func parseRecord(data []byte, off int) (Batch, int, recStatus) {
+	rest := data[off:]
+	if len(rest) < recHeaderSize {
+		return Batch{}, off, recTorn
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(rest))
+	if payloadLen == 0 {
+		if binary.LittleEndian.Uint32(rest[4:]) == 0 {
+			return Batch{}, off, recEnd
+		}
+		return Batch{}, off, recCorrupt
+	}
+	if payloadLen > maxRecordBytes || payloadLen < 12 {
+		return Batch{}, off, recCorrupt
+	}
+	if len(rest) < recHeaderSize+payloadLen {
+		return Batch{}, off, recTorn
+	}
+	payload := rest[recHeaderSize : recHeaderSize+payloadLen]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[4:]) {
+		return Batch{}, off, recCorrupt
+	}
+	b, ok := decodePayload(payload)
+	if !ok {
+		return Batch{}, off, recCorrupt
+	}
+	return b, off + recHeaderSize + payloadLen, recOK
+}
+
+// decodePayload decodes a record payload into a batch.
+func decodePayload(p []byte) (Batch, bool) {
+	if len(p) < 12 {
+		return Batch{}, false
+	}
+	b := Batch{Seq: binary.LittleEndian.Uint64(p)}
+	n := int(binary.LittleEndian.Uint32(p[8:]))
+	p = p[12:]
+	if n < 0 || n > maxRecordBytes/12 {
+		return Batch{}, false
+	}
+	b.Rows = make([]model.Row, 0, n)
+	for i := 0; i < n; i++ {
+		var f [3]string
+		for j := 0; j < 3; j++ {
+			if len(p) < 4 {
+				return Batch{}, false
+			}
+			l := int(binary.LittleEndian.Uint32(p))
+			p = p[4:]
+			if l < 0 || l > len(p) {
+				return Batch{}, false
+			}
+			f[j] = string(p[:l])
+			p = p[l:]
+		}
+		b.Rows = append(b.Rows, model.Row{Entity: f[0], Attribute: f[1], Source: f[2]})
+	}
+	if len(p) != 0 {
+		return Batch{}, false
+	}
+	return b, true
+}

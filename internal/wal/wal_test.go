@@ -1,0 +1,421 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"latenttruth/internal/model"
+)
+
+// testRows builds a small deterministic batch keyed by i.
+func testRows(i, n int) []model.Row {
+	rows := make([]model.Row, n)
+	for j := range rows {
+		rows[j] = model.Row{
+			Entity:    "entity-" + string(rune('a'+i%26)) + "-" + string(rune('a'+j%26)),
+			Attribute: "attr-" + string(rune('0'+j%10)),
+			Source:    "source-" + string(rune('a'+(i+j)%26)),
+		}
+	}
+	return rows
+}
+
+// appendBatches appends n batches of 3 rows each and returns them.
+func appendBatches(t *testing.T, l *Log, start, n int) []Batch {
+	t.Helper()
+	var out []Batch
+	for i := start; i < start+n; i++ {
+		rows := testRows(i, 3)
+		seq, err := l.Append(rows)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		out = append(out, Batch{Seq: seq, Rows: rows})
+	}
+	return out
+}
+
+// replayAll collects every record from seq 1.
+func replayAll(t *testing.T, l *Log) []Batch {
+	t.Helper()
+	var got []Batch
+	if err := l.Replay(1, func(b Batch) error { got = append(got, b); return nil }); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got
+}
+
+// mustEqualBatches compares two batch slices exactly.
+func mustEqualBatches(t *testing.T, got, want []Batch) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d batches, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Seq != want[i].Seq {
+			t.Fatalf("batch %d: seq %d, want %d", i, got[i].Seq, want[i].Seq)
+		}
+		if len(got[i].Rows) != len(want[i].Rows) {
+			t.Fatalf("batch %d: %d rows, want %d", i, len(got[i].Rows), len(want[i].Rows))
+		}
+		for j := range got[i].Rows {
+			if got[i].Rows[j] != want[i].Rows[j] {
+				t.Fatalf("batch %d row %d: %+v, want %+v", i, j, got[i].Rows[j], want[i].Rows[j])
+			}
+		}
+	}
+}
+
+func TestAppendReopenReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, st, err := Open(Options{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 0 || st.LastSeq != 0 {
+		t.Fatalf("fresh log reports %+v", st)
+	}
+	want := appendBatches(t, l, 0, 10)
+	mustEqualBatches(t, replayAll(t, l), want)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: same contents, appends continue the sequence.
+	l2, st2, err := Open(Options{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st2.Records != 10 || st2.LastSeq != 10 || st2.TornBytes != 0 || st2.CorruptRecords != 0 {
+		t.Fatalf("reopen stats %+v", st2)
+	}
+	want = append(want, appendBatches(t, l2, 10, 5)...)
+	mustEqualBatches(t, replayAll(t, l2), want)
+	if got := l2.Stats().LastSeq; got != 15 {
+		t.Fatalf("LastSeq = %d, want 15", got)
+	}
+}
+
+func TestRowFidelity(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Values exercising framing, not CSV-safety: commas, quotes, UTF-8,
+	// NULs and empty-adjacent lengths must all round-trip byte-exactly.
+	rows := []model.Row{
+		{Entity: `e,"quoted"`, Attribute: "café ☕", Source: "s\x00null"},
+		{Entity: "plain", Attribute: "a", Source: "with space"},
+	}
+	if _, err := l.Append(rows); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, l)
+	mustEqualBatches(t, got, []Batch{{Seq: 1, Rows: rows}})
+}
+
+func TestSegmentRotationAndTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, SegmentBytes: 4 << 10, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	want := appendBatches(t, l, 0, 200) // ~140 bytes each -> several segments
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation to produce >= 3 segments, got %d", st.Segments)
+	}
+	mustEqualBatches(t, replayAll(t, l), want)
+
+	// Truncating behind seq 100 must drop whole segments below it and keep
+	// every record >= 100.
+	if err := l.TruncateBefore(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Segments; got >= st.Segments {
+		t.Fatalf("TruncateBefore removed nothing (%d -> %d segments)", st.Segments, got)
+	}
+	var got []Batch
+	if err := l.Replay(100, func(b Batch) error { got = append(got, b); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualBatches(t, got, want[99:])
+
+	// The active segment is never deleted even when fully covered.
+	if err := l.TruncateBefore(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Segments; got != 1 {
+		t.Fatalf("expected 1 surviving segment, got %d", got)
+	}
+}
+
+// tailSegment returns the path of the newest segment file.
+func tailSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s (err=%v)", dir, err)
+	}
+	return segs[len(segs)-1].path
+}
+
+func TestTornTailIsDiscardedAndAppendable(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendBatches(t, l, 0, 8)
+	l.Close()
+
+	// Cut the final record mid-frame, as a crash during write would.
+	path := tailSegment(t, dir)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, st, err := Open(Options{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st.TornBytes == 0 {
+		t.Fatalf("expected torn bytes reported, got %+v", st)
+	}
+	if st.Records != 7 || st.LastSeq != 7 {
+		t.Fatalf("expected 7 surviving records, got %+v", st)
+	}
+	// The torn batch is gone; a new append reuses its sequence number and
+	// the log stays fully readable.
+	extra := appendBatches(t, l2, 100, 1)
+	if extra[0].Seq != 8 {
+		t.Fatalf("append after torn tail got seq %d, want 8", extra[0].Seq)
+	}
+	mustEqualBatches(t, replayAll(t, l2), append(want[:7], extra...))
+}
+
+func TestCorruptCRCMidSegmentStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendBatches(t, l, 0, 10)
+	l.Close()
+
+	// Flip a payload byte of the 6th record (its seq field), leaving the
+	// frame intact so the damage is a clean CRC mismatch.
+	path := tailSegment(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := segHeaderSize
+	for i := 0; i < 5; i++ {
+		_, next, st := parseRecord(data, off)
+		if st != recOK {
+			t.Fatalf("pre-corruption parse stopped at record %d: %v", i, st)
+		}
+		off = next
+	}
+	data[off+recHeaderSize+2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, st, err := Open(Options{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st.CorruptRecords == 0 {
+		t.Fatalf("expected a corrupt record reported, got %+v", st)
+	}
+	if st.Records >= 10 || st.LastSeq >= 10 {
+		t.Fatalf("corruption not cut: %+v", st)
+	}
+	mustEqualBatches(t, replayAll(t, l2), want[:st.Records])
+}
+
+func TestCorruptionDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, SegmentBytes: 4 << 10, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendBatches(t, l, 0, 200)
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(segs))
+	}
+	l.Close()
+
+	// Corrupt the FIRST segment: everything after it is causally newer
+	// than lost data and must be dropped wholesale.
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[segHeaderSize+recHeaderSize+2] ^= 0xFF
+	if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, st, err := Open(Options{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st.SegmentsDropped != len(segs)-1 {
+		t.Fatalf("dropped %d segments, want %d (%+v)", st.SegmentsDropped, len(segs)-1, st)
+	}
+	if st.Records != 0 || st.LastSeq != 0 {
+		t.Fatalf("first record was corrupt, want empty log, got %+v", st)
+	}
+}
+
+func TestEnsureNextSeqOnEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.EnsureNextSeq(42)
+	seq, err := l.Append(testRows(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 {
+		t.Fatalf("seq = %d, want 42", seq)
+	}
+	// The lazily created segment must be named by its first record.
+	if _, err := os.Stat(filepath.Join(dir, segmentName(42))); err != nil {
+		t.Fatalf("segment named for seq 42 missing: %v", err)
+	}
+	// Raising below the current next is a no-op.
+	l.EnsureNextSeq(10)
+	if seq, _ = l.Append(testRows(1, 1)); seq != 43 {
+		t.Fatalf("seq = %d, want 43", seq)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, p := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		t.Run(string(p), func(t *testing.T) {
+			l, _, err := Open(Options{Dir: t.TempDir(), Sync: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			want := appendBatches(t, l, 0, 5)
+			mustEqualBatches(t, replayAll(t, l), want)
+			if p == SyncAlways && l.Stats().Syncs < 5 {
+				t.Fatalf("SyncAlways performed %d syncs for 5 appends", l.Stats().Syncs)
+			}
+		})
+	}
+	if SyncPolicy("sometimes").Valid() {
+		t.Fatal("bogus policy validated")
+	}
+	if _, _, err := Open(Options{Dir: t.TempDir(), Sync: "sometimes"}); err == nil {
+		t.Fatal("Open accepted a bogus sync policy")
+	}
+}
+
+func TestClosedLogRejectsAppends(t *testing.T) {
+	l, _, err := Open(Options{Dir: t.TempDir(), Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendBatches(t, l, 0, 1)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := l.Append(testRows(0, 1)); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+}
+
+func TestRecordFrameGarbage(t *testing.T) {
+	// A frame advertising an absurd length must classify as corrupt, not
+	// drive a huge allocation or a torn classification.
+	buf := appendRecord(nil, 1, testRows(0, 2))
+	garbage := bytes.Clone(buf)
+	garbage[0], garbage[1], garbage[2], garbage[3] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, _, st := parseRecord(garbage, 0); st != recCorrupt {
+		t.Fatalf("absurd length classified %v, want corrupt", st)
+	}
+	if _, _, st := parseRecord(buf[:5], 0); st != recTorn {
+		t.Fatalf("short header classified %v, want torn", st)
+	}
+	if _, _, st := parseRecord(buf[:len(buf)-1], 0); st != recTorn {
+		t.Fatalf("short payload classified %v, want torn", st)
+	}
+	if b, next, st := parseRecord(buf, 0); st != recOK || next != len(buf) || b.Seq != 1 {
+		t.Fatalf("clean record parse: %v %d %+v", st, next, b)
+	}
+}
+
+func TestSyncIntervalFlushesIdleLog(t *testing.T) {
+	l, _, err := Open(Options{Dir: t.TempDir(), Sync: SyncInterval, SyncInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// One append, then silence: the background flusher must sync within
+	// the interval bound even though no further append piggybacks one.
+	if _, err := l.Append(testRows(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Syncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle log was never fsynced under SyncInterval")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestTruncateBeforeSurvivesMissingSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, SegmentBytes: 4 << 10, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	want := appendBatches(t, l, 0, 200)
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("need >= 3 segments (err=%v)", err)
+	}
+	// Someone deleted a sealed segment out from under us: truncation must
+	// treat it as already removed instead of wedging forever.
+	if err := os.Remove(segs[0].path); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateBefore(want[len(want)-1].Seq); err != nil {
+		t.Fatalf("TruncateBefore after external delete: %v", err)
+	}
+	if got := l.Stats().Segments; got != 1 {
+		t.Fatalf("segments after truncate = %d, want 1", got)
+	}
+}

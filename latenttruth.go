@@ -16,6 +16,7 @@ import (
 	"latenttruth/internal/store"
 	"latenttruth/internal/stream"
 	"latenttruth/internal/synth"
+	"latenttruth/internal/wal"
 )
 
 // Dataset operations (the store substrate).
@@ -329,9 +330,33 @@ const (
 // been ingested.
 var ErrNoServeData = serve.ErrNoData
 
+// Durability (crash safety for the serving daemon: write-ahead log,
+// checkpointed snapshots, recovery on start).
+type (
+	// DurabilityConfig enables write-ahead logging and checkpointing on a
+	// TruthServer (ServeConfig.Durability). With DataDir set, every
+	// acknowledged batch survives a crash and startup recovers the exact
+	// pre-crash state from the newest checkpoint plus the WAL tail.
+	DurabilityConfig = serve.Durability
+	// FsyncPolicy selects when WAL appends are fsynced.
+	FsyncPolicy = wal.SyncPolicy
+	// DurabilityStats is the GET /durability payload.
+	DurabilityStats = serve.DurabilityStats
+)
+
+// The available WAL fsync policies: fsync on every append, at most once
+// per interval, or never (page-cache only — still survives a SIGKILL of
+// the process, not power loss).
+const (
+	FsyncAlways   = wal.SyncAlways
+	FsyncInterval = wal.SyncInterval
+	FsyncNever    = wal.SyncNever
+)
+
 // NewTruthServer returns a truth-serving daemon with the given
 // configuration. Call Start for the background refit loop, Handler for the
-// HTTP API, and Close to shut down.
+// HTTP API, and Close to shut down. When cfg.Durability.DataDir is set,
+// construction recovers any durable state found there.
 func NewTruthServer(cfg ServeConfig) (*TruthServer, error) { return serve.New(cfg) }
 
 // Extensions (paper §7).
@@ -432,3 +457,10 @@ func WriteQuality(w io.Writer, quality []SourceQuality) error {
 
 // ReadQuality parses a source-quality CSV.
 func ReadQuality(r io.Reader) ([]SourceQuality, error) { return dataset.ReadQuality(r) }
+
+// SaveFile writes the output of write to path crash-safely: temp file in
+// the target directory, fsync, atomic rename, directory fsync. Readers
+// never observe a truncated or half-written file.
+func SaveFile(path string, write func(io.Writer) error) error {
+	return dataset.SaveFile(path, write)
+}
