@@ -1,0 +1,111 @@
+// Command benchgate is the CI performance-regression gate: it reads
+// `go test -bench` output (stdin or -in), reduces repeated runs to each
+// benchmark's best ns/op, and compares against the committed baseline,
+// exiting non-zero when any gated benchmark regresses past the threshold
+// or is missing from the run.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'GibbsSweep|ShardedFit|WALAppend|IngestInMemory' \
+//	    -benchtime 3x -count 5 . | benchgate [-baseline BENCH_baseline.json]
+//	    [-threshold 0.15] [-out bench-compare.json] [-update] [-note text]
+//
+// -update rewrites the baseline from the measured run instead of gating
+// (run it on the reference machine after an intentional perf change);
+// -out writes the full comparison report as JSON for artifact upload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"latenttruth/internal/benchgate"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// errGateFailed distinguishes a red gate from an operational error.
+var errGateFailed = fmt.Errorf("performance gate failed")
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		baseline  = fs.String("baseline", "BENCH_baseline.json", "committed baseline file")
+		threshold = fs.Float64("threshold", 0, "fractional slowdown tolerated (0 = baseline's, then 0.15)")
+		out       = fs.String("out", "", "write the comparison report as JSON to this path")
+		update    = fs.Bool("update", false, "rewrite the baseline from this run instead of gating")
+		note      = fs.String("note", "", "baseline note recorded with -update")
+		in        = fs.String("in", "", "read bench output from this file instead of stdin")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	input := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		input = f
+	}
+	current, err := benchgate.Parse(input)
+	if err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("no benchmark results in input (did the bench run fail?)")
+	}
+
+	if *update {
+		b := benchgate.Baseline{
+			Note:       *note,
+			Threshold:  *threshold,
+			Benchmarks: make(map[string]float64, len(current)),
+		}
+		if prev, err := benchgate.ReadBaseline(*baseline); err == nil {
+			if b.Note == "" {
+				b.Note = prev.Note
+			}
+			if b.Threshold == 0 {
+				b.Threshold = prev.Threshold
+			}
+		}
+		for name, r := range current {
+			b.Benchmarks[name] = r.NsPerOp
+		}
+		if err := b.WriteBaseline(*baseline); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "benchgate: wrote %s (%d benchmarks)\n", *baseline, len(b.Benchmarks))
+		return nil
+	}
+
+	base, err := benchgate.ReadBaseline(*baseline)
+	if err != nil {
+		return err
+	}
+	rep := benchgate.Compare(base, current, *threshold)
+	rep.Format(stdout)
+	if *out != "" {
+		data, err := rep.MarshalIndentJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if rep.Failed() {
+		return errGateFailed
+	}
+	return nil
+}

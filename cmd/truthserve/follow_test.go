@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// replStatus is the follower /replication/status payload shape the test
+// needs.
+type replStatus struct {
+	Bootstrapped   bool   `json:"bootstrapped"`
+	Rebootstraps   int64  `json:"rebootstraps"`
+	LastAppliedSeq uint64 `json:"last_applied_seq"`
+	CaughtUp       bool   `json:"caught_up"`
+}
+
+func getReplStatus(t *testing.T, addr string) replStatus {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/replication/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st replStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitTruthSeq polls a server until its /truth reaches seq, returning the
+// table.
+func waitTruthSeq(t *testing.T, addr string, seq int64) truthTable {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var last truthTable
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/truth")
+		if err == nil {
+			if resp.StatusCode == http.StatusOK {
+				if err := json.NewDecoder(resp.Body).Decode(&last); err == nil && last.Seq >= seq {
+					resp.Body.Close()
+					return last
+				}
+			}
+			resp.Body.Close()
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("server on %s never reached truth seq %d (last %d)", addr, seq, last.Seq)
+	return last
+}
+
+// mustEqualTruth compares two /truth payloads bit for bit (probabilities
+// included: JSON emits the shortest float64 representation that parses
+// back to the same bits, so decoded equality is bit equality).
+func mustEqualTruth(t *testing.T, label string, got, want truthTable) {
+	t.Helper()
+	if got.Seq != want.Seq {
+		t.Fatalf("%s: seq %d, want %d", label, got.Seq, want.Seq)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		if got.Rows[i] != want.Rows[i] {
+			t.Fatalf("%s: row %d: %+v, want %+v", label, i, got.Rows[i], want.Rows[i])
+		}
+	}
+}
+
+// TestFollowerCrashRestartEndToEnd is the replication acceptance scenario
+// against real binaries: a primary and two followers over real HTTP, one
+// follower SIGKILLed mid-replay and restarted on the same directory. The
+// restarted follower must resume from its own mirrored log (no
+// re-bootstrap) and converge on a truth table bit-identical to both the
+// uninterrupted follower's and the primary's at the same snapshot seq.
+func TestFollowerCrashRestartEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-level replication test in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "truthserve")
+	if out, err := exec.Command(goBin, "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building truthserve: %v\n%s", err, out)
+	}
+
+	primAddr := freeAddr(t)
+	primDir := filepath.Join(tmp, "primary")
+	startNode := func(addr, dir string, extra ...string) *exec.Cmd {
+		args := append([]string{
+			"-addr", addr,
+			"-refit-interval", "-1s",
+			"-iterations", "40",
+			"-data-dir", dir,
+			"-fsync", "never",
+		}, extra...)
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting truthserve %v: %v", args, err)
+		}
+		waitHealthy(t, addr)
+		return cmd
+	}
+
+	prim := startNode(primAddr, primDir)
+	defer func() { prim.Process.Kill(); prim.Wait() }()
+	postBatch(t, primAddr, 1)
+	postRefit(t, primAddr)
+
+	// Follower B will be killed; follower C runs uninterrupted.
+	bAddr, cAddr := freeAddr(t), freeAddr(t)
+	bDir, cDir := filepath.Join(tmp, "fol-b"), filepath.Join(tmp, "fol-c")
+	folB := startNode(bAddr, bDir, "-follow", "http://"+primAddr)
+	defer func() { folB.Process.Kill(); folB.Wait() }()
+	folC := startNode(cAddr, cDir, "-follow", "http://"+primAddr)
+	defer func() { folC.Process.Kill(); folC.Wait() }()
+	if st := getReplStatus(t, bAddr); !st.Bootstrapped {
+		t.Fatalf("fresh follower did not bootstrap: %+v", st)
+	}
+
+	// Stream batches and refits through the primary while a timer SIGKILLs
+	// follower B mid-replay.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(300 * time.Millisecond)
+		folB.Process.Kill()
+	}()
+	for i := 2; i <= 13; i++ {
+		postBatch(t, primAddr, i)
+		if i%3 == 0 {
+			postRefit(t, primAddr)
+		}
+	}
+	<-killed
+	folB.Wait()
+
+	// Final primary state: one more acknowledged batch and refit.
+	postBatch(t, primAddr, 14)
+	postRefit(t, primAddr)
+	primTruth := getTruth(t, primAddr)
+
+	// Restart B on its own directory: it must resume, not re-bootstrap.
+	folB2 := startNode(bAddr, bDir, "-follow", "http://"+primAddr)
+	defer func() { folB2.Process.Kill(); folB2.Wait() }()
+	bTruth := waitTruthSeq(t, bAddr, primTruth.Seq)
+	if st := getReplStatus(t, bAddr); st.Bootstrapped || st.Rebootstraps != 0 {
+		t.Fatalf("restarted follower re-bootstrapped: %+v", st)
+	}
+
+	cTruth := waitTruthSeq(t, cAddr, primTruth.Seq)
+	mustEqualTruth(t, "restarted follower vs primary", bTruth, primTruth)
+	mustEqualTruth(t, "uninterrupted follower vs primary", cTruth, primTruth)
+	mustEqualTruth(t, "restarted vs uninterrupted follower", bTruth, cTruth)
+
+	// Writes on a follower point back at the primary.
+	if err := tryPostBatch(bAddr, 99); err == nil {
+		t.Fatal("follower accepted a write")
+	}
+	var primOf struct {
+		Primary string `json:"primary"`
+	}
+	resp, err := http.Post("http://"+bAddr+"/claims", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower write status %d, want 503", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&primOf); err != nil {
+		t.Fatal(err)
+	}
+	if primOf.Primary != "http://"+primAddr {
+		t.Fatalf("rejection points at %q, want %q", primOf.Primary, "http://"+primAddr)
+	}
+}

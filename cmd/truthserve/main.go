@@ -13,6 +13,7 @@
 //	           [-data-dir state/] [-fsync always|interval|never]
 //	           [-fsync-interval 100ms] [-segment-bytes 67108864]
 //	           [-retain-checkpoints 3]
+//	           [-follow http://primary:8080] [-follower-id name]
 //
 // With -shards N (N > 1), full refits run the entity-sharded parallel
 // fitter — the cumulative dataset is partitioned by entity and swept
@@ -26,6 +27,16 @@
 // replay). -fsync trades durability against ingest latency: "always"
 // survives power loss, "interval" bounds loss to -fsync-interval, "never"
 // leaves syncing to the OS — all three survive a SIGKILL of the process.
+//
+// With -follow, the daemon is a read replica of the given primary: it
+// bootstraps from the primary's newest checkpoint, tails the primary's
+// WAL over HTTP into its own -data-dir (required), replays the primary's
+// refit schedule, and serves bit-identical /truth, /quality, /records and
+// /stats locally; POST /claims and POST /refit return 503 with the
+// primary's address. A restarted follower resumes from its own mirrored
+// log — no re-bootstrap. Model flags (-policy, -iterations, -seed,
+// -threshold, ...) must match the primary's. The follower's own
+// /replication endpoints stay live, so replicas can chain.
 //
 // Endpoints:
 //
@@ -80,11 +91,14 @@ func run() error {
 		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "max unsynced time under -fsync interval")
 		segmentBytes  = flag.Int64("segment-bytes", 64<<20, "WAL segment rotation size in bytes")
 		retain        = flag.Int("retain-checkpoints", 3, "checkpoints to keep (WAL is truncated behind the oldest)")
+
+		follow     = flag.String("follow", "", "run as a read replica of this primary URL (requires -data-dir)")
+		followerID = flag.String("follower-id", "", "replication cursor name on the primary (default: persisted random id)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
-	srv, err := latenttruth.NewTruthServer(latenttruth.ServeConfig{
+	cfg := latenttruth.ServeConfig{
 		LTM:           latenttruth.Config{Iterations: *iterations, Seed: *seed},
 		Threshold:     *threshold,
 		Policy:        latenttruth.RefitPolicy(*policy),
@@ -101,7 +115,30 @@ func run() error {
 			RetainCheckpoints: *retain,
 		},
 		Logger: logger,
-	})
+	}
+
+	if *follow != "" {
+		if *dataDir == "" {
+			return errors.New("-follow requires -data-dir (the mirrored log is the follower's restart state)")
+		}
+		if *preload != "" {
+			return errors.New("-preload is a primary-side flag; a follower replicates its data")
+		}
+		f, err := latenttruth.StartFollower(latenttruth.ReplicaConfig{
+			Primary: *follow,
+			ID:      *followerID,
+			Serve:   cfg,
+			Logger:  logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return serveHTTP(*addr, f.Handler(), logger,
+			fmt.Sprintf("read replica of %s (id=%s)", *follow, f.Stats().ID))
+	}
+
+	srv, err := latenttruth.NewTruthServer(cfg)
 	if err != nil {
 		return err
 	}
@@ -135,11 +172,16 @@ func run() error {
 
 	srv.Start()
 	defer srv.Close()
+	return serveHTTP(*addr, srv.Handler(), logger,
+		fmt.Sprintf("policy=%s, refit every %s", *policy, *interval))
+}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+// serveHTTP runs the HTTP front end until a shutdown signal.
+func serveHTTP(addr string, handler http.Handler, logger *log.Logger, desc string) error {
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("truthserve: listening on %s (policy=%s, refit every %s)", *addr, *policy, *interval)
+		logger.Printf("truthserve: listening on %s (%s)", addr, desc)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -31,6 +31,12 @@
 // layer powers the truth-serving daemon's background refits
 // (NewTruthServer with ServeConfig.Shards).
 //
+// The serving daemon (NewTruthServer) scales writes with durability
+// (DurabilityConfig: write-ahead log + checkpoints + crash recovery) and
+// reads with replication (StartFollower): a durable primary ships its
+// checkpoint and WAL over HTTP to read-only followers that replay its
+// refit schedule and serve bit-identical truth tables.
+//
 // This root package is a facade over the internal packages; it re-exports
 // everything a downstream integrator needs: the data model (§2), LTM and
 // its incremental/online variants (§5), the seven baseline methods (§6.2),

@@ -1,0 +1,212 @@
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultThreshold is the fractional slowdown tolerated before the gate
+// fails (15%: large enough to ride out shared-runner noise with best-of-N
+// sampling, small enough to catch a real hot-path regression).
+const DefaultThreshold = 0.15
+
+// Result is one benchmark's best observation across repeated runs.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (BenchmarkGibbsSweepSmall-8 -> BenchmarkGibbsSweepSmall).
+	Name string `json:"name"`
+	// NsPerOp is the minimum ns/op observed.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Runs is how many observations were folded in (-count).
+	Runs int `json:"runs"`
+}
+
+// Parse reads `go test -bench` output and returns each benchmark's best
+// observation keyed by name. Non-benchmark lines are ignored, so the full
+// test output can be piped through unfiltered.
+func Parse(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// A benchmark result line is: name iterations value unit [value unit]...
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // e.g. "BenchmarkX	--- FAIL" or a status line
+		}
+		ns := -1.0
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchgate: bad ns/op %q on line %q", fields[i], sc.Text())
+				}
+				ns = v
+				break
+			}
+		}
+		if ns < 0 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		cur, ok := out[name]
+		if !ok || ns < cur.NsPerOp {
+			cur.NsPerOp = ns
+		}
+		cur.Name = name
+		cur.Runs++
+		out[name] = cur
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchgate: reading bench output: %w", err)
+	}
+	return out, nil
+}
+
+// Baseline is the committed reference (BENCH_baseline.json).
+type Baseline struct {
+	// Note documents the environment the baseline was measured on.
+	Note string `json:"note,omitempty"`
+	// Threshold is the fractional slowdown the gate tolerates (0 means
+	// DefaultThreshold).
+	Threshold float64 `json:"threshold,omitempty"`
+	// Benchmarks maps benchmark name to baseline ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, fmt.Errorf("benchgate: %w", err)
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("benchgate: parsing %s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return b, fmt.Errorf("benchgate: %s lists no benchmarks", path)
+	}
+	return b, nil
+}
+
+// WriteBaseline writes b deterministically (keys sorted by the JSON
+// encoder) so -update produces reviewable diffs.
+func (b Baseline) WriteBaseline(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchgate: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Comparison is one benchmark's gate verdict.
+type Comparison struct {
+	Name       string  `json:"name"`
+	BaselineNs float64 `json:"baseline_ns_per_op"`
+	CurrentNs  float64 `json:"current_ns_per_op"`
+	// Ratio is current/baseline: 1.30 reads "30% slower".
+	Ratio     float64 `json:"ratio"`
+	Regressed bool    `json:"regressed"`
+}
+
+// Report is the gate's full outcome, written as the CI artifact.
+type Report struct {
+	Threshold float64 `json:"threshold"`
+	// Results covers every baseline benchmark found in the run, sorted by
+	// name.
+	Results []Comparison `json:"results"`
+	// Missing lists baseline benchmarks absent from the run: a coverage
+	// failure (the gate cannot vouch for what did not run).
+	Missing []string `json:"missing,omitempty"`
+	// Extra lists run benchmarks not in the baseline (informational).
+	Extra       []string `json:"extra,omitempty"`
+	Regressions int      `json:"regressions"`
+}
+
+// Failed reports whether the gate should go red.
+func (r Report) Failed() bool { return r.Regressions > 0 || len(r.Missing) > 0 }
+
+// Compare gates current observations against the baseline. threshold <= 0
+// falls back to the baseline's, then to DefaultThreshold.
+func Compare(b Baseline, current map[string]Result, threshold float64) Report {
+	if threshold <= 0 {
+		threshold = b.Threshold
+	}
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	rep := Report{Threshold: threshold}
+	for name, base := range b.Benchmarks {
+		cur, ok := current[name]
+		if !ok {
+			rep.Missing = append(rep.Missing, name)
+			continue
+		}
+		c := Comparison{Name: name, BaselineNs: base, CurrentNs: cur.NsPerOp}
+		if base > 0 {
+			c.Ratio = cur.NsPerOp / base
+		}
+		c.Regressed = c.Ratio > 1+threshold
+		if c.Regressed {
+			rep.Regressions++
+		}
+		rep.Results = append(rep.Results, c)
+	}
+	for name := range current {
+		if _, ok := b.Benchmarks[name]; !ok {
+			rep.Extra = append(rep.Extra, name)
+		}
+	}
+	sort.Slice(rep.Results, func(i, j int) bool { return rep.Results[i].Name < rep.Results[j].Name })
+	sort.Strings(rep.Missing)
+	sort.Strings(rep.Extra)
+	return rep
+}
+
+// MarshalIndentJSON renders the report as the artifact JSON.
+func (r Report) MarshalIndentJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("benchgate: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Format renders the report as the human-readable gate log.
+func (r Report) Format(w io.Writer) {
+	fmt.Fprintf(w, "benchgate: threshold +%.0f%%\n", r.Threshold*100)
+	for _, c := range r.Results {
+		verdict := "ok"
+		if c.Regressed {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(w, "  %-40s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n",
+			c.Name, c.BaselineNs, c.CurrentNs, (c.Ratio-1)*100, verdict)
+	}
+	for _, name := range r.Missing {
+		fmt.Fprintf(w, "  %-40s MISSING from run (gate cannot vouch for it)\n", name)
+	}
+	for _, name := range r.Extra {
+		fmt.Fprintf(w, "  %-40s new (not gated; add with -update)\n", name)
+	}
+	if r.Failed() {
+		fmt.Fprintf(w, "benchgate: FAIL (%d regression(s), %d missing)\n", r.Regressions, len(r.Missing))
+	} else {
+		fmt.Fprintf(w, "benchgate: ok (%d benchmarks)\n", len(r.Results))
+	}
+}

@@ -1,0 +1,185 @@
+package benchgate
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleOutput mimics a real `go test -bench -count 3` run: repeated
+// observations, extra metric columns, and surrounding noise lines.
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: latenttruth
+cpu: AMD EPYC 7B13
+BenchmarkGibbsSweepSmall-8   	       3	  56000000 ns/op	  12.5 claimsweeps/s
+BenchmarkGibbsSweepSmall-8   	       3	  52000000 ns/op	  13.0 claimsweeps/s
+BenchmarkGibbsSweepSmall-8   	       3	  54000000 ns/op	  12.8 claimsweeps/s
+BenchmarkWALAppendNoSync-8   	     100	     91000 ns/op	       2.1 overhead-%
+BenchmarkWALAppendNoSync-8   	     100	     89000 ns/op	       2.0 overhead-%
+BenchmarkShardedFit4         	       1	 230000000 ns/op
+--- PASS: TestSomething (0.01s)
+PASS
+ok  	latenttruth	12.345s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	// Best-of-N and -procs suffix stripping.
+	if r := got["BenchmarkGibbsSweepSmall"]; r.NsPerOp != 52000000 || r.Runs != 3 {
+		t.Fatalf("GibbsSweepSmall = %+v", r)
+	}
+	if r := got["BenchmarkWALAppendNoSync"]; r.NsPerOp != 89000 || r.Runs != 2 {
+		t.Fatalf("WALAppendNoSync = %+v", r)
+	}
+	// A name with no -procs suffix parses as-is.
+	if r := got["BenchmarkShardedFit4"]; r.NsPerOp != 230000000 {
+		t.Fatalf("ShardedFit4 = %+v", r)
+	}
+}
+
+func TestParseRejectsNothing(t *testing.T) {
+	got, err := Parse(strings.NewReader("PASS\nok x 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d from non-bench output", len(got))
+	}
+}
+
+func baselineOf(pairs map[string]float64) Baseline {
+	return Baseline{Threshold: 0.15, Benchmarks: pairs}
+}
+
+func resultsOf(pairs map[string]float64) map[string]Result {
+	out := make(map[string]Result, len(pairs))
+	for name, ns := range pairs {
+		out[name] = Result{Name: name, NsPerOp: ns, Runs: 1}
+	}
+	return out
+}
+
+// TestCompareGreenOnParity is the gate's green path: identical and
+// slightly-noisy runs pass, as do improvements.
+func TestCompareGreenOnParity(t *testing.T) {
+	base := baselineOf(map[string]float64{"BenchmarkA": 1000, "BenchmarkB": 2000})
+	rep := Compare(base, resultsOf(map[string]float64{
+		"BenchmarkA": 1100, // +10%: within the 15% band
+		"BenchmarkB": 1500, // improvement
+	}), 0)
+	if rep.Failed() || rep.Regressions != 0 {
+		t.Fatalf("green run failed: %+v", rep)
+	}
+	if rep.Threshold != 0.15 {
+		t.Fatalf("threshold %v, want baseline's 0.15", rep.Threshold)
+	}
+}
+
+// TestCompareRedOnInjectedRegression is the acceptance check: a >15%
+// slowdown on the Gibbs sweep turns the gate red.
+func TestCompareRedOnInjectedRegression(t *testing.T) {
+	base := baselineOf(map[string]float64{
+		"BenchmarkGibbsSweepSmall": 52000000,
+		"BenchmarkWALAppendNoSync": 89000,
+	})
+	rep := Compare(base, resultsOf(map[string]float64{
+		"BenchmarkGibbsSweepSmall": 52000000 * 1.16, // injected 16% regression
+		"BenchmarkWALAppendNoSync": 89000,
+	}), 0)
+	if !rep.Failed() || rep.Regressions != 1 {
+		t.Fatalf("injected regression not caught: %+v", rep)
+	}
+	var hit *Comparison
+	for i := range rep.Results {
+		if rep.Results[i].Name == "BenchmarkGibbsSweepSmall" {
+			hit = &rep.Results[i]
+		}
+	}
+	if hit == nil || !hit.Regressed || hit.Ratio < 1.15 {
+		t.Fatalf("regression row %+v", hit)
+	}
+
+	// Exactly at the threshold is still green (strictly-greater gate).
+	rep = Compare(base, resultsOf(map[string]float64{
+		"BenchmarkGibbsSweepSmall": 52000000 * 1.15,
+		"BenchmarkWALAppendNoSync": 89000,
+	}), 0)
+	if rep.Failed() {
+		t.Fatalf("at-threshold run failed: %+v", rep)
+	}
+}
+
+// TestCompareMissingBenchmarkFails guards coverage: a benchmark that
+// silently stopped running cannot pass the gate.
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := baselineOf(map[string]float64{"BenchmarkA": 1000, "BenchmarkB": 2000})
+	rep := Compare(base, resultsOf(map[string]float64{"BenchmarkA": 1000}), 0)
+	if !rep.Failed() || len(rep.Missing) != 1 || rep.Missing[0] != "BenchmarkB" {
+		t.Fatalf("missing benchmark not flagged: %+v", rep)
+	}
+	// New benchmarks are informational, not failures.
+	rep = Compare(base, resultsOf(map[string]float64{
+		"BenchmarkA": 1000, "BenchmarkB": 2000, "BenchmarkNew": 5,
+	}), 0)
+	if rep.Failed() || len(rep.Extra) != 1 {
+		t.Fatalf("extra benchmark handling: %+v", rep)
+	}
+}
+
+func TestThresholdPrecedence(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]float64{"BenchmarkA": 1000}}
+	// No explicit, no baseline threshold: default 0.15.
+	if rep := Compare(base, resultsOf(map[string]float64{"BenchmarkA": 1100}), 0); rep.Threshold != DefaultThreshold {
+		t.Fatalf("default threshold %v", rep.Threshold)
+	}
+	// Explicit beats baseline.
+	base.Threshold = 0.5
+	rep := Compare(base, resultsOf(map[string]float64{"BenchmarkA": 1300}), 0.1)
+	if rep.Threshold != 0.1 || !rep.Failed() {
+		t.Fatalf("explicit threshold not honored: %+v", rep)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_baseline.json")
+	want := Baseline{
+		Note:       "ref machine",
+		Threshold:  0.15,
+		Benchmarks: map[string]float64{"BenchmarkA": 123.5, "BenchmarkB": 9e8},
+	}
+	if err := want.WriteBaseline(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != want.Note || got.Threshold != want.Threshold || len(got.Benchmarks) != 2 ||
+		got.Benchmarks["BenchmarkA"] != 123.5 {
+		t.Fatalf("round trip %+v", got)
+	}
+	if _, err := ReadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing baseline read cleanly")
+	}
+}
+
+func TestFormatMentionsVerdicts(t *testing.T) {
+	base := baselineOf(map[string]float64{"BenchmarkA": 1000, "BenchmarkGone": 10})
+	rep := Compare(base, resultsOf(map[string]float64{"BenchmarkA": 2000, "BenchmarkNew": 1}), 0)
+	var buf bytes.Buffer
+	rep.Format(&buf)
+	out := buf.String()
+	for _, want := range []string{"REGRESSED", "MISSING", "new (not gated", "FAIL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted report lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+// Package benchgate implements the CI performance-regression gate: it
+// parses `go test -bench` output, reduces repeated runs (-count) to each
+// benchmark's best observation (the minimum ns/op — the least-noisy
+// estimator of a benchmark's true cost on a shared runner), and compares
+// the result against a committed baseline (BENCH_baseline.json at the
+// repository root), failing when any gated benchmark regresses past the
+// configured threshold (default 15%).
+//
+// The gate is deliberately one-sided and coverage-guarded: a benchmark
+// that got faster just tightens the next -update; a benchmark present in
+// the baseline but missing from the run fails the gate, so silently
+// dropping a benchmark cannot hide a regression. Benchmarks new to the
+// run are reported but do not fail — commit them to the baseline with
+// `go run ./cmd/benchgate -update` when they are meant to be gated.
+//
+// cmd/benchgate is the CLI wrapper CI pipes the bench output through; the
+// comparison report is written as JSON for artifact upload.
+package benchgate

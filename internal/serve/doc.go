@@ -22,4 +22,15 @@
 // checkpoint and replaying the log tail — reconstructing model state
 // bit-identical to an uninterrupted run, with torn or corrupt log tails
 // detected by CRC and cleanly discarded.
+//
+// A durable server is also a replication primary: it streams its newest
+// checkpoint (GET /replication/checkpoint) and its log
+// (GET /replication/wal, long-poll, the WAL's own record framing) to read
+// replicas, writes a refit-marker control record at every refit's drain
+// cut so followers replay the primary's exact refit schedule, and never
+// truncates the log past the slowest live follower (truncation is a
+// minimum over the checkpoint bound and per-follower cursors, with
+// TTL/max-lag eviction). Config.FollowerOf selects the other side: a
+// read-only follower whose batches and refits arrive via ApplyReplicated
+// (see internal/replica for the client that drives it).
 package serve

@@ -130,7 +130,7 @@ func (s *Server) openDurable() error {
 		m := cp.Manifest
 		s.refits.Store(m.Refits)
 		s.fullRefits.Store(m.FullRefits)
-		s.walSeqCompacted = m.WALSeq
+		s.walSeqCompacted.Store(m.WALSeq)
 		s.totalCompacted = m.IngestedTotal
 		s.ingest.restoreTotal(m.IngestedTotal)
 		d.lastSeq.Store(m.Seq)
@@ -157,10 +157,23 @@ func (s *Server) openDurable() error {
 			s.online = online
 		}
 	}
+	s.dur = d
+	s.repl = newReplTracker(rec.Log, s.cfg.Replication.withDefaults())
 	for _, b := range rec.Tail {
 		s.ingest.replay(b)
+		// A refit marker in the tail is a refit whose checkpoint never
+		// landed (the checkpoint write failed or the crash beat it):
+		// re-running it here reproduces the exact post-refit state — and
+		// re-attempts the missing checkpoint.
+		if ov, ok := parseRefitNote(b); ok {
+			if _, err := s.refit(ov, false); err != nil && err != ErrNoData {
+				s.logf("serve: recovery: replaying refit marker seq=%d: %v", b.Seq, err)
+			}
+		}
 	}
-	s.dur = d
+	if err := s.bootstrapFollowerSnapshot(); err != nil {
+		s.logf("serve: follower bootstrap snapshot: %v", err)
+	}
 	if rec.Stats.ColdStart {
 		s.logf("serve: durability on (%s, fsync=%s): cold start", dcfg.DataDir, dcfg.Fsync)
 	} else {
@@ -190,7 +203,7 @@ func (s *Server) checkpoint(snap *Snapshot) {
 	start := time.Now()
 	m := wal.Manifest{
 		Seq:           snap.Seq,
-		WALSeq:        s.walSeqCompacted,
+		WALSeq:        s.walSeqCompacted.Load(),
 		ConfigHash:    d.configHash,
 		Refits:        s.refits.Load(),
 		FullRefits:    s.fullRefits.Load(),
@@ -213,6 +226,13 @@ func (s *Server) checkpoint(snap *Snapshot) {
 	if err != nil || len(left) == 0 {
 		s.checkpointFailed(fmt.Errorf("pruning checkpoints: %w", err))
 		return
+	}
+	// Evict dead or hopelessly lagging follower cursors first, so one
+	// stuck follower cannot pin the WAL forever (it re-bootstraps from a
+	// checkpoint instead); the survivors then bound the truncation floor
+	// inside TruncateBefore.
+	for _, name := range s.repl.evict(d.log.Stats().LastSeq) {
+		s.logf("serve: evicted replication cursor %q (stale or past max lag)", name)
 	}
 	// Truncate behind the OLDEST retained checkpoint so recovery can fall
 	// back across the whole retention window.
@@ -251,6 +271,10 @@ type DurabilityStats struct {
 
 	Recovery       *wal.RecoveryStats `json:"recovery,omitempty"`
 	QualityDropped bool               `json:"quality_dropped,omitempty"`
+
+	// ReplicationCursors lists the follower positions currently pinning
+	// the WAL's truncation floor (primary side of log shipping).
+	ReplicationCursors []ReplicationCursor `json:"replication_cursors,omitempty"`
 }
 
 // DurabilityStats reports the WAL, checkpoint and recovery state. It
@@ -264,17 +288,18 @@ func (s *Server) DurabilityStats() DurabilityStats {
 	walStats := d.log.Stats()
 	rec := d.recovery
 	return DurabilityStats{
-		Enabled:           true,
-		DataDir:           d.cfg.DataDir,
-		Fsync:             string(d.cfg.Fsync),
-		WAL:               &walStats,
-		Checkpoints:       d.checkpoints.Load(),
-		CheckpointErrors:  d.checkpointErr.Load(),
-		LastCheckpointSeq: d.lastSeq.Load(),
-		LastCheckpointWAL: d.lastWALSeq.Load(),
-		LastCheckpointMS:  float64(d.lastDurationN.Load()) / float64(time.Millisecond),
-		Recovery:          &rec,
-		QualityDropped:    d.qualityDropped,
+		Enabled:            true,
+		DataDir:            d.cfg.DataDir,
+		Fsync:              string(d.cfg.Fsync),
+		WAL:                &walStats,
+		Checkpoints:        d.checkpoints.Load(),
+		CheckpointErrors:   d.checkpointErr.Load(),
+		LastCheckpointSeq:  d.lastSeq.Load(),
+		LastCheckpointWAL:  d.lastWALSeq.Load(),
+		LastCheckpointMS:   float64(d.lastDurationN.Load()) / float64(time.Millisecond),
+		Recovery:           &rec,
+		QualityDropped:     d.qualityDropped,
+		ReplicationCursors: s.repl.cursors(walStats.LastSeq),
 	}
 }
 

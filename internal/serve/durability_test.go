@@ -456,7 +456,9 @@ func TestDurabilityEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
-	if !body.Enabled || body.Fsync != "never" || body.WAL.LastSeq != 1 ||
+	// LastSeq is 2: the ingested batch at seq 1 plus the refit's marker
+	// control record at seq 2 (the drain cut replication followers replay).
+	if !body.Enabled || body.Fsync != "never" || body.WAL.LastSeq != 2 ||
 		body.WAL.Segments != 1 || body.Checkpoints != 1 ||
 		body.LastCheckpointSeq != 1 || !body.Recovery.ColdStart {
 		t.Fatalf("durability payload %+v", body)

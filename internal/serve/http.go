@@ -25,6 +25,16 @@ const maxClaimsBody = 32 << 20
 //	GET  /durability — WAL, checkpoint and recovery state
 //	POST /refit   — force a synchronous refit (optionally ?policy=)
 //
+// Durable servers additionally expose the replication feed read replicas
+// bootstrap and tail from (any durable server can be a primary, including
+// a follower — replication cascades):
+//
+//	GET  /replication/checkpoint — newest checkpoint, multipart
+//	GET  /replication/wal        — long-poll framed log records (?from=)
+//
+// On a follower, POST /claims and POST /refit return 503 with the
+// primary's address: reads are local, writes belong to the primary.
+//
 // All read endpoints serve from the current immutable snapshot: one atomic
 // pointer load, no locks, never blocked by a background refit.
 func (s *Server) Handler() http.Handler {
@@ -37,7 +47,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /durability", s.handleDurability)
 	mux.HandleFunc("POST /refit", s.handleRefit)
+	if s.dur != nil {
+		mux.HandleFunc("GET /replication/checkpoint", s.handleReplCheckpoint)
+		mux.HandleFunc("GET /replication/wal", s.handleReplWAL)
+	}
 	return mux
+}
+
+// rejectOnFollower writes the 503 a write endpoint returns in follower
+// mode, pointing the client at the primary. It reports whether the
+// request was rejected.
+func (s *Server) rejectOnFollower(w http.ResponseWriter) bool {
+	if s.cfg.FollowerOf == "" {
+		return false
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+		"error":   ErrFollower.Error(),
+		"primary": s.cfg.FollowerOf,
+	})
+	return true
 }
 
 // writeJSON writes v as a JSON response.
@@ -66,6 +94,9 @@ type claimJSON struct {
 
 // handleClaims ingests a batch: either {"claims": [...]} or a bare array.
 func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnFollower(w) {
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, maxClaimsBody)
 	dec := json.NewDecoder(body)
 	var raw json.RawMessage
@@ -314,6 +345,9 @@ func (s *Server) handleDurability(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnFollower(w) {
+		return
+	}
 	override := RefitPolicy(r.URL.Query().Get("policy"))
 	if override != "" && !override.valid() {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown refit policy %q", override))

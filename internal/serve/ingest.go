@@ -26,6 +26,9 @@ type ingestLog struct {
 	// total counts rows accepted over the server's lifetime (restored
 	// across restarts from the checkpoint manifest plus the replayed tail).
 	total int64
+	// notify, when non-nil, is invoked after every accepted append so
+	// replication long-polls wake without polling delay.
+	notify func()
 }
 
 // validateRow rejects triples that the data model cannot represent.
@@ -79,7 +82,38 @@ func (l *ingestLog) Append(rows []model.Row) (int, error) {
 	}
 	l.pending = append(l.pending, rows...)
 	l.total += int64(len(rows))
+	if l.notify != nil {
+		l.notify()
+	}
 	return len(rows), nil
+}
+
+// appendReplicated mirrors one primary log record into a follower: the
+// batch lands in the follower's own WAL under the primary's sequence
+// number (so a restart resumes, and cascaded followers replicate, from
+// local disk), then in the pending log. Control records advance the
+// watermark without contributing rows.
+func (l *ingestLog) appendReplicated(b wal.Batch) error {
+	for i, r := range b.Rows {
+		if err := validateRow(r); err != nil {
+			return fmt.Errorf("serve: replicated claim %d: %w", i, err)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.log == nil {
+		return fmt.Errorf("serve: replication requires a durable follower")
+	}
+	if err := l.log.AppendBatch(b); err != nil {
+		return err
+	}
+	l.lastSeq = b.Seq
+	l.pending = append(l.pending, b.Rows...)
+	l.total += int64(len(b.Rows))
+	if l.notify != nil {
+		l.notify()
+	}
+	return nil
 }
 
 // replay re-applies a recovered WAL batch without re-logging it. Called
@@ -90,6 +124,13 @@ func (l *ingestLog) replay(b wal.Batch) {
 	l.lastSeq = b.Seq
 	l.total += int64(len(b.Rows))
 	l.mu.Unlock()
+}
+
+// LastSeq returns the WAL sequence number of the newest accepted batch.
+func (l *ingestLog) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
 }
 
 // restoreTotal seeds the lifetime row counter from a checkpoint manifest.
@@ -116,6 +157,31 @@ func (l *ingestLog) Drain() drainResult {
 	l.pending = nil
 	l.mu.Unlock()
 	return dr
+}
+
+// DrainMark drains like Drain and, in the same critical section, appends a
+// refit-marker control record carrying note to the WAL. The marker sits
+// exactly at the drain cut, so a replication follower replaying the log
+// refits over precisely the rows this refit drained — the mechanism that
+// makes follower snapshots bit-identical to the primary's. A marker
+// append failure is returned alongside the (still valid) drain: the refit
+// proceeds, followers just wait for the next successful marker.
+func (l *ingestLog) DrainMark(note string) (drainResult, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var err error
+	if l.log != nil {
+		var seq uint64
+		if seq, err = l.log.AppendNote(note); err == nil {
+			l.lastSeq = seq
+			if l.notify != nil {
+				l.notify()
+			}
+		}
+	}
+	dr := drainResult{rows: l.pending, lastSeq: l.lastSeq, total: l.total}
+	l.pending = nil
+	return dr, err
 }
 
 // Len returns the number of pending rows.

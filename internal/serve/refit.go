@@ -20,17 +20,47 @@ var ErrNoData = errors.New("serve: no claims ingested yet")
 // snapshot until the atomic swap. Drained rows are folded into the
 // cumulative database before fitting, so a failed fit loses nothing — the
 // next refit covers them. On a durable server every published snapshot is
-// also checkpointed and the WAL truncated behind the retention window.
+// also checkpointed and the WAL truncated behind the retention window,
+// and a refit-marker control record is written at the drain cut so
+// replication followers replay the same refit over the same rows.
+//
+// On a follower, Refit returns ErrFollower: the refit schedule is
+// replicated from the primary (ApplyReplicated), never local.
 func (s *Server) Refit(override RefitPolicy) (*Snapshot, error) {
+	if s.cfg.FollowerOf != "" {
+		return nil, ErrFollower
+	}
+	return s.refit(override, s.dur != nil)
+}
+
+// refit is the shared refit path. mark selects whether a refit marker is
+// appended at the drain cut: true on a durable primary, false when the
+// marker already exists in the log (follower marker replay, startup
+// recovery of a marker the last checkpoint missed).
+func (s *Server) refit(override RefitPolicy, mark bool) (*Snapshot, error) {
 	if override != "" && !override.valid() {
 		return nil, fmt.Errorf("serve: unknown refit policy %q", override)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	// The no-data check precedes the drain so an empty server never logs a
+	// no-op refit marker.
+	if s.db.Len() == 0 && s.ingest.Len() == 0 {
+		return nil, ErrNoData
+	}
+
 	// fresh keeps only the rows the cumulative database had not seen, so
 	// the online fast path never double-counts a retried batch.
-	dr := s.ingest.Drain()
+	var dr drainResult
+	if mark {
+		var err error
+		if dr, err = s.ingest.DrainMark(refitNote(override)); err != nil {
+			s.logf("serve: refit marker: %v (followers lag until the next marker)", err)
+		}
+	} else {
+		dr = s.ingest.Drain()
+	}
 	var fresh []model.Row
 	for _, r := range dr.rows {
 		if s.db.AddRow(r) {
@@ -39,16 +69,13 @@ func (s *Server) Refit(override RefitPolicy) (*Snapshot, error) {
 	}
 	// Drained rows are in db from here on (even if the fit below fails),
 	// so the watermark the next successful checkpoint covers advances now.
-	if dr.lastSeq > s.walSeqCompacted {
-		s.walSeqCompacted = dr.lastSeq
+	if dr.lastSeq > s.walSeqCompacted.Load() {
+		s.walSeqCompacted.Store(dr.lastSeq)
 	}
 	if dr.total > s.totalCompacted {
 		s.totalCompacted = dr.total
 	}
 	compacted := len(fresh)
-	if s.db.Len() == 0 {
-		return nil, ErrNoData
-	}
 	ds := model.Build(s.db)
 	if err := s.ensureOnline(ds.NumFacts()); err != nil {
 		return nil, err

@@ -77,6 +77,18 @@ type Config struct {
 	// acknowledged, every published snapshot is checkpointed, and startup
 	// recovers the exact pre-crash state (checkpoint + WAL tail replay).
 	Durability Durability
+	// Replication tunes the primary side of WAL log shipping (the
+	// /replication/checkpoint and /replication/wal endpoints a durable
+	// server always exposes). Zero values take defaults.
+	Replication Replication
+	// FollowerOf, when non-empty, is the primary's base URL and puts the
+	// server in read-only follower mode: Ingest and Refit are rejected
+	// (clients are pointed at the primary), batches and refit markers
+	// arrive through ApplyReplicated instead, and the background refit
+	// timer stays off — the refit schedule is the primary's, replayed.
+	// Requires Durability: the replicated log is what makes a follower
+	// restart resume instead of re-bootstrapping.
+	FollowerOf string
 	// Logger receives refit-loop diagnostics; nil discards them.
 	Logger *log.Logger
 }
@@ -130,10 +142,18 @@ type Server struct {
 	// dur is the durability runtime (WAL + checkpoint store); nil when the
 	// server is memory-only. walSeqCompacted / totalCompacted are the
 	// newest WAL sequence number and lifetime row total ever drained into
-	// db — the watermark the next checkpoint covers. Guarded by mu.
+	// db — the watermark the next checkpoint covers. Written under mu;
+	// walSeqCompacted is atomic so NextReplicationSeq (and through it a
+	// follower's /replication/status) is never blocked by an in-flight
+	// refit — same discipline as the refit counters.
 	dur             *durable
-	walSeqCompacted uint64
+	walSeqCompacted atomic.Uint64
 	totalCompacted  int64
+
+	// walNotify wakes /replication/wal long-polls after every accepted
+	// batch; repl tracks connected follower cursors (nil unless durable).
+	walNotify *notifier
+	repl      *replTracker
 
 	started time.Time
 
@@ -164,13 +184,18 @@ func New(cfg Config) (*Server, error) {
 	if f := cfg.Durability.Fsync; f != "" && !f.Valid() {
 		return nil, fmt.Errorf("serve: unknown fsync policy %q", f)
 	}
-	s := &Server{
-		cfg:     cfg,
-		ingest:  &ingestLog{},
-		db:      model.NewRawDB(),
-		started: time.Now(),
-		stop:    make(chan struct{}),
+	if cfg.FollowerOf != "" && !cfg.Durability.Enabled() {
+		return nil, fmt.Errorf("serve: follower mode requires Durability.DataDir (the replicated log is the restart state)")
 	}
+	s := &Server{
+		cfg:       cfg,
+		ingest:    &ingestLog{},
+		db:        model.NewRawDB(),
+		started:   time.Now(),
+		stop:      make(chan struct{}),
+		walNotify: newNotifier(),
+	}
+	s.ingest.notify = s.walNotify.Wake
 	if cfg.Durability.Enabled() {
 		if err := s.openDurable(); err != nil {
 			return nil, err
@@ -197,6 +222,9 @@ func (s *Server) Ingest(rows []model.Row) (int, error) {
 		return 0, fmt.Errorf("serve: server is shut down")
 	default:
 	}
+	if s.cfg.FollowerOf != "" {
+		return 0, ErrFollower
+	}
 	return s.ingest.Append(rows)
 }
 
@@ -209,9 +237,10 @@ func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 func (s *Server) Pending() int { return s.ingest.Len() }
 
 // Start launches the background refit loop. It is a no-op when
-// RefitInterval is disabled.
+// RefitInterval is disabled and on a follower, whose refits are driven by
+// the primary's replicated markers.
 func (s *Server) Start() {
-	if s.cfg.RefitInterval <= 0 {
+	if s.cfg.RefitInterval <= 0 || s.cfg.FollowerOf != "" {
 		return
 	}
 	s.wg.Add(1)

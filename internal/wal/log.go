@@ -138,11 +138,85 @@ type Log struct {
 	closed   bool
 	failed   error // sticky write-failure state
 
+	// cursors are the registered truncation pins: TruncateBefore never
+	// deletes a record a live cursor has not acknowledged (see Cursor).
+	cursors map[*Cursor]struct{}
+
 	// flusher is the SyncInterval background loop's stop channel; it
 	// guarantees the loss bound even when ingest goes quiet (appends alone
 	// would leave a final batch unsynced indefinitely).
 	flusherStop chan struct{}
 	flusherDone chan struct{}
+}
+
+// Cursor pins a suffix of the log on behalf of one consumer (a replication
+// follower, typically): while the cursor is open, TruncateBefore keeps
+// every record with a sequence number above the cursor's acknowledged
+// position, so a slow consumer can always resume from where it stopped.
+// The truncation floor is the minimum over the caller's bound (the
+// checkpoint watermark) and every registered cursor. Methods are safe for
+// concurrent use.
+type Cursor struct {
+	l    *Log
+	name string
+	seq  uint64 // acknowledged position; guarded by l.mu
+}
+
+// OpenCursor registers a truncation pin named name whose consumer has
+// acknowledged every record up to and including seq (0 = nothing yet).
+func (l *Log) OpenCursor(name string, seq uint64) *Cursor {
+	c := &Cursor{l: l, name: name, seq: seq}
+	l.mu.Lock()
+	if l.cursors == nil {
+		l.cursors = make(map[*Cursor]struct{})
+	}
+	l.cursors[c] = struct{}{}
+	l.mu.Unlock()
+	return c
+}
+
+// Advance raises the cursor's acknowledged position; it never lowers it.
+func (c *Cursor) Advance(seq uint64) {
+	c.l.mu.Lock()
+	if seq > c.seq {
+		c.seq = seq
+	}
+	c.l.mu.Unlock()
+}
+
+// Seq returns the cursor's acknowledged position.
+func (c *Cursor) Seq() uint64 {
+	c.l.mu.Lock()
+	defer c.l.mu.Unlock()
+	return c.seq
+}
+
+// Name returns the cursor's registration name.
+func (c *Cursor) Name() string { return c.name }
+
+// Close unregisters the cursor so it no longer pins the log. Idempotent.
+func (c *Cursor) Close() {
+	c.l.mu.Lock()
+	delete(c.l.cursors, c)
+	c.l.mu.Unlock()
+}
+
+// CursorInfo is one registered cursor's position, for monitoring.
+type CursorInfo struct {
+	Name string `json:"name"`
+	Seq  uint64 `json:"seq"`
+}
+
+// Cursors lists the registered cursors sorted by name.
+func (l *Log) Cursors() []CursorInfo {
+	l.mu.Lock()
+	out := make([]CursorInfo, 0, len(l.cursors))
+	for c := range l.cursors {
+		out = append(out, CursorInfo{Name: c.name, Seq: c.seq})
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Open scans (and, where needed, repairs) the segment directory and
@@ -424,14 +498,42 @@ func (l *Log) EnsureNextSeq(seq uint64) {
 func (l *Log) Append(rows []model.Row) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendLocked(l.nextSeq, rows, "")
+}
+
+// AppendNote frames a rowless control record carrying note (a refit
+// marker, for the serving layer) and appends it like Append.
+func (l *Log) AppendNote(note string) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(l.nextSeq, nil, note)
+}
+
+// AppendBatch appends a batch under its existing sequence number. It is
+// the replication-follower write path: the follower's log mirrors the
+// primary's record for record, so the batch's sequence number must be
+// exactly the one the log would assign next — a gap means the stream
+// skipped records and the follower must re-bootstrap rather than silently
+// diverge.
+func (l *Log) AppendBatch(b Batch) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b.Seq != l.nextSeq {
+		return fmt.Errorf("wal: batch seq %d out of order (log expects %d)", b.Seq, l.nextSeq)
+	}
+	_, err := l.appendLocked(b.Seq, b.Rows, b.Note)
+	return err
+}
+
+// appendLocked frames and writes one record. Called under mu.
+func (l *Log) appendLocked(seq uint64, rows []model.Row, note string) (uint64, error) {
 	if l.closed {
 		return 0, fmt.Errorf("wal: log is closed")
 	}
 	if l.failed != nil {
 		return 0, fmt.Errorf("wal: log failed: %w", l.failed)
 	}
-	seq := l.nextSeq
-	l.buf = appendRecord(l.buf[:0], seq, rows)
+	l.buf = appendRecord(l.buf[:0], seq, rows, note)
 	if err := l.ensureSegment(int64(len(l.buf))); err != nil {
 		return 0, err
 	}
@@ -538,15 +640,23 @@ func (l *Log) syncLocked() error {
 }
 
 // TruncateBefore deletes every segment whose records all have sequence
-// numbers below seq. The active segment is never deleted, so records at or
-// above seq — and possibly some below it, sharing a segment — remain;
-// replay filters by sequence number. Progress is kept on partial failure:
+// numbers below the truncation floor: the minimum of seq and every
+// registered cursor's next-needed record (Cursor.Seq + 1). With no
+// cursors registered the floor is exactly seq — the single-consumer fast
+// path. The active segment is never deleted, so records at or above the
+// floor — and possibly some below it, sharing a segment — remain; replay
+// filters by sequence number. Progress is kept on partial failure:
 // segments removed before an error are dropped from the in-memory list
 // (and an already-missing file counts as removed), so a transient failure
 // never wedges truncation permanently.
 func (l *Log) TruncateBefore(seq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	for c := range l.cursors {
+		if bound := c.seq + 1; bound < seq {
+			seq = bound
+		}
+	}
 	removed := 0
 	var firstErr error
 	for len(l.segs)-removed > 1 && l.segs[removed+1].firstSeq <= seq {

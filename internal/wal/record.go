@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 
 	"latenttruth/internal/model"
 )
@@ -17,9 +18,17 @@ import (
 //
 //	uint64 seq | uint32 nrows | nrows × (entity, attribute, source)
 //
-// where each string is uint32 len | bytes. All integers are little-endian.
-// The frame CRC is Castagnoli (CRC32C), the polynomial with hardware
-// support on both amd64 and arm64.
+// where each string is uint32 len | bytes. A payload with nrows == 0 is a
+// control record: the remainder of the payload is an opaque note the
+// serving layer interprets (the refit markers that let log-shipped
+// replicas replay the primary's refit schedule exactly). All integers are
+// little-endian. The frame CRC is Castagnoli (CRC32C), the polynomial with
+// hardware support on both amd64 and arm64.
+//
+// The same framing doubles as the replication wire format: GET
+// /replication/wal streams records encoded by EncodeBatch and followers
+// decode them with DecodeBatch, so the bytes a follower receives are the
+// bytes it appends to its own log.
 const (
 	segMagic      = "LTWALSEG"
 	segVersion    = 1
@@ -33,11 +42,55 @@ const (
 // castagnoli is the CRC32C table shared by writers and readers.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Batch is one durably logged claim batch: the rows a single Append call
-// accepted, under the sequence number the log assigned to it.
+// Batch is one durably logged record: the rows a single Append call
+// accepted, under the sequence number the log assigned to it. A batch with
+// no rows is a control record and Note carries its payload (see the
+// framing comment above); claim batches always have rows and an empty
+// Note.
 type Batch struct {
 	Seq  uint64
 	Rows []model.Row
+	Note string
+}
+
+// IsControl reports whether b is a control record rather than a claim
+// batch.
+func (b Batch) IsControl() bool { return len(b.Rows) == 0 }
+
+// EncodeBatch appends the log's CRC32C record framing for b to buf and
+// returns the extended slice. The encoding is byte-identical to what
+// Append writes, so replication can ship records verbatim.
+func EncodeBatch(buf []byte, b Batch) []byte {
+	return appendRecord(buf, b.Seq, b.Rows, b.Note)
+}
+
+// DecodeBatch reads one framed record from r. It returns io.EOF at a clean
+// end of stream (no bytes before the next record) and an error for a
+// truncated or corrupt frame. It is the streaming counterpart of the
+// segment scan, for replication followers consuming records over a
+// connection instead of a file.
+func DecodeBatch(r io.Reader) (Batch, error) {
+	var hdr [recHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Batch{}, io.EOF
+		}
+		return Batch{}, fmt.Errorf("wal: decoding record header: %w", err)
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(hdr[:]))
+	if payloadLen < 12 || payloadLen > maxRecordBytes {
+		return Batch{}, fmt.Errorf("wal: decoding record: bad payload length %d", payloadLen)
+	}
+	frame := make([]byte, recHeaderSize+payloadLen)
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(r, frame[recHeaderSize:]); err != nil {
+		return Batch{}, fmt.Errorf("wal: decoding record payload: %w", err)
+	}
+	b, _, st := parseRecord(frame, 0)
+	if st != recOK {
+		return Batch{}, fmt.Errorf("wal: decoding record: corrupt frame")
+	}
+	return b, nil
 }
 
 // appendSegmentHeader appends a fresh segment header to buf.
@@ -62,12 +115,17 @@ func checkSegmentHeader(data []byte) error {
 	return nil
 }
 
-// appendRecord appends the framed record for (seq, rows) to buf.
-func appendRecord(buf []byte, seq uint64, rows []model.Row) []byte {
+// appendRecord appends the framed record for (seq, rows, note) to buf. A
+// note is only encoded for a rowless control record; claim batches never
+// carry one.
+func appendRecord(buf []byte, seq uint64, rows []model.Row, note string) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
 	buf = binary.LittleEndian.AppendUint64(buf, seq)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rows)))
+	if len(rows) == 0 {
+		buf = append(buf, note...)
+	}
 	for _, r := range rows {
 		for _, s := range [3]string{r.Entity, r.Attribute, r.Source} {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
@@ -142,6 +200,10 @@ func decodePayload(p []byte) (Batch, bool) {
 	p = p[12:]
 	if n < 0 || n > maxRecordBytes/12 {
 		return Batch{}, false
+	}
+	if n == 0 {
+		b.Note = string(p)
+		return b, true
 	}
 	b.Rows = make([]model.Row, 0, n)
 	for i := 0; i < n; i++ {

@@ -2,7 +2,9 @@ package wal
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
+	"strings"
 
 	"latenttruth/internal/model"
 )
@@ -18,6 +20,34 @@ const (
 // directory.
 func LogDir(dataDir string) string        { return filepath.Join(dataDir, logSubdir) }
 func CheckpointDir(dataDir string) string { return filepath.Join(dataDir, checkpointSubdir) }
+
+// HasState reports whether dataDir holds any durable state: a checkpoint
+// directory or a log segment. Replication followers use it to decide
+// between bootstrapping from the primary (cold directory) and resuming
+// from local state (restart) without opening anything.
+func HasState(dataDir string) (bool, error) {
+	for _, probe := range []struct {
+		dir string
+		hit func(name string) bool
+	}{
+		{CheckpointDir(dataDir), func(name string) bool { return strings.HasPrefix(name, chkPrefix) }},
+		{LogDir(dataDir), func(name string) bool { _, ok := parseSegmentName(name); return ok }},
+	} {
+		entries, err := os.ReadDir(probe.dir)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return false, fmt.Errorf("wal: %w", err)
+		}
+		for _, e := range entries {
+			if probe.hit(e.Name()) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
 
 // RecoveryStats summarizes what recovery found, for logs and the
 // /durability endpoint.

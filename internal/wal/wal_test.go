@@ -358,7 +358,7 @@ func TestClosedLogRejectsAppends(t *testing.T) {
 func TestRecordFrameGarbage(t *testing.T) {
 	// A frame advertising an absurd length must classify as corrupt, not
 	// drive a huge allocation or a torn classification.
-	buf := appendRecord(nil, 1, testRows(0, 2))
+	buf := appendRecord(nil, 1, testRows(0, 2), "")
 	garbage := bytes.Clone(buf)
 	garbage[0], garbage[1], garbage[2], garbage[3] = 0xFF, 0xFF, 0xFF, 0x7F
 	if _, _, st := parseRecord(garbage, 0); st != recCorrupt {

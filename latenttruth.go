@@ -10,6 +10,7 @@ import (
 	"latenttruth/internal/integrate"
 	"latenttruth/internal/ltmx"
 	"latenttruth/internal/model"
+	"latenttruth/internal/replica"
 	"latenttruth/internal/serve"
 	"latenttruth/internal/shard"
 	"latenttruth/internal/stats"
@@ -358,6 +359,41 @@ const (
 // HTTP API, and Close to shut down. When cfg.Durability.DataDir is set,
 // construction recovers any durable state found there.
 func NewTruthServer(cfg ServeConfig) (*TruthServer, error) { return serve.New(cfg) }
+
+// Replication (WAL log shipping: one durable primary, a fleet of
+// read-only followers serving bit-identical snapshots).
+type (
+	// ReplicationConfig tunes the primary side of log shipping: follower
+	// cursor TTL, max-lag eviction, long-poll bounds
+	// (ServeConfig.Replication).
+	ReplicationConfig = serve.Replication
+	// ReplicationCursor is one follower's acknowledged position as seen by
+	// the primary (the /durability "replication_cursors" section).
+	ReplicationCursor = serve.ReplicationCursor
+	// ReplicaConfig parameterizes a read replica: the primary's URL plus
+	// the follower's own serving configuration (which must match the
+	// primary's model-relevant fields for bit-identical snapshots).
+	ReplicaConfig = replica.Config
+	// TruthFollower is a running read replica: it bootstraps from the
+	// primary's newest checkpoint, tails its WAL over HTTP, and serves
+	// /truth, /quality, /records and /stats locally; writes return 503
+	// with the primary's address.
+	TruthFollower = replica.Follower
+	// ReplicationStats is the follower's progress report (the follower's
+	// GET /replication/status payload).
+	ReplicationStats = replica.Stats
+)
+
+// ErrFollower is returned by Ingest and Refit on a read-only follower.
+var ErrFollower = serve.ErrFollower
+
+// StartFollower bootstraps (when its data directory is cold) and starts a
+// read replica of cfg.Primary. The follower restarts from its own
+// mirrored log — it never re-downloads a checkpoint unless the primary
+// evicted it and truncated the history it needs, in which case it
+// re-bootstraps automatically. Call Handler for the HTTP API and Close to
+// stop.
+func StartFollower(cfg ReplicaConfig) (*TruthFollower, error) { return replica.Start(cfg) }
 
 // Extensions (paper §7).
 type (
