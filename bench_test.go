@@ -24,6 +24,7 @@ import (
 	"latenttruth/internal/core"
 	"latenttruth/internal/eval"
 	"latenttruth/internal/experiments"
+	"latenttruth/internal/stats"
 )
 
 var bench struct {
@@ -824,5 +825,174 @@ func BenchmarkRecovery(b *testing.B) {
 		b.StopTimer()
 		r.Close()
 		b.StartTimer()
+	}
+}
+
+// --- Streaming query engine over snapshots ---------------------------------
+//
+// All query benches share one ≥10⁶-claim zipfian corpus wrapped in a
+// standalone snapshot (probabilities drawn deterministically — the engine
+// only reads them, so no Gibbs fit is needed at this scale).
+// BenchmarkQueryTruthMaterialize is the pre-engine baseline each
+// engine-side bench is judged against: materialize the full truth table,
+// then filter/sort/slice it.
+
+var queryBench struct {
+	once sync.Once
+	ds   *latenttruth.Dataset
+	sn   *latenttruth.TruthSnapshot
+	err  error
+}
+
+const queryBenchClaims = 1_000_000
+
+func queryBenchSetup(b *testing.B) (*latenttruth.Dataset, *latenttruth.TruthSnapshot) {
+	b.Helper()
+	queryBench.once.Do(func() {
+		ds, err := latenttruth.ScaleCorpus(latenttruth.ScaleSpec{
+			Claims: queryBenchClaims, Seed: 17,
+		})
+		if err != nil {
+			queryBench.err = err
+			return
+		}
+		rng := stats.NewRNG(23)
+		res := latenttruth.Result{Method: "bench", Prob: make([]float64, ds.NumFacts())}
+		for f := range res.Prob {
+			res.Prob[f] = rng.Float64()
+		}
+		queryBench.ds = ds
+		queryBench.sn, queryBench.err = latenttruth.NewTruthSnapshot(ds, &res, 0.5)
+	})
+	if queryBench.err != nil {
+		b.Fatal(queryBench.err)
+	}
+	return queryBench.ds, queryBench.sn
+}
+
+// drainTruth pulls a truth stream dry and returns the row count.
+func drainTruth(b *testing.B, rows *latenttruth.TruthQueryRows) int {
+	n := 0
+	for {
+		if _, ok := rows.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// BenchmarkQueryTruthMaterialize is the materialize-then-filter baseline:
+// build the complete truth table, then keep the rows of one entity above
+// a probability floor — what GET /truth cost before the query engine.
+func BenchmarkQueryTruthMaterialize(b *testing.B) {
+	ds, sn := queryBenchSetup(b)
+	entity := ds.Entities[len(ds.Entities)/2]
+	b.ReportAllocs()
+	b.ResetTimer()
+	kept := 0
+	for i := 0; i < b.N; i++ {
+		kept = 0
+		for _, row := range sn.AllTruth() {
+			if row.Entity == entity && row.Probability >= 0.25 {
+				kept++
+			}
+		}
+	}
+	b.ReportMetric(float64(kept), "rows/op")
+}
+
+// BenchmarkQueryTruthScan streams the full unfiltered table — the
+// worst-case row volume, with O(1) engine-side memory.
+func BenchmarkQueryTruthScan(b *testing.B) {
+	_, sn := queryBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := latenttruth.QueryTruth(sn, latenttruth.TruthQueryOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		drainTruth(b, rows)
+	}
+}
+
+// BenchmarkQueryTruthPushdown answers the same question as the
+// Materialize baseline through the engine: the entity filter rides the
+// FactsByEntity index straight to the entity's facts, so work is
+// proportional to the result, not the corpus.
+func BenchmarkQueryTruthPushdown(b *testing.B) {
+	ds, sn := queryBenchSetup(b)
+	entity := ds.Entities[len(ds.Entities)/2]
+	opts := latenttruth.TruthQueryOptions{Entity: entity, MinProb: 0.25}
+	b.ReportAllocs()
+	b.ResetTimer()
+	kept := 0
+	for i := 0; i < b.N; i++ {
+		rows, err := latenttruth.QueryTruth(sn, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kept = drainTruth(b, rows)
+	}
+	b.ReportMetric(float64(kept), "rows/op")
+}
+
+// BenchmarkQueryTruthTopK ranks the 100 most confident facts with a
+// k-bounded heap instead of materializing and sorting all of them.
+func BenchmarkQueryTruthTopK(b *testing.B) {
+	_, sn := queryBenchSetup(b)
+	opts := latenttruth.TruthQueryOptions{TopK: 100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := latenttruth.QueryTruth(sn, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := drainTruth(b, rows); n != 100 {
+			b.Fatalf("topk drained %d rows", n)
+		}
+	}
+}
+
+// BenchmarkQueryTruthAgg folds every fact into the per-source rollup —
+// O(sources) memory, no intermediate row ever allocated.
+func BenchmarkQueryTruthAgg(b *testing.B) {
+	ds, sn := queryBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups, err := latenttruth.QueryTruthAggregate(sn, latenttruth.AggBySource, latenttruth.TruthQueryOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(groups) != len(ds.Sources) {
+			b.Fatalf("%d groups", len(groups))
+		}
+	}
+}
+
+// BenchmarkQueryTruthPaginated walks the full table in 1000-row pages,
+// re-entering through the cursor each page — the cost of a client
+// paginating to exhaustion, including cursor decode + seek per page.
+func BenchmarkQueryTruthPaginated(b *testing.B) {
+	ds, sn := queryBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total, cursor := 0, ""
+		for {
+			rows, err := latenttruth.QueryTruth(sn, latenttruth.TruthQueryOptions{Limit: 1000, Cursor: cursor})
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += drainTruth(b, rows)
+			if cursor = rows.NextCursor(); cursor == "" {
+				break
+			}
+		}
+		if total != ds.NumFacts() {
+			b.Fatalf("paginated %d of %d rows", total, ds.NumFacts())
+		}
 	}
 }

@@ -1,13 +1,23 @@
 // Command datagen generates the simulated evaluation corpora and writes
-// them as CSV files compatible with cmd/truthfind.
+// them as CSV files compatible with cmd/truthfind and cmd/truthserve.
 //
 // Usage:
 //
 //	datagen -corpus book|movie|table1 [-seed 42] [-dir .]
+//	datagen -claims 1000000 [-sources 20] [-seed 42] [-dir .]
 //
-// It writes <corpus>-triples.csv (the raw database), <corpus>-labels.csv
-// (the labeled evaluation subset) and <corpus>-truth.csv (the complete
-// generator ground truth, for studies that want full supervision).
+// In corpus mode it writes <corpus>-triples.csv (the raw database),
+// <corpus>-labels.csv (the labeled evaluation subset) and
+// <corpus>-truth.csv (the complete generator ground truth, for studies
+// that want full supervision).
+//
+// In scale mode (-claims N) it generates a load-scale corpus sized by
+// total claim count — zipfian entity sizes, a configurable source pool,
+// fully deterministic from the seed — and writes scale-triples.csv and
+// scale-labels.csv. N counts derived claims (positive + negative,
+// Definition 3), which is the size the serving and query layers actually
+// process; the triples file carries the positive subset a client would
+// POST.
 package main
 
 import (
@@ -29,11 +39,20 @@ func main() {
 
 func run() error {
 	var (
-		corpus = flag.String("corpus", "", "corpus to generate: book, movie, or table1; required")
-		seed   = flag.Int64("seed", 42, "generator seed")
-		dir    = flag.String("dir", ".", "output directory")
+		corpus  = flag.String("corpus", "", "corpus to generate: book, movie, or table1")
+		claims  = flag.Int("claims", 0, "scale mode: target total claim count (positive + negative)")
+		sources = flag.Int("sources", 0, "scale mode: source pool size (default 20)")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		dir     = flag.String("dir", ".", "output directory")
 	)
 	flag.Parse()
+	if (*corpus == "") == (*claims == 0) {
+		flag.Usage()
+		return fmt.Errorf("exactly one of -corpus and -claims is required")
+	}
+	if *claims > 0 {
+		return runScale(*claims, *sources, *seed, *dir)
+	}
 	var (
 		c   *latenttruth.Corpus
 		err error
@@ -54,33 +73,9 @@ func run() error {
 	}
 	ds := c.Dataset
 
-	// Reconstruct the raw database from positive claims.
-	db := latenttruth.NewRawDB()
-	for _, cl := range ds.Claims {
-		if cl.Observation {
-			f := ds.Facts[cl.Fact]
-			db.Add(ds.Entities[f.Entity], f.Attribute, ds.Sources[cl.Source])
-		}
-	}
-
-	write := func(name string, fn func(io.Writer) error) error {
-		path := filepath.Join(*dir, fmt.Sprintf("%s-%s.csv", *corpus, name))
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := fn(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintln(os.Stderr, "wrote", path)
-		return nil
-	}
+	write := writer(*dir, *corpus)
 	if err := write("triples", func(w io.Writer) error {
-		return latenttruth.WriteTriples(w, db)
+		return latenttruth.WriteTriples(w, positiveDB(ds))
 	}); err != nil {
 		return err
 	}
@@ -102,4 +97,61 @@ func run() error {
 	return write("truth", func(w io.Writer) error {
 		return latenttruth.WriteLabels(w, &full)
 	})
+}
+
+// runScale generates and writes a claim-count-targeted corpus.
+func runScale(claims, sources int, seed int64, dir string) error {
+	ds, err := latenttruth.ScaleCorpus(latenttruth.ScaleSpec{
+		Claims:  claims,
+		Sources: sources,
+		Seed:    seed,
+	})
+	if err != nil {
+		return err
+	}
+	st := latenttruth.Summarize(ds)
+	fmt.Fprintf(os.Stderr, "scale corpus: %d entities, %d facts, %d sources, %d claims (%d positive)\n",
+		st.Entities, st.Facts, st.Sources, st.Claims, st.PositiveClaims)
+	write := writer(dir, "scale")
+	if err := write("triples", func(w io.Writer) error {
+		return latenttruth.WriteTriples(w, positiveDB(ds))
+	}); err != nil {
+		return err
+	}
+	return write("labels", func(w io.Writer) error {
+		return latenttruth.WriteLabels(w, ds)
+	})
+}
+
+// positiveDB reconstructs the raw database from a dataset's positive
+// claims — the wire form a client would POST or truthfind would read.
+func positiveDB(ds *latenttruth.Dataset) *latenttruth.RawDB {
+	db := latenttruth.NewRawDB()
+	for _, cl := range ds.Claims {
+		if cl.Observation {
+			f := ds.Facts[cl.Fact]
+			db.Add(ds.Entities[f.Entity], f.Attribute, ds.Sources[cl.Source])
+		}
+	}
+	return db
+}
+
+// writer returns a helper writing one named CSV under dir.
+func writer(dir, prefix string) func(string, func(io.Writer) error) error {
+	return func(name string, fn func(io.Writer) error) error {
+		path := filepath.Join(dir, fmt.Sprintf("%s-%s.csv", prefix, name))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+		return nil
+	}
 }

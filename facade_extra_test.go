@@ -187,3 +187,61 @@ func TestOnlineRefitThroughFacade(t *testing.T) {
 		t.Fatalf("FactsSeen = %d after refit", o.FactsSeen())
 	}
 }
+
+func TestStreamingQueriesThroughFacade(t *testing.T) {
+	c := smallCorpus(t, 8)
+	fit, err := latenttruth.NewLTM(latenttruth.Config{Seed: 9, Iterations: 40}).Fit(c.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := latenttruth.NewTruthSnapshot(c.Dataset, fit.Result, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := latenttruth.QueryTruth(sn, latenttruth.TruthQueryOptions{MinProb: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		row, ok := rows.Next()
+		if !ok {
+			break
+		}
+		if row.Probability < 0.9 {
+			t.Fatalf("row %+v below min_prob", row)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("min_prob=0.9 matched nothing")
+	}
+
+	recs, err := latenttruth.QueryRecords(sn, latenttruth.RecordQueryOptions{Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for {
+		if _, ok := recs.Next(); !ok {
+			break
+		}
+		got++
+	}
+	if got != 5 || recs.NextCursor() == "" {
+		t.Fatalf("record page = %d rows, cursor %q", got, recs.NextCursor())
+	}
+
+	groups, err := latenttruth.QueryTruthAggregate(sn, latenttruth.AggBySource, latenttruth.TruthQueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != len(c.Dataset.Sources) {
+		t.Fatalf("%d source groups, want %d", len(groups), len(c.Dataset.Sources))
+	}
+
+	if _, err := latenttruth.QueryTruth(sn, latenttruth.TruthQueryOptions{Entity: "nope"}); err != latenttruth.ErrNoEntity {
+		t.Fatalf("unknown entity error = %v, want ErrNoEntity", err)
+	}
+}

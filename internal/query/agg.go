@@ -1,0 +1,127 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AggKind names a streaming rollup dimension.
+type AggKind string
+
+const (
+	// AggByEntity groups matching facts by their entity.
+	AggByEntity AggKind = "entity"
+	// AggBySource groups matching facts by the sources that claimed them.
+	AggBySource AggKind = "source"
+)
+
+// Valid reports whether k names a known rollup.
+func (k AggKind) Valid() bool { return k == AggByEntity || k == AggBySource }
+
+// Group is one rollup row. For AggByEntity, Facts counts the entity's
+// matching facts and the claim counters stay zero; for AggBySource, Facts
+// counts the facts the source positively claimed among the matches, and
+// PositiveClaims/NegativeClaims count all its claims on them.
+type Group struct {
+	Key       string  `json:"key"`
+	Facts     int     `json:"facts"`
+	Predicted int     `json:"predicted"`
+	MeanProb  float64 `json:"mean_prob"`
+	MaxProb   float64 `json:"max_prob"`
+
+	PositiveClaims int `json:"positive_claims,omitempty"`
+	NegativeClaims int `json:"negative_claims,omitempty"`
+}
+
+// accum is one group's running state.
+type accum struct {
+	facts     int
+	predicted int
+	sum       float64
+	max       float64
+	pos, neg  int
+}
+
+// fold adds fact f (probability p) to the accumulator.
+func (a *accum) fold(p float64, predicted bool) {
+	a.facts++
+	if predicted {
+		a.predicted++
+	}
+	a.sum += p
+	if a.facts == 1 || p > a.max {
+		a.max = p
+	}
+}
+
+// Aggregate streams the facts matching opts through a rollup keyed by
+// entity or source and returns the non-empty groups in id order. The
+// pipeline carries fact ids only: no intermediate row slice exists at any
+// point, and memory is O(groups) in the accumulator array.
+//
+// TopK, Limit and Cursor have no defined meaning for a rollup and are
+// rejected.
+func Aggregate(v *View, by AggKind, opts TruthOptions) ([]Group, error) {
+	if !by.Valid() {
+		return nil, fmt.Errorf("query: unknown aggregation %q", by)
+	}
+	if opts.TopK > 0 || opts.Limit > 0 || opts.Cursor != "" {
+		return nil, errors.New("query: aggregation cannot be combined with topk, limit or cursor")
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	it, err := compile(v, opts)
+	if err != nil {
+		return nil, err
+	}
+	ds := v.Dataset
+	var names []string
+	if by == AggByEntity {
+		names = ds.Entities
+	} else {
+		names = ds.Sources
+	}
+	accs := make([]accum, len(names))
+	for {
+		f, ok := it.next()
+		if !ok {
+			break
+		}
+		p := v.Prob[f]
+		predicted := p >= v.Threshold
+		if by == AggByEntity {
+			accs[ds.Facts[f].Entity].fold(p, predicted)
+			continue
+		}
+		for _, ci := range ds.ClaimsByFact[f] {
+			c := ds.Claims[ci]
+			a := &accs[c.Source]
+			if c.Observation {
+				a.pos++
+				a.fold(p, predicted)
+			} else {
+				a.neg++
+			}
+		}
+	}
+	groups := make([]Group, 0)
+	for id, a := range accs {
+		if a.facts == 0 && a.neg == 0 {
+			continue
+		}
+		g := Group{
+			Key:            names[id],
+			Facts:          a.facts,
+			Predicted:      a.predicted,
+			MaxProb:        a.max,
+			PositiveClaims: a.pos,
+			NegativeClaims: a.neg,
+		}
+		if a.facts > 0 {
+			g.MeanProb = a.sum / float64(a.facts)
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}

@@ -1,0 +1,67 @@
+package query
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrStaleCursor reports a cursor minted by a different snapshot. Fact ids
+// are only stable within one refit sequence number, so the caller must
+// restart pagination against the current snapshot; the HTTP layer maps
+// this to 410 Gone with a restart signal.
+var ErrStaleCursor = errors.New("query: cursor is from a different snapshot; restart pagination")
+
+// ErrBadCursor reports a cursor that does not decode at all (truncated,
+// corrupted, or not one of ours).
+var ErrBadCursor = errors.New("query: malformed cursor")
+
+// cursorV1 tags the cursor wire format: version, snapshot seq, next id.
+const cursorV1 = "q1"
+
+// encodeCursor packs a resume point — the snapshot's seq and the first id
+// not yet served — into an opaque URL-safe token.
+func encodeCursor(seq int64, next int) string {
+	raw := fmt.Sprintf("%s:%d:%d", cursorV1, seq, next)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+// decodeCursor unpacks a token minted by encodeCursor.
+func decodeCursor(s string) (seq int64, next int, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrBadCursor, err)
+	}
+	parts := strings.Split(string(raw), ":")
+	if len(parts) != 3 || parts[0] != cursorV1 {
+		return 0, 0, ErrBadCursor
+	}
+	seq, err = strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return 0, 0, ErrBadCursor
+	}
+	next, err = strconv.Atoi(parts[2])
+	if err != nil || next < 0 {
+		return 0, 0, ErrBadCursor
+	}
+	return seq, next, nil
+}
+
+// resolveCursor validates a request cursor against the view: empty means
+// start from the beginning, a matching seq yields the exact resume id, a
+// mismatched seq is the restart signal.
+func resolveCursor(v *View, cursor string) (next int, err error) {
+	if cursor == "" {
+		return 0, nil
+	}
+	seq, next, err := decodeCursor(cursor)
+	if err != nil {
+		return 0, err
+	}
+	if seq != v.Seq {
+		return 0, ErrStaleCursor
+	}
+	return next, nil
+}

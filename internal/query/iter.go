@@ -1,0 +1,113 @@
+package query
+
+import "sort"
+
+// factIter is the pull iterator every stage of a truth query pipeline
+// speaks: next returns fact ids in strictly increasing order until
+// exhaustion. Increasing order is the invariant pagination relies on — a
+// cursor is "resume at the first fact id >= n", which every source below
+// supports as a seek rather than a skip-scan.
+type factIter interface {
+	// next returns the next fact id, or ok=false at exhaustion.
+	next() (f int, ok bool)
+	// seek discards every fact id < n. It may only move forward.
+	seek(n int)
+}
+
+// rangeIter scans the dense fact-id space [pos, limit): the unconstrained
+// access path. seek is O(1).
+type rangeIter struct {
+	pos, limit int
+}
+
+func (it *rangeIter) next() (int, bool) {
+	if it.pos >= it.limit {
+		return 0, false
+	}
+	f := it.pos
+	it.pos++
+	return f, true
+}
+
+func (it *rangeIter) seek(n int) {
+	if n > it.pos {
+		it.pos = n
+	}
+}
+
+// sliceIter walks a pre-sorted fact-id list (an entity's fact list, or a
+// single resolved fact). seek binary-searches.
+type sliceIter struct {
+	ids []int
+	pos int
+}
+
+func (it *sliceIter) next() (int, bool) {
+	if it.pos >= len(it.ids) {
+		return 0, false
+	}
+	f := it.ids[it.pos]
+	it.pos++
+	return f, true
+}
+
+func (it *sliceIter) seek(n int) {
+	it.pos += sort.SearchInts(it.ids[it.pos:], n)
+}
+
+// postingsIter walks one source's claim postings and yields the facts the
+// source made a positive claim on. Claim indices are emitted in claim-table
+// order, which is fact-id order (model.Build emits claims fact-major), so
+// the increasing-id invariant holds and seek can binary-search the
+// postings by their claimed fact.
+type postingsIter struct {
+	facts func(claimIdx int) int // claim index -> fact id
+	pos   func(claimIdx int) bool
+	ids   []int // claim indices of the source, increasing
+	at    int
+}
+
+func (it *postingsIter) next() (int, bool) {
+	for it.at < len(it.ids) {
+		ci := it.ids[it.at]
+		it.at++
+		if it.pos(ci) {
+			return it.facts(ci), true
+		}
+	}
+	return 0, false
+}
+
+func (it *postingsIter) seek(n int) {
+	it.at += sort.Search(len(it.ids)-it.at, func(i int) bool {
+		return it.facts(it.ids[it.at+i]) >= n
+	})
+}
+
+// filterIter applies a residual predicate inside the pull loop — the
+// filter-during-scan discipline; rejected ids are skipped without any row
+// materialization.
+type filterIter struct {
+	in   factIter
+	keep func(f int) bool
+}
+
+func (it *filterIter) next() (int, bool) {
+	for {
+		f, ok := it.in.next()
+		if !ok {
+			return 0, false
+		}
+		if it.keep(f) {
+			return f, true
+		}
+	}
+}
+
+func (it *filterIter) seek(n int) { it.in.seek(n) }
+
+// emptyIter yields nothing (a name that resolved to no fact).
+type emptyIter struct{}
+
+func (emptyIter) next() (int, bool) { return 0, false }
+func (emptyIter) seek(int)          {}

@@ -1,0 +1,69 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+
+	"latenttruth/internal/integrate"
+)
+
+// RecordOptions selects and pages the integrated record table.
+type RecordOptions struct {
+	// Entity restricts to the single named record.
+	Entity string
+	// Limit, when > 0, ends the stream after Limit records.
+	Limit int
+	// Cursor resumes a previous listing on the same snapshot (entity-id
+	// based, same staleness contract as truth cursors).
+	Cursor string
+}
+
+// RecordRows streams integrated records in entity-id order.
+type RecordRows struct {
+	v *View
+	p pager
+}
+
+// Next returns the next record. The pointer aliases the snapshot's cached
+// record table; callers must not modify it.
+func (r *RecordRows) Next() (*integrate.Record, bool) {
+	e, ok := r.p.nextID()
+	if !ok {
+		return nil, false
+	}
+	return &r.v.Records[e], true
+}
+
+// NextCursor returns the resume token after the stream ends, or "".
+func (r *RecordRows) NextCursor() string { return r.p.next }
+
+// Records compiles opts into a streaming listing of the snapshot's
+// integrated record table (one merged record per entity, Definition 4).
+// Entity ids play the role fact ids play for truth queries: stable within
+// one snapshot, increasing along the stream.
+func Records(v *View, opts RecordOptions) (*RecordRows, error) {
+	if v.Records == nil {
+		return nil, errors.New("query: view has no record table")
+	}
+	if opts.Limit < 0 {
+		return nil, fmt.Errorf("query: limit %d must be non-negative", opts.Limit)
+	}
+	start, err := resolveCursor(v, opts.Cursor)
+	if err != nil {
+		return nil, err
+	}
+	var it factIter
+	if opts.Entity != "" {
+		e, ok := v.EntityByName[opts.Entity]
+		if !ok {
+			return nil, ErrNoEntity
+		}
+		it = &sliceIter{ids: []int{e}}
+	} else {
+		it = &rangeIter{limit: len(v.Records)}
+	}
+	if start > 0 {
+		it.seek(start)
+	}
+	return &RecordRows{v: v, p: pager{seq: v.Seq, it: it, limit: opts.Limit}}, nil
+}

@@ -1,14 +1,18 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"latenttruth/internal/integrate"
 	"latenttruth/internal/model"
+	"latenttruth/internal/query"
 )
 
 // maxClaimsBody bounds a POST /claims request body (32 MiB).
@@ -61,25 +65,98 @@ func (s *Server) rejectOnFollower(w http.ResponseWriter) bool {
 	if s.cfg.FollowerOf == "" {
 		return false
 	}
-	writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+	s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
 		"error":   ErrFollower.Error(),
 		"primary": s.cfg.FollowerOf,
 	})
 	return true
 }
 
-// writeJSON writes v as a JSON response.
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes v as a JSON response. Encode failures cannot change the
+// already-written status line, but they are never silent: each one is
+// logged and counted into the /stats encode_failures counter, so a
+// truncated large response (client gone, connection reset mid-stream) is
+// observable instead of masquerading as a clean 200.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.encodeFailure(err)
+	}
+}
+
+// encodeFailure accounts one failed response encode.
+func (s *Server) encodeFailure(err error) {
+	s.encodeFailures.Add(1)
+	s.logf("serve: encoding response: %v", err)
 }
 
 // writeError writes a JSON error envelope.
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// writeQueryError maps a query-engine error onto its HTTP status: the
+// typed not-found errors become 404, a stale cursor becomes 410 Gone with
+// an explicit restart signal, and anything else (bad parameters, malformed
+// cursors) is the client's 400.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNoEntity), errors.Is(err, ErrNoFact), errors.Is(err, ErrNoSource):
+		s.writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrStaleCursor):
+		s.writeJSON(w, http.StatusGone, map[string]any{"error": err.Error(), "restart": true})
+	default:
+		s.writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// jsonStream writes one JSON response incrementally: raw structural bytes
+// interleaved with values encoded one at a time through a reused buffer,
+// with the same encoding semantics as writeJSON (SetEscapeHTML off). The
+// first error latches and suppresses further writes.
+type jsonStream struct {
+	w   io.Writer
+	buf bytes.Buffer
+	enc *json.Encoder
+	err error
+}
+
+func newJSONStream(w io.Writer) *jsonStream {
+	js := &jsonStream{w: w}
+	js.enc = json.NewEncoder(&js.buf)
+	js.enc.SetEscapeHTML(false)
+	return js
+}
+
+// raw writes structural JSON verbatim.
+func (js *jsonStream) raw(s string) {
+	if js.err == nil {
+		_, js.err = io.WriteString(js.w, s)
+	}
+}
+
+// val encodes one value (without the encoder's trailing newline).
+func (js *jsonStream) val(v any) {
+	if js.err != nil {
+		return
+	}
+	js.buf.Reset()
+	if err := js.enc.Encode(v); err != nil {
+		js.err = err
+		return
+	}
+	b := js.buf.Bytes()
+	_, js.err = js.w.Write(b[:len(b)-1])
+}
+
+// finish accounts any latched stream error.
+func (s *Server) finish(js *jsonStream) {
+	if js.err != nil {
+		s.encodeFailure(js.err)
+	}
 }
 
 // errNoSnapshot is the 503 payload served before the first refit.
@@ -101,7 +178,7 @@ func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(body)
 	var raw json.RawMessage
 	if err := dec.Decode(&raw); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	var claims []claimJSON
@@ -110,16 +187,16 @@ func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
 			Claims []claimJSON `json:"claims"`
 		}
 		if err := json.Unmarshal(raw, &envelope); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			s.writeError(w, http.StatusBadRequest, err)
 			return
 		}
 		claims = envelope.Claims
 	} else if err := json.Unmarshal(raw, &claims); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if len(claims) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("serve: empty claim batch"))
+		s.writeError(w, http.StatusBadRequest, errors.New("serve: empty claim batch"))
 		return
 	}
 	rows := make([]model.Row, len(claims))
@@ -135,10 +212,10 @@ func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &bad) {
 			code = http.StatusBadRequest
 		}
-		writeError(w, code, err)
+		s.writeError(w, code, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]any{
+	s.writeJSON(w, http.StatusAccepted, map[string]any{
 		"accepted": n,
 		"pending":  s.ingest.Len(),
 		"total":    s.ingest.Total(),
@@ -146,7 +223,11 @@ func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
 }
 
 // truthResponse is the GET /truth payload. Facts always equals len(Rows);
-// the race tests use this pairing to detect torn snapshots.
+// the race tests use this pairing to detect torn snapshots. Filtered and
+// paginated responses carry "facts" (and "next_cursor" when more rows
+// remain) after "rows", because a streamed count is only known at
+// exhaustion; JSON field order is irrelevant to decoders and the
+// unfiltered layout is byte-identical to the pre-engine output.
 type truthResponse struct {
 	Seq       int64       `json:"seq"`
 	Mode      RefitPolicy `json:"mode"`
@@ -156,43 +237,150 @@ type truthResponse struct {
 	Rows      []TruthRow  `json:"rows"`
 }
 
+// truthQueryParams parses the query-engine parameters of GET /truth.
+func truthQueryParams(r *http.Request) (query.TruthOptions, query.AggKind, error) {
+	q := r.URL.Query()
+	opts := query.TruthOptions{
+		Entity:    q.Get("entity"),
+		Attribute: q.Get("attribute"),
+		Source:    q.Get("source"),
+		Cursor:    q.Get("cursor"),
+	}
+	if v := q.Get("min_prob"); v != "" {
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return opts, "", fmt.Errorf("serve: bad min_prob %q", v)
+		}
+		opts.MinProb = p
+	}
+	if v := q.Get("predicted"); v != "" {
+		p, err := strconv.ParseBool(v)
+		if err != nil {
+			return opts, "", fmt.Errorf("serve: bad predicted %q", v)
+		}
+		opts.Predicted = &p
+	}
+	if v := q.Get("topk"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil {
+			return opts, "", fmt.Errorf("serve: bad topk %q", v)
+		}
+		opts.TopK = k
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return opts, "", fmt.Errorf("serve: bad limit %q", v)
+		}
+		opts.Limit = n
+	}
+	agg := query.AggKind(q.Get("agg"))
+	if agg != "" && !agg.Valid() {
+		return opts, "", fmt.Errorf("serve: unknown aggregation %q", agg)
+	}
+	return opts, agg, nil
+}
+
+// legacyShape reports whether opts uses only the pre-engine parameters
+// (entity/attribute), whose response layout is kept byte-identical.
+func legacyShape(opts query.TruthOptions) bool {
+	return opts.Source == "" && opts.MinProb == 0 && opts.Predicted == nil &&
+		opts.TopK == 0 && opts.Limit == 0 && opts.Cursor == ""
+}
+
 func (s *Server) handleTruth(w http.ResponseWriter, r *http.Request) {
 	sn := s.Snapshot()
 	if sn == nil {
-		writeError(w, http.StatusServiceUnavailable, errNoSnapshot)
+		s.writeError(w, http.StatusServiceUnavailable, errNoSnapshot)
 		return
 	}
-	entity := r.URL.Query().Get("entity")
-	attribute := r.URL.Query().Get("attribute")
-	var rows []TruthRow
-	switch {
-	case entity != "" && attribute != "":
-		row, ok := sn.Truth(entity, attribute)
+	opts, agg, err := truthQueryParams(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if agg != "" {
+		groups, err := sn.QueryAggregate(agg, opts)
+		if err != nil {
+			s.writeQueryError(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"seq": sn.Seq, "agg": agg, "count": len(groups), "groups": groups,
+		})
+		return
+	}
+	rows, err := sn.QueryTruth(opts)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	// The unconstrained count is known up front, which lets the legacy
+	// field order stream unchanged; filtered streams learn theirs at
+	// exhaustion.
+	known := -1
+	if legacyShape(opts) {
+		switch {
+		case opts.Entity != "" && opts.Attribute != "":
+			known = 1
+		case opts.Entity != "":
+			known = len(sn.Dataset.FactsByEntity[sn.entityByName[opts.Entity]])
+		default:
+			known = sn.Dataset.NumFacts()
+		}
+	}
+	s.streamTruth(w, sn, rows, known)
+}
+
+// streamTruth writes a truth result straight into the response: envelope
+// prefix, one row at a time off the iterator, then the trailing count and
+// resume cursor when the count was not known up front. No row slice ever
+// exists; memory is O(1) in the result size.
+func (s *Server) streamTruth(w http.ResponseWriter, sn *Snapshot, rows *query.Rows, known int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	js := newJSONStream(w)
+	js.raw(`{"seq":`)
+	js.val(sn.Seq)
+	js.raw(`,"mode":`)
+	js.val(sn.Mode)
+	js.raw(`,"fitted_at":`)
+	js.val(sn.FittedAt)
+	js.raw(`,"threshold":`)
+	js.val(sn.Threshold)
+	if known >= 0 {
+		js.raw(`,"facts":`)
+		js.val(known)
+	}
+	js.raw(`,"rows":[`)
+	n := 0
+	for {
+		row, ok := rows.Next()
 		if !ok {
-			writeError(w, http.StatusNotFound, errors.New("serve: no such fact"))
-			return
+			break
 		}
-		rows = []TruthRow{row}
-	case entity != "":
-		var ok bool
-		if rows, ok = sn.EntityTruth(entity); !ok {
-			writeError(w, http.StatusNotFound, errors.New("serve: no such entity"))
-			return
+		if n > 0 {
+			js.raw(",")
 		}
-	case attribute != "":
-		writeError(w, http.StatusBadRequest, errors.New("serve: attribute filter requires entity"))
-		return
-	default:
-		rows = sn.AllTruth()
+		js.val(TruthRow{
+			Entity:      row.Entity,
+			Attribute:   row.Attribute,
+			Probability: row.Probability,
+			Predicted:   row.Predicted,
+		})
+		n++
 	}
-	writeJSON(w, http.StatusOK, truthResponse{
-		Seq:       sn.Seq,
-		Mode:      sn.Mode,
-		FittedAt:  sn.FittedAt,
-		Threshold: sn.Threshold,
-		Facts:     len(rows),
-		Rows:      rows,
-	})
+	js.raw("]")
+	if known < 0 {
+		js.raw(`,"facts":`)
+		js.val(n)
+		if c := rows.NextCursor(); c != "" {
+			js.raw(`,"next_cursor":`)
+			js.val(c)
+		}
+	}
+	js.raw("}\n")
+	s.finish(js)
 }
 
 // qualityJSON is the wire form of one source-quality row.
@@ -207,7 +395,7 @@ type qualityJSON struct {
 func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 	sn := s.Snapshot()
 	if sn == nil {
-		writeError(w, http.StatusServiceUnavailable, errNoSnapshot)
+		s.writeError(w, http.StatusServiceUnavailable, errNoSnapshot)
 		return
 	}
 	rows := make([]qualityJSON, len(sn.Quality))
@@ -220,7 +408,7 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 			Accuracy:    q.Accuracy,
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"seq": sn.Seq, "sources": rows})
+	s.writeJSON(w, http.StatusOK, map[string]any{"seq": sn.Seq, "sources": rows})
 }
 
 // attributeJSON and recordJSON are the wire forms of an integrated record.
@@ -253,27 +441,71 @@ func toAttrJSON(attrs []integrate.Attribute) []attributeJSON {
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	sn := s.Snapshot()
 	if sn == nil {
-		writeError(w, http.StatusServiceUnavailable, errNoSnapshot)
+		s.writeError(w, http.StatusServiceUnavailable, errNoSnapshot)
 		return
 	}
-	entity := r.URL.Query().Get("entity")
-	if entity == "" {
-		writeError(w, http.StatusBadRequest, errors.New("serve: records requires ?entity="))
+	q := r.URL.Query()
+	opts := query.RecordOptions{Entity: q.Get("entity"), Cursor: q.Get("cursor")}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad limit %q", v))
+			return
+		}
+		opts.Limit = n
+	}
+	// The pre-engine single-record lookup keeps its exact response shape.
+	if opts.Entity != "" && opts.Limit == 0 && opts.Cursor == "" {
+		rec, err := sn.Record(opts.Entity)
+		if err != nil {
+			s.writeQueryError(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"seq": sn.Seq,
+			"record": recordJSON{
+				Entity:     rec.Entity,
+				Attributes: toAttrJSON(rec.Attributes),
+				Rejected:   toAttrJSON(rec.Rejected),
+			},
+		})
 		return
 	}
-	rec, ok := sn.Record(entity)
-	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("serve: no such entity"))
+	rows, err := sn.QueryRecords(opts)
+	if err != nil {
+		s.writeQueryError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"seq": sn.Seq,
-		"record": recordJSON{
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	js := newJSONStream(w)
+	js.raw(`{"seq":`)
+	js.val(sn.Seq)
+	js.raw(`,"records":[`)
+	n := 0
+	for {
+		rec, ok := rows.Next()
+		if !ok {
+			break
+		}
+		if n > 0 {
+			js.raw(",")
+		}
+		js.val(recordJSON{
 			Entity:     rec.Entity,
 			Attributes: toAttrJSON(rec.Attributes),
 			Rejected:   toAttrJSON(rec.Rejected),
-		},
-	})
+		})
+		n++
+	}
+	js.raw(`],"count":`)
+	js.val(n)
+	if c := rows.NextCursor(); c != "" {
+		js.raw(`,"next_cursor":`)
+		js.val(c)
+	}
+	js.raw("}\n")
+	s.finish(js)
 }
 
 // statsResponse is the GET /stats payload.
@@ -288,6 +520,10 @@ type statsResponse struct {
 	FullRefits    int64       `json:"full_refits"`
 	LastRefitMS   float64     `json:"last_refit_ms"`
 	UptimeS       float64     `json:"uptime_s"`
+	// EncodeFailures counts responses whose JSON encoding (or socket
+	// write) failed after the status line was sent — the client saw a
+	// truncated body even though the status said OK.
+	EncodeFailures int64 `json:"encode_failures"`
 
 	Entities       int `json:"entities"`
 	Sources        int `json:"sources"`
@@ -301,12 +537,13 @@ type statsResponse struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	rs := s.Refits()
 	resp := statsResponse{
-		Policy:        s.cfg.Policy,
-		Pending:       s.ingest.Len(),
-		IngestedTotal: s.ingest.Total(),
-		Refits:        rs.Refits,
-		FullRefits:    rs.FullRefits,
-		UptimeS:       time.Since(s.started).Seconds(),
+		Policy:         s.cfg.Policy,
+		Pending:        s.ingest.Len(),
+		IngestedTotal:  s.ingest.Total(),
+		Refits:         rs.Refits,
+		FullRefits:     rs.FullRefits,
+		EncodeFailures: s.encodeFailures.Load(),
+		UptimeS:        time.Since(s.started).Seconds(),
 	}
 	if sn := s.Snapshot(); sn != nil {
 		resp.Ready = true
@@ -321,7 +558,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.NegativeClaims = sn.Stats.NegativeClaims
 		resp.Labeled = sn.Stats.Labeled
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -330,7 +567,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if sn := s.Snapshot(); sn != nil {
 		ready, seq = true, sn.Seq
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"ready":    ready,
 		"seq":      seq,
@@ -341,7 +578,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleDurability reports the WAL, checkpoint and recovery state:
 // {"enabled":false} on a memory-only server.
 func (s *Server) handleDurability(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.DurabilityStats())
+	s.writeJSON(w, http.StatusOK, s.DurabilityStats())
 }
 
 func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
@@ -350,19 +587,19 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 	}
 	override := RefitPolicy(r.URL.Query().Get("policy"))
 	if override != "" && !override.valid() {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown refit policy %q", override))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown refit policy %q", override))
 		return
 	}
 	sn, err := s.Refit(override)
 	switch {
 	case err == ErrNoData:
-		writeError(w, http.StatusConflict, err)
+		s.writeError(w, http.StatusConflict, err)
 		return
 	case err != nil:
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"seq":       sn.Seq,
 		"mode":      sn.Mode,
 		"compacted": sn.Compacted,

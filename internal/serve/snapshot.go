@@ -5,7 +5,19 @@ import (
 
 	"latenttruth/internal/integrate"
 	"latenttruth/internal/model"
+	"latenttruth/internal/query"
 	"latenttruth/internal/store"
+)
+
+// Typed not-found and cursor errors, shared with the query engine so the
+// snapshot accessors, the engine and the HTTP layer walk one error path
+// (the HTTP layer maps the not-found triple to 404 and the stale cursor
+// to 410 with a restart signal).
+var (
+	ErrNoEntity    = query.ErrNoEntity
+	ErrNoFact      = query.ErrNoFact
+	ErrNoSource    = query.ErrNoSource
+	ErrStaleCursor = query.ErrStaleCursor
 )
 
 // TruthRow is one row of the served truth table: a fact with its posterior
@@ -55,6 +67,9 @@ type Snapshot struct {
 	// entityByName indexes entity ids by name; Records shares the same
 	// order (integrate.Merge emits one record per entity in entity order).
 	entityByName map[string]int
+	// view is the query engine's window onto this snapshot (shares the
+	// dataset and indexes above; built once at publication).
+	view query.View
 }
 
 // newSnapshot derives the read models and freezes the serving state.
@@ -87,7 +102,25 @@ func newSnapshot(seq int64, ds *model.Dataset, res *model.Result,
 	for e, name := range ds.Entities {
 		sn.entityByName[name] = e
 	}
+	sn.view = query.View{
+		Seq:          sn.Seq,
+		Dataset:      ds,
+		Prob:         res.Prob,
+		Threshold:    threshold,
+		Records:      records,
+		FactByName:   sn.factByName,
+		EntityByName: sn.entityByName,
+	}
 	return sn, nil
+}
+
+// NewQuerySnapshot builds a standalone queryable snapshot from a fitted
+// dataset — the library entry point for running the streaming query engine
+// (QueryTruth, QueryRecords, QueryAggregate) over any fit without a
+// daemon. Seq is zero; pagination cursors minted by the snapshot stay
+// valid for its lifetime.
+func NewQuerySnapshot(ds *model.Dataset, res *model.Result, threshold float64) (*Snapshot, error) {
+	return newSnapshot(0, ds, res, nil, threshold, "", 0, 0)
 }
 
 // row materializes the truth row of fact f.
@@ -101,28 +134,33 @@ func (sn *Snapshot) row(f int) TruthRow {
 	}
 }
 
-// Truth returns the truth row of the named fact, if present.
-func (sn *Snapshot) Truth(entity, attribute string) (TruthRow, bool) {
+// Truth returns the truth row of the named fact. It fails with ErrNoEntity
+// when the entity is unknown and ErrNoFact when the entity exists but has
+// no such attribute.
+func (sn *Snapshot) Truth(entity, attribute string) (TruthRow, error) {
 	f, ok := sn.factByName[[2]string{entity, attribute}]
 	if !ok {
-		return TruthRow{}, false
+		if _, ok := sn.entityByName[entity]; !ok {
+			return TruthRow{}, ErrNoEntity
+		}
+		return TruthRow{}, ErrNoFact
 	}
-	return sn.row(f), true
+	return sn.row(f), nil
 }
 
 // EntityTruth returns the truth rows of every fact of the named entity, in
-// fact-id order. The second return reports whether the entity exists.
-func (sn *Snapshot) EntityTruth(entity string) ([]TruthRow, bool) {
+// fact-id order, or ErrNoEntity.
+func (sn *Snapshot) EntityTruth(entity string) ([]TruthRow, error) {
 	e, ok := sn.entityByName[entity]
 	if !ok {
-		return nil, false
+		return nil, ErrNoEntity
 	}
 	facts := sn.Dataset.FactsByEntity[e]
 	rows := make([]TruthRow, 0, len(facts))
 	for _, f := range facts {
 		rows = append(rows, sn.row(f))
 	}
-	return rows, true
+	return rows, nil
 }
 
 // AllTruth materializes the full truth table in fact-id order.
@@ -134,11 +172,34 @@ func (sn *Snapshot) AllTruth() []TruthRow {
 	return rows
 }
 
-// Record returns the cached integrated record of the named entity.
-func (sn *Snapshot) Record(entity string) (integrate.Record, bool) {
+// Record returns the cached integrated record of the named entity, or
+// ErrNoEntity.
+func (sn *Snapshot) Record(entity string) (integrate.Record, error) {
 	e, ok := sn.entityByName[entity]
 	if !ok {
-		return integrate.Record{}, false
+		return integrate.Record{}, ErrNoEntity
 	}
-	return sn.Records[e], true
+	return sn.Records[e], nil
+}
+
+// QueryTruth compiles opts against this snapshot and returns a streaming
+// result: predicates are evaluated inside the scan (using the snapshot's
+// fact/entity indexes to skip rather than scan when a filter is
+// selective), and nothing is materialized beyond the rows the caller
+// pulls. Pagination cursors minted here resume exactly on this snapshot
+// and fail with ErrStaleCursor on any other.
+func (sn *Snapshot) QueryTruth(opts query.TruthOptions) (*query.Rows, error) {
+	return query.Truth(&sn.view, opts)
+}
+
+// QueryRecords streams the integrated record table under the same
+// filter/pagination contract as QueryTruth.
+func (sn *Snapshot) QueryRecords(opts query.RecordOptions) (*query.RecordRows, error) {
+	return query.Records(&sn.view, opts)
+}
+
+// QueryAggregate folds the facts matching opts into per-entity or
+// per-source rollups without materializing any intermediate rows.
+func (sn *Snapshot) QueryAggregate(by query.AggKind, opts query.TruthOptions) ([]query.Group, error) {
+	return query.Aggregate(&sn.view, by, opts)
 }

@@ -1,0 +1,88 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestScaleCorpusShape(t *testing.T) {
+	const target = 50_000
+	ds, err := ScaleCorpus(ScaleSpec{Claims: target, Sources: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumClaims() < target {
+		t.Fatalf("claims = %d, want >= %d", ds.NumClaims(), target)
+	}
+	// Overshoot is bounded by one entity: max facts × full source pool.
+	if slack := ds.NumClaims() - target; slack > 64*12 {
+		t.Fatalf("overshot target by %d claims", slack)
+	}
+	if len(ds.Sources) != 12 {
+		t.Fatalf("sources = %d, want 12", len(ds.Sources))
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Labels) == 0 {
+		t.Fatal("no labeled facts")
+	}
+
+	// Zipfian skew: single-fact entities dominate, but a heavy tail of
+	// large entities exists.
+	singles, large := 0, 0
+	for _, facts := range ds.FactsByEntity {
+		switch {
+		case len(facts) == 1:
+			singles++
+		case len(facts) >= 16:
+			large++
+		}
+	}
+	if frac := float64(singles) / float64(len(ds.Entities)); frac < 0.5 {
+		t.Fatalf("single-fact entity fraction %.2f, want zipfian majority", frac)
+	}
+	if large == 0 {
+		t.Fatal("no large entities in the zipf tail")
+	}
+
+	// Per-source claim postings must be in increasing fact order — the
+	// layout the query engine's source scans binary-search over.
+	for s, claims := range ds.ClaimsBySource {
+		for i := 1; i < len(claims); i++ {
+			if ds.Claims[claims[i]].Fact <= ds.Claims[claims[i-1]].Fact {
+				t.Fatalf("source %d postings not fact-ordered at %d", s, i)
+			}
+		}
+	}
+}
+
+func TestScaleCorpusDeterminism(t *testing.T) {
+	a, err := ScaleCorpus(ScaleSpec{Claims: 10_000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScaleCorpus(ScaleSpec{Claims: 10_000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different corpora")
+	}
+	c, err := ScaleCorpus(ScaleSpec{Claims: 10_000, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Claims, c.Claims) {
+		t.Fatal("different seeds produced identical claims")
+	}
+}
+
+func TestScaleCorpusSpecValidation(t *testing.T) {
+	if _, err := ScaleCorpus(ScaleSpec{Claims: 0}); err == nil {
+		t.Fatal("zero claim target accepted")
+	}
+	if _, err := ScaleCorpus(ScaleSpec{Claims: 100, Sources: 1}); err == nil {
+		t.Fatal("single source accepted")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"latenttruth/internal/integrate"
 	"latenttruth/internal/ltmx"
 	"latenttruth/internal/model"
+	"latenttruth/internal/query"
 	"latenttruth/internal/replica"
 	"latenttruth/internal/serve"
 	"latenttruth/internal/shard"
@@ -331,6 +332,75 @@ const (
 // been ingested.
 var ErrNoServeData = serve.ErrNoData
 
+// Streaming queries (the lazy snapshot query engine behind GET /truth and
+// GET /records — composable iterators with predicate pushdown, stable
+// cursor pagination, bounded-heap top-k and zero-materialization rollups).
+type (
+	// TruthQueryOptions filters, orders and pages a truth query.
+	TruthQueryOptions = query.TruthOptions
+	// TruthQueryRow is one streamed truth row (TruthRow plus the fact id).
+	TruthQueryRow = query.Row
+	// TruthQueryRows is a lazy truth result; pull with Next, resume with
+	// NextCursor.
+	TruthQueryRows = query.Rows
+	// RecordQueryOptions selects and pages the integrated record table.
+	RecordQueryOptions = query.RecordOptions
+	// RecordQueryRows is a lazy record listing.
+	RecordQueryRows = query.RecordRows
+	// AggKind names a streaming rollup dimension (AggByEntity or
+	// AggBySource).
+	AggKind = query.AggKind
+	// AggGroup is one rollup row of QueryTruthAggregate.
+	AggGroup = query.Group
+)
+
+// The available rollup dimensions.
+const (
+	AggByEntity = query.AggByEntity
+	AggBySource = query.AggBySource
+)
+
+// Typed query errors: the not-found triple distinguishes which name failed
+// to resolve; ErrStaleCursor reports a pagination cursor minted on a
+// different snapshot (restart the scan on the current one).
+var (
+	ErrNoEntity    = query.ErrNoEntity
+	ErrNoFact      = query.ErrNoFact
+	ErrNoSource    = query.ErrNoSource
+	ErrStaleCursor = query.ErrStaleCursor
+)
+
+// NewTruthSnapshot builds a standalone queryable snapshot from any fitted
+// dataset — the library entry point for running the streaming query engine
+// over a fit without a serving daemon:
+//
+//	sn, _ := latenttruth.NewTruthSnapshot(ds, res.Result, 0.5)
+//	rows, _ := latenttruth.QueryTruth(sn, latenttruth.TruthQueryOptions{MinProb: 0.9})
+//	for { row, ok := rows.Next(); if !ok { break }; ... }
+func NewTruthSnapshot(ds *Dataset, res *Result, threshold float64) (*TruthSnapshot, error) {
+	return serve.NewQuerySnapshot(ds, res, threshold)
+}
+
+// QueryTruth compiles opts against sn and returns a lazy row stream:
+// predicates are evaluated inside the scan (selective filters skip via the
+// snapshot's indexes instead of scanning), and nothing is materialized
+// beyond the rows the caller pulls (top-k holds a k-bounded heap).
+func QueryTruth(sn *TruthSnapshot, opts TruthQueryOptions) (*TruthQueryRows, error) {
+	return sn.QueryTruth(opts)
+}
+
+// QueryRecords streams sn's integrated record table under the same
+// filter/pagination contract as QueryTruth.
+func QueryRecords(sn *TruthSnapshot, opts RecordQueryOptions) (*RecordQueryRows, error) {
+	return sn.QueryRecords(opts)
+}
+
+// QueryTruthAggregate folds the facts matching opts into per-entity or
+// per-source rollups without materializing intermediate rows.
+func QueryTruthAggregate(sn *TruthSnapshot, by AggKind, opts TruthQueryOptions) ([]AggGroup, error) {
+	return sn.QueryAggregate(by, opts)
+}
+
 // Durability (crash safety for the serving daemon: write-ahead log,
 // checkpointed snapshots, recovery on start).
 type (
@@ -458,6 +528,14 @@ func Table1Example() *Corpus { return synth.Table1Example() }
 
 // GenerateCorpus builds a corpus from a custom specification.
 func GenerateCorpus(spec CorpusSpec) (*Corpus, error) { return synth.Generate(spec) }
+
+// ScaleSpec parameterizes a load-scale corpus sized by total claim count
+// (zipfian entity sizes, configurable source pool, deterministic from
+// seed) for benchmarks and read-path load tests at 10⁶–10⁷ claims.
+type ScaleSpec = synth.ScaleSpec
+
+// ScaleCorpus generates a claim-count-targeted corpus.
+func ScaleCorpus(spec ScaleSpec) (*Dataset, error) { return synth.ScaleCorpus(spec) }
 
 // PaperSynthetic draws the dense synthetic dataset of §6.1.1.
 func PaperSynthetic(cfg PaperSyntheticConfig) (*Dataset, []SourceQuality, error) {
