@@ -972,6 +972,160 @@ func BenchmarkQueryTruthAgg(b *testing.B) {
 	}
 }
 
+// --- Dirty-entity incremental refits -----------------------------------------
+//
+// BenchmarkDirtyRefit{Pct01,Pct10,Full} measure the serving daemon's refit
+// cost as a function of the dirty-set size on a ≥10⁶-claim corpus: batches
+// touching 0.1% and 10% of the entities under the dirty policy, against
+// the full-refit baseline over the same corpus. The acceptance target is
+// Pct01 ≥10x faster than Full with zero decision flips (reported as a
+// metric by Pct01).
+
+var dirtyBench struct {
+	once     sync.Once
+	s        *latenttruth.TruthServer
+	entities []string
+	sources  []string
+	round    int
+	err      error
+}
+
+const dirtyBenchClaims = 1_000_000
+
+// dirtyBenchSetup generates the corpus, ingests it and runs the full
+// anchor fit once; every bench then mutates and refits the shared server
+// (the accumulated growth per iteration is negligible next to the corpus).
+func dirtyBenchSetup(b *testing.B) *latenttruth.TruthServer {
+	b.Helper()
+	dirtyBench.once.Do(func() {
+		ds, err := latenttruth.ScaleCorpus(latenttruth.ScaleSpec{
+			Claims: dirtyBenchClaims, Seed: 31,
+		})
+		if err != nil {
+			dirtyBench.err = err
+			return
+		}
+		var rows []latenttruth.Row
+		for _, c := range ds.Claims {
+			if c.Observation {
+				f := ds.Facts[c.Fact]
+				rows = append(rows, latenttruth.Row{
+					Entity:    ds.Entities[f.Entity],
+					Attribute: f.Attribute,
+					Source:    ds.Sources[c.Source],
+				})
+			}
+		}
+		s, err := latenttruth.NewTruthServer(latenttruth.ServeConfig{
+			LTM:           latenttruth.Config{Iterations: 25, BurnIn: 5, Seed: 7},
+			Policy:        latenttruth.RefitDirty,
+			FullEvery:     1 << 30, // dirty refits only; the anchor is explicit
+			RefitInterval: -1,
+			Shards:        8,
+		})
+		if err != nil {
+			dirtyBench.err = err
+			return
+		}
+		if _, err := s.Ingest(rows); err != nil {
+			dirtyBench.err = err
+			return
+		}
+		if _, err := s.Refit(""); err != nil { // full anchor fit
+			dirtyBench.err = err
+			return
+		}
+		dirtyBench.s = s
+		dirtyBench.entities = append([]string(nil), ds.Entities...)
+		dirtyBench.sources = []string{ds.Sources[0], ds.Sources[1%len(ds.Sources)]}
+	})
+	if dirtyBench.err != nil {
+		b.Fatal(dirtyBench.err)
+	}
+	return dirtyBench.s
+}
+
+// dirtyBenchBatch asserts one never-seen attribute for the first n
+// entities from two known sources — each round dirties exactly n entities.
+func dirtyBenchBatch(n, round int) []latenttruth.Row {
+	rows := make([]latenttruth.Row, 0, 2*n)
+	attr := fmt.Sprintf("dirty-%d", round)
+	for i := 0; i < n; i++ {
+		for _, src := range dirtyBench.sources {
+			rows = append(rows, latenttruth.Row{
+				Entity: dirtyBench.entities[i], Attribute: attr, Source: src,
+			})
+		}
+	}
+	return rows
+}
+
+func benchmarkDirtyRefit(b *testing.B, pct float64, override latenttruth.RefitPolicy, countFlips bool) {
+	s := dirtyBenchSetup(b)
+	n := int(float64(len(dirtyBench.entities)) * pct / 100)
+	if n < 1 {
+		n = 1
+	}
+	dirtied := make(map[string]bool, n)
+	for _, e := range dirtyBench.entities[:n] {
+		dirtied[e] = true
+	}
+	flips := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dirtyBench.round++
+		batch := dirtyBenchBatch(n, dirtyBench.round)
+		prev := s.Snapshot()
+		if _, err := s.Ingest(batch); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		sn, err := s.Refit(override)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := latenttruth.RefitDirty
+		if override != "" {
+			want = override
+		}
+		if sn.Mode != want {
+			b.Fatalf("refit mode %q, want %q", sn.Mode, want)
+		}
+		if countFlips {
+			// Zero-decision-flips check, off the clock: clean entities'
+			// thresholded decisions must survive every dirty refit bit-for-bit
+			// (the copy-on-write guarantee; dirty facts may legitimately move).
+			b.StopTimer()
+			for f := range prev.Result.Prob {
+				fact := prev.Dataset.Facts[f]
+				if dirtied[prev.Dataset.Entities[fact.Entity]] {
+					continue
+				}
+				if prev.Result.Predict(f, prev.Threshold) != sn.Result.Predict(f, sn.Threshold) {
+					flips++
+				}
+			}
+			b.StartTimer()
+		}
+	}
+	b.ReportMetric(float64(n), "dirty-entities")
+	if countFlips {
+		b.ReportMetric(float64(flips), "decision-flips")
+	}
+}
+
+func BenchmarkDirtyRefitPct01(b *testing.B) { benchmarkDirtyRefit(b, 0.1, "", true) }
+
+func BenchmarkDirtyRefitPct10(b *testing.B) { benchmarkDirtyRefit(b, 10, "", false) }
+
+// BenchmarkDirtyRefitFull is the baseline: the same 0.1% mutation load
+// refitted with a forced full fit — what every refit cost before the
+// dirty fast path.
+func BenchmarkDirtyRefitFull(b *testing.B) {
+	benchmarkDirtyRefit(b, 0.1, latenttruth.RefitFull, false)
+}
+
 // BenchmarkQueryTruthPaginated walks the full table in 1000-row pages,
 // re-entering through the cursor each page — the cost of a client
 // paginating to exhaustion, including cursor decode + seek per page.

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	truthserve [-addr :8080] [-policy full|incremental|online]
+//	truthserve [-addr :8080] [-policy full|incremental|online|dirty]
+//	           [-refit-dirty]
 //	           [-refit-interval 2s] [-full-every 10] [-min-batch 1]
 //	           [-threshold 0.5] [-iterations 100] [-seed 1]
 //	           [-shards 1] [-sync-every 5] [-preload triples.csv]
@@ -14,6 +15,13 @@
 //	           [-fsync-interval 100ms] [-segment-bytes 67108864]
 //	           [-retain-checkpoints 3]
 //	           [-follow http://primary:8080] [-follower-id name]
+//
+// With -policy dirty (or the -refit-dirty shorthand), each refit
+// re-sweeps only the entities touched since the last snapshot and
+// scatters the fresh posteriors into a copy-on-write probability vector —
+// refit cost scales with the dirty set, not the corpus — while
+// -full-every full refits re-anchor against drift. /stats reports the
+// staleness bound as freshness_ms.
 //
 // With -shards N (N > 1), full refits run the entity-sharded parallel
 // fitter — the cumulative dataset is partitioned by entity and swept
@@ -47,7 +55,7 @@
 //	GET  /stats
 //	GET  /healthz
 //	GET  /durability
-//	POST /refit   [?policy=full|incremental|online]
+//	POST /refit   [?policy=full|incremental|online|dirty]
 package main
 
 import (
@@ -75,7 +83,8 @@ func main() {
 func run() error {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
-		policy     = flag.String("policy", "full", "refit policy: full, incremental or online")
+		policy     = flag.String("policy", "full", "refit policy: full, incremental, online or dirty")
+		refitDirty = flag.Bool("refit-dirty", false, "shorthand for -policy dirty (dirty-entity delta refits)")
 		interval   = flag.Duration("refit-interval", 2*time.Second, "background refit period (0 disables the timer; use POST /refit)")
 		fullEvery  = flag.Int("full-every", 10, "force a full engine refit every n-th refit under the fast-path policies")
 		minBatch   = flag.Int("min-batch", 1, "pending claims required before a timed refit fires")
@@ -96,6 +105,13 @@ func run() error {
 		followerID = flag.String("follower-id", "", "replication cursor name on the primary (default: persisted random id)")
 	)
 	flag.Parse()
+
+	if *refitDirty {
+		if *policy != "full" && *policy != string(latenttruth.RefitDirty) {
+			return fmt.Errorf("-refit-dirty conflicts with -policy %s", *policy)
+		}
+		*policy = string(latenttruth.RefitDirty)
+	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	cfg := latenttruth.ServeConfig{

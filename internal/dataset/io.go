@@ -148,6 +148,85 @@ func WriteTruth(w io.Writer, ds *model.Dataset, res *model.Result, threshold flo
 	return cw.Error()
 }
 
+// PosteriorHeader is the canonical header of a posterior file.
+var PosteriorHeader = []string{"entity", "attribute", "probability"}
+
+// WritePosterior writes the per-fact posterior in fact-id order at full
+// float64 precision: FormatFloat with precision -1 emits the shortest
+// decimal that parses back to the identical bits, so a posterior written
+// here and read back with ReadPosterior is bit-exact. This is the file
+// that lets recovery and replication followers reconstruct the previous
+// snapshot's probabilities exactly — the starting point a dirty refit's
+// copy-on-write posterior is scattered into.
+func WritePosterior(w io.Writer, ds *model.Dataset, prob []float64) error {
+	if len(prob) != ds.NumFacts() {
+		return fmt.Errorf("dataset: posterior has %d scores for %d facts", len(prob), ds.NumFacts())
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(PosteriorHeader); err != nil {
+		return fmt.Errorf("dataset: writing posterior header: %w", err)
+	}
+	for _, f := range ds.Facts {
+		rec := []string{
+			ds.Entities[f.Entity],
+			f.Attribute,
+			strconv.FormatFloat(prob[f.ID], 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing posterior row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPosterior parses a posterior CSV (as written by WritePosterior) and
+// aligns it to ds, matching facts by entity and attribute name. Every fact
+// of ds must be covered and every row must name a known fact — anything
+// else means the posterior belongs to a different dataset.
+func ReadPosterior(r io.Reader, ds *model.Dataset) ([]float64, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	index := make(map[[2]string]int, ds.NumFacts())
+	for _, f := range ds.Facts {
+		index[[2]string{ds.Entities[f.Entity], f.Attribute}] = f.ID
+	}
+	prob := make([]float64, ds.NumFacts())
+	seen := make([]bool, ds.NumFacts())
+	line, n := 0, 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading posterior: %w", err)
+		}
+		line++
+		if line == 1 && rec[0] == PosteriorHeader[0] && rec[1] == PosteriorHeader[1] {
+			continue
+		}
+		f, ok := index[[2]string{rec[0], rec[1]}]
+		if !ok {
+			return nil, fmt.Errorf("dataset: posterior line %d: unknown fact (%q, %q)", line, rec[0], rec[1])
+		}
+		if seen[f] {
+			return nil, fmt.Errorf("dataset: posterior line %d: duplicate fact (%q, %q)", line, rec[0], rec[1])
+		}
+		v, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: posterior line %d: %w", line, err)
+		}
+		prob[f] = v
+		seen[f] = true
+		n++
+	}
+	if n != ds.NumFacts() {
+		return nil, fmt.Errorf("dataset: posterior covers %d of %d facts", n, ds.NumFacts())
+	}
+	return prob, nil
+}
+
 // QualityHeader is the canonical header of a source-quality file.
 var QualityHeader = []string{"source", "sensitivity", "specificity", "precision", "accuracy"}
 

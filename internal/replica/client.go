@@ -58,11 +58,13 @@ func (c *client) endpoint(path string, query url.Values) string {
 }
 
 // checkpointBundle is a downloaded checkpoint, CRC-verified and ready to
-// install.
+// install. posterior is nil when the primary's checkpoint predates
+// snapshot restoration (manifest PosteriorCRC zero).
 type checkpointBundle struct {
-	manifest wal.Manifest
-	triples  []byte
-	quality  []byte
+	manifest  wal.Manifest
+	triples   []byte
+	quality   []byte
+	posterior []byte
 }
 
 // fetchCheckpoint downloads and verifies the primary's newest checkpoint.
@@ -104,7 +106,8 @@ func (c *client) fetchCheckpoint(ctx context.Context) (*checkpointBundle, error)
 		parts[p.FileName()] = data
 	}
 
-	b := &checkpointBundle{triples: parts["triples.csv"], quality: parts["quality.csv"]}
+	b := &checkpointBundle{triples: parts["triples.csv"], quality: parts["quality.csv"],
+		posterior: parts[wal.PosteriorName]}
 	raw, ok := parts["MANIFEST.json"]
 	if !ok {
 		return nil, fmt.Errorf("replica: checkpoint stream is missing MANIFEST.json")
@@ -120,6 +123,17 @@ func (c *client) fetchCheckpoint(ctx context.Context) (*checkpointBundle, error)
 	}
 	if got := crc32.Checksum(b.quality, castagnoli); got != b.manifest.QualityCRC {
 		return nil, fmt.Errorf("replica: checkpoint quality CRC %08x, manifest says %08x", got, b.manifest.QualityCRC)
+	}
+	if b.manifest.PosteriorCRC != 0 {
+		if b.posterior == nil {
+			return nil, fmt.Errorf("replica: checkpoint stream is missing %s (manifest expects CRC %08x)",
+				wal.PosteriorName, b.manifest.PosteriorCRC)
+		}
+		if got := crc32.Checksum(b.posterior, castagnoli); got != b.manifest.PosteriorCRC {
+			return nil, fmt.Errorf("replica: checkpoint posterior CRC %08x, manifest says %08x", got, b.manifest.PosteriorCRC)
+		}
+	} else {
+		b.posterior = nil // an unexpected part is not installed unverified
 	}
 	return b, nil
 }

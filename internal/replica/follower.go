@@ -215,9 +215,14 @@ func installCheckpoint(dataDir string, b *checkpointBundle) error {
 	if err != nil {
 		return err
 	}
+	var posterior func(io.Writer) error
+	if b.posterior != nil {
+		posterior = func(w io.Writer) error { _, werr := w.Write(b.posterior); return werr }
+	}
 	return st.Write(b.manifest,
 		func(w io.Writer) error { _, werr := w.Write(b.triples); return werr },
-		func(w io.Writer) error { _, werr := w.Write(b.quality); return werr })
+		func(w io.Writer) error { _, werr := w.Write(b.quality); return werr },
+		posterior)
 }
 
 // publish swaps the serving server (and its cached handler).

@@ -10,7 +10,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"latenttruth/internal/core"
 	"latenttruth/internal/dataset"
+	"latenttruth/internal/model"
 	"latenttruth/internal/stream"
 	"latenttruth/internal/wal"
 )
@@ -130,6 +132,7 @@ func (s *Server) openDurable() error {
 		m := cp.Manifest
 		s.refits.Store(m.Refits)
 		s.fullRefits.Store(m.FullRefits)
+		s.dirtyRefits.Store(m.DirtyRefits)
 		s.walSeqCompacted.Store(m.WALSeq)
 		s.totalCompacted = m.IngestedTotal
 		s.ingest.restoreTotal(m.IngestedTotal)
@@ -159,13 +162,25 @@ func (s *Server) openDurable() error {
 	}
 	s.dur = d
 	s.repl = newReplTracker(rec.Log, s.cfg.Replication.withDefaults())
+	// Restore the published snapshot from the checkpoint's posterior before
+	// replaying the tail, so a refit marker replayed below (or the first
+	// dirty refit after startup) extends the exact previous posterior the
+	// checkpointed process had published. Requires restored policy state:
+	// without the accumulator the posterior alone cannot continue the
+	// fast-path refit chain, and the next (full) refit rebuilds everything.
+	if cp := rec.Checkpoint; cp != nil && s.online != nil {
+		if err := s.restoreSnapshot(cp); err != nil {
+			s.logf("serve: checkpoint %d: restoring published snapshot: %v (serving resumes at the next refit)",
+				cp.Manifest.Seq, err)
+		}
+	}
 	for _, b := range rec.Tail {
 		s.ingest.replay(b)
 		// A refit marker in the tail is a refit whose checkpoint never
 		// landed (the checkpoint write failed or the crash beat it):
 		// re-running it here reproduces the exact post-refit state — and
 		// re-attempts the missing checkpoint.
-		if ov, ok := parseRefitNote(b); ok {
+		if ov, _, ok := parseRefitNote(b); ok {
 			if _, err := s.refit(ov, false); err != nil && err != ErrNoData {
 				s.logf("serve: recovery: replaying refit marker seq=%d: %v", b.Seq, err)
 			}
@@ -181,6 +196,42 @@ func (s *Server) openDurable() error {
 			dcfg.DataDir, rec.Stats.CheckpointSeq, rec.Stats.CheckpointWALSeq,
 			rec.Stats.ReplayedBatches, rec.Stats.ReplayedRows, rec.Stats.TornBytes, rec.Stats.CorruptRecords)
 	}
+	return nil
+}
+
+// restoreSnapshot reconstructs the checkpointed serving snapshot: the
+// dataset is rebuilt from the recovered database (checkpoint triples only
+// at this point — the tail replays after), the posterior comes from the
+// checkpoint's posterior.csv bit-exactly, and the quality table from the
+// restored accumulator. Checkpoints without a posterior (pre-existing
+// directories) restore nothing and the server starts unpublished, exactly
+// the old behavior. Called during openDurable, before tail replay.
+func (s *Server) restoreSnapshot(cp *wal.Checkpoint) error {
+	if s.db.Len() == 0 {
+		return nil
+	}
+	ds := model.Build(s.db)
+	prob, ok, err := cp.ReadPosterior(ds)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	m := cp.Manifest
+	// Dirty snapshots inherit the method label of the full anchor whose
+	// posterior they extend, so only the closed-form policies report LTMinc.
+	method := "LTM"
+	if mode := RefitPolicy(m.Mode); mode == RefitIncremental || mode == RefitOnline {
+		method = "LTMinc"
+	}
+	snap, err := newSnapshot(m.Seq, ds, &model.Result{Method: method, Prob: prob},
+		core.RankedQuality(s.online.Quality()), s.cfg.Threshold, RefitPolicy(m.Mode), 0, 0, 0, nil)
+	if err != nil {
+		return err
+	}
+	snap.DirtyEntities = m.DirtyEntities
+	s.snap.Store(snap)
 	return nil
 }
 
@@ -207,7 +258,10 @@ func (s *Server) checkpoint(snap *Snapshot) {
 		ConfigHash:    d.configHash,
 		Refits:        s.refits.Load(),
 		FullRefits:    s.fullRefits.Load(),
+		DirtyRefits:   s.dirtyRefits.Load(),
 		IngestedTotal: s.totalCompacted,
+		Mode:          string(snap.Mode),
+		DirtyEntities: snap.DirtyEntities,
 	}
 	state, err := json.Marshal(s.online.State())
 	if err != nil {
@@ -215,9 +269,14 @@ func (s *Server) checkpoint(snap *Snapshot) {
 		return
 	}
 	m.Policy = state
+	// The posterior makes the checkpoint a full snapshot restore point:
+	// recovery (and a bootstrapping follower) reconstructs the published
+	// probabilities bit-exactly, so a subsequent dirty refit extends the
+	// same previous posterior the primary extended.
 	err = d.store.Write(m,
 		func(w io.Writer) error { return dataset.WriteTriples(w, s.db) },
-		func(w io.Writer) error { return dataset.WriteQuality(w, s.online.Quality()) })
+		func(w io.Writer) error { return dataset.WriteQuality(w, s.online.Quality()) },
+		func(w io.Writer) error { return dataset.WritePosterior(w, snap.Dataset, snap.Result.Prob) })
 	if err != nil {
 		s.checkpointFailed(err)
 		return

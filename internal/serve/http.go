@@ -518,8 +518,15 @@ type statsResponse struct {
 	IngestedTotal int64       `json:"ingested_total"`
 	Refits        int64       `json:"refits"`
 	FullRefits    int64       `json:"full_refits"`
+	DirtyRefits   int64       `json:"dirty_refits"`
 	LastRefitMS   float64     `json:"last_refit_ms"`
-	UptimeS       float64     `json:"uptime_s"`
+	// FreshnessMS is the published snapshot's ingest-to-publish staleness
+	// bound: how long its oldest folded row waited for publication.
+	FreshnessMS float64 `json:"freshness_ms"`
+	// DirtyEntities is the number of entities the last dirty refit
+	// re-swept (0 after a full/incremental/online refit).
+	DirtyEntities int     `json:"dirty_entities"`
+	UptimeS       float64 `json:"uptime_s"`
 	// EncodeFailures counts responses whose JSON encoding (or socket
 	// write) failed after the status line was sent — the client saw a
 	// truncated body even though the status said OK.
@@ -542,6 +549,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		IngestedTotal:  s.ingest.Total(),
 		Refits:         rs.Refits,
 		FullRefits:     rs.FullRefits,
+		DirtyRefits:    rs.DirtyRefits,
 		EncodeFailures: s.encodeFailures.Load(),
 		UptimeS:        time.Since(s.started).Seconds(),
 	}
@@ -550,6 +558,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Seq = sn.Seq
 		resp.Mode = sn.Mode
 		resp.LastRefitMS = float64(sn.RefitDuration) / float64(time.Millisecond)
+		resp.FreshnessMS = float64(sn.Freshness) / float64(time.Millisecond)
+		resp.DirtyEntities = sn.DirtyEntities
 		resp.Entities = sn.Stats.Entities
 		resp.Sources = sn.Stats.Sources
 		resp.Facts = sn.Stats.Facts
@@ -600,10 +610,12 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"seq":       sn.Seq,
-		"mode":      sn.Mode,
-		"compacted": sn.Compacted,
-		"facts":     sn.Stats.Facts,
-		"refit_ms":  float64(sn.RefitDuration) / float64(time.Millisecond),
+		"seq":            sn.Seq,
+		"mode":           sn.Mode,
+		"compacted":      sn.Compacted,
+		"dirty_entities": sn.DirtyEntities,
+		"facts":          sn.Stats.Facts,
+		"refit_ms":       float64(sn.RefitDuration) / float64(time.Millisecond),
+		"freshness_ms":   float64(sn.Freshness) / float64(time.Millisecond),
 	})
 }

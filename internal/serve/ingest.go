@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"latenttruth/internal/model"
 	"latenttruth/internal/wal"
@@ -26,9 +27,34 @@ type ingestLog struct {
 	// total counts rows accepted over the server's lifetime (restored
 	// across restarts from the checkpoint manifest plus the replayed tail).
 	total int64
+	// dirty is the set of entities touched by pending rows — the §5.4
+	// dirty-entity watermark the next refit's fast path re-sweeps. It is
+	// tracked on every accept path (primary, replicated, replay) so a
+	// follower or recovered process derives the same set the primary did.
+	dirty map[string]struct{}
+	// oldest is the arrival time of the oldest pending row (zero when
+	// nothing is pending); snapshot freshness is measured from it.
+	oldest time.Time
 	// notify, when non-nil, is invoked after every accepted append so
 	// replication long-polls wake without polling delay.
 	notify func()
+}
+
+// markDirty records rows' entities in the dirty set and stamps the
+// oldest-pending clock. Called under mu on every accept path.
+func (l *ingestLog) markDirty(rows []model.Row) {
+	if len(rows) == 0 {
+		return
+	}
+	if l.dirty == nil {
+		l.dirty = make(map[string]struct{})
+	}
+	for _, r := range rows {
+		l.dirty[r.Entity] = struct{}{}
+	}
+	if l.oldest.IsZero() {
+		l.oldest = time.Now()
+	}
 }
 
 // validateRow rejects triples that the data model cannot represent.
@@ -81,6 +107,7 @@ func (l *ingestLog) Append(rows []model.Row) (int, error) {
 		l.lastSeq = seq
 	}
 	l.pending = append(l.pending, rows...)
+	l.markDirty(rows)
 	l.total += int64(len(rows))
 	if l.notify != nil {
 		l.notify()
@@ -109,6 +136,7 @@ func (l *ingestLog) appendReplicated(b wal.Batch) error {
 	}
 	l.lastSeq = b.Seq
 	l.pending = append(l.pending, b.Rows...)
+	l.markDirty(b.Rows)
 	l.total += int64(len(b.Rows))
 	if l.notify != nil {
 		l.notify()
@@ -121,6 +149,7 @@ func (l *ingestLog) appendReplicated(b wal.Batch) error {
 func (l *ingestLog) replay(b wal.Batch) {
 	l.mu.Lock()
 	l.pending = append(l.pending, b.Rows...)
+	l.markDirty(b.Rows)
 	l.lastSeq = b.Seq
 	l.total += int64(len(b.Rows))
 	l.mu.Unlock()
@@ -140,48 +169,68 @@ func (l *ingestLog) restoreTotal(total int64) {
 	l.mu.Unlock()
 }
 
-// drainResult is a consistent cut of the log: the drained rows, the WAL
-// sequence number of the newest drained batch, and the lifetime total at
-// the instant of the cut. Refits persist lastSeq/total into the checkpoint
-// manifest so recovery replays exactly the batches after the cut.
+// drainResult is a consistent cut of the log: the drained rows, the
+// entities they touched, the arrival time of the oldest drained row, the
+// WAL sequence number of the newest drained batch, and the lifetime total
+// at the instant of the cut. Refits persist lastSeq/total into the
+// checkpoint manifest so recovery replays exactly the batches after the
+// cut; the dirty set and oldest stamp drive the dirty fast path and the
+// freshness metric.
 type drainResult struct {
 	rows    []model.Row
+	dirty   map[string]struct{}
+	oldest  time.Time
 	lastSeq uint64
 	total   int64
+}
+
+// cut captures and resets the drainable state. Called under mu.
+func (l *ingestLog) cut() drainResult {
+	dr := drainResult{rows: l.pending, dirty: l.dirty, oldest: l.oldest,
+		lastSeq: l.lastSeq, total: l.total}
+	l.pending = nil
+	l.dirty = nil
+	l.oldest = time.Time{}
+	return dr
 }
 
 // Drain removes and returns all pending rows with their WAL watermark.
 func (l *ingestLog) Drain() drainResult {
 	l.mu.Lock()
-	dr := drainResult{rows: l.pending, lastSeq: l.lastSeq, total: l.total}
-	l.pending = nil
-	l.mu.Unlock()
-	return dr
+	defer l.mu.Unlock()
+	return l.cut()
 }
 
 // DrainMark drains like Drain and, in the same critical section, appends a
-// refit-marker control record carrying note to the WAL. The marker sits
-// exactly at the drain cut, so a replication follower replaying the log
-// refits over precisely the rows this refit drained — the mechanism that
-// makes follower snapshots bit-identical to the primary's. A marker
-// append failure is returned alongside the (still valid) drain: the refit
-// proceeds, followers just wait for the next successful marker.
-func (l *ingestLog) DrainMark(note string) (drainResult, error) {
+// refit-marker control record to the WAL, with the note built from the
+// dirty-entity count at the cut (the watermark followers check their own
+// derived set against). The marker sits exactly at the drain cut, so a
+// replication follower replaying the log refits over precisely the rows
+// this refit drained — the mechanism that makes follower snapshots
+// bit-identical to the primary's. A marker append failure is returned
+// alongside the (still valid) drain: the refit proceeds, followers just
+// wait for the next successful marker.
+func (l *ingestLog) DrainMark(note func(dirtyEntities int) string) (drainResult, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var err error
 	if l.log != nil {
 		var seq uint64
-		if seq, err = l.log.AppendNote(note); err == nil {
+		if seq, err = l.log.AppendNote(note(len(l.dirty))); err == nil {
 			l.lastSeq = seq
 			if l.notify != nil {
 				l.notify()
 			}
 		}
 	}
-	dr := drainResult{rows: l.pending, lastSeq: l.lastSeq, total: l.total}
-	l.pending = nil
-	return dr, err
+	return l.cut(), err
+}
+
+// DirtyLen returns the number of distinct entities pending rows touch.
+func (l *ingestLog) DirtyLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.dirty)
 }
 
 // Len returns the number of pending rows.

@@ -3,15 +3,35 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"latenttruth/internal/core"
+	"latenttruth/internal/integrate"
 	"latenttruth/internal/model"
+	"latenttruth/internal/store"
 	"latenttruth/internal/stream"
 )
 
 // ErrNoData is returned by Refit when no claims have ever been ingested.
 var ErrNoData = errors.New("serve: no claims ingested yet")
+
+// refitCarry is the unpublished remainder of a refit attempt that failed
+// after its drain cut. The drained rows are already folded into the
+// cumulative database and, on a durable primary, the refit marker is
+// already in the WAL — so the failed attempt must be resolved (re-fit and
+// published, without a second marker or drain) before any new refit runs.
+// This is what keeps a live failed-fit primary from diverging against
+// followers that replayed the orphan marker, and keeps the compacted
+// row count from being lost across attempts.
+type refitCarry struct {
+	pending   bool
+	override  RefitPolicy
+	fresh     []model.Row
+	dirty     map[string]struct{}
+	oldest    time.Time
+	compacted int
+}
 
 // Refit drains the mutation log, compacts it into the cumulative dataset,
 // fits per the configured policy (override selects a specific policy for
@@ -19,8 +39,9 @@ var ErrNoData = errors.New("serve: no claims ingested yet")
 // new snapshot. Refits are serialized; readers keep serving the previous
 // snapshot until the atomic swap. Drained rows are folded into the
 // cumulative database before fitting, so a failed fit loses nothing — the
-// next refit covers them. On a durable server every published snapshot is
-// also checkpointed and the WAL truncated behind the retention window,
+// next refit resolves the failed attempt first (same rows, same marker)
+// and only then drains anew. On a durable server every published snapshot
+// is also checkpointed and the WAL truncated behind the retention window,
 // and a refit-marker control record is written at the drain cut so
 // replication followers replay the same refit over the same rows.
 //
@@ -46,25 +67,53 @@ func (s *Server) refit(override RefitPolicy, mark bool) (*Snapshot, error) {
 
 	// The no-data check precedes the drain so an empty server never logs a
 	// no-op refit marker.
-	if s.db.Len() == 0 && s.ingest.Len() == 0 {
+	if s.db.Len() == 0 && s.ingest.Len() == 0 && !s.carry.pending {
 		return nil, ErrNoData
 	}
 
-	// fresh keeps only the rows the cumulative database had not seen, so
-	// the online fast path never double-counts a retried batch.
+	// A pending carry is a drained-but-unpublished refit: its marker (if
+	// any) is already in the log, so it is resolved under its own override
+	// and WITHOUT a new marker. Followers replaying that orphan marker run
+	// the very refit this resolution reproduces, which is what keeps
+	// snapshot Seq aligned seq-for-seq. When the caller is itself a marker
+	// replay (mark=false) with nothing further pending, the resolution IS
+	// the requested refit.
+	if s.carry.pending {
+		snap, err := s.fitPublish(s.carry.override, drainResult{})
+		if err != nil {
+			return nil, err
+		}
+		if !mark && s.ingest.Len() == 0 {
+			return snap, nil
+		}
+	}
+
 	var dr drainResult
 	if mark {
 		var err error
-		if dr, err = s.ingest.DrainMark(refitNote(override)); err != nil {
+		if dr, err = s.ingest.DrainMark(func(dirty int) string {
+			return refitNote(override, dirty)
+		}); err != nil {
 			s.logf("serve: refit marker: %v (followers lag until the next marker)", err)
 		}
 	} else {
 		dr = s.ingest.Drain()
 	}
-	var fresh []model.Row
+	return s.fitPublish(override, dr)
+}
+
+// fitPublish folds the drained rows into the cumulative database, merges
+// any carried-over failed attempt, fits per policy, and publishes the
+// snapshot. Called under mu. On failure the merged drain state is stored
+// in s.carry so nothing — rows, dirty set, freshness clock, or the
+// compacted count — is lost across attempts.
+func (s *Server) fitPublish(override RefitPolicy, dr drainResult) (*Snapshot, error) {
+	// fresh keeps only the rows the cumulative database had not seen, so
+	// the online fast path never double-counts a retried batch.
+	var newFresh []model.Row
 	for _, r := range dr.rows {
 		if s.db.AddRow(r) {
-			fresh = append(fresh, r)
+			newFresh = append(newFresh, r)
 		}
 	}
 	// Drained rows are in db from here on (even if the fit below fails),
@@ -75,11 +124,27 @@ func (s *Server) refit(override RefitPolicy, mark bool) (*Snapshot, error) {
 	if dr.total > s.totalCompacted {
 		s.totalCompacted = dr.total
 	}
-	compacted := len(fresh)
-	ds := model.Build(s.db)
-	if err := s.ensureOnline(ds.NumFacts()); err != nil {
-		return nil, err
+
+	// Merge the carried failed attempt (if any) with this drain; from here
+	// until the publish succeeds, the merged state IS the carry.
+	fresh := append(append([]model.Row(nil), s.carry.fresh...), newFresh...)
+	dirty := make(map[string]struct{}, len(s.carry.dirty)+len(dr.dirty))
+	for e := range s.carry.dirty {
+		dirty[e] = struct{}{}
 	}
+	for e := range dr.dirty {
+		dirty[e] = struct{}{}
+	}
+	for _, r := range fresh {
+		dirty[r.Entity] = struct{}{}
+	}
+	oldest := s.carry.oldest
+	if oldest.IsZero() || (!dr.oldest.IsZero() && dr.oldest.Before(oldest)) {
+		oldest = dr.oldest
+	}
+	compacted := s.carry.compacted + len(newFresh)
+	s.carry = refitCarry{pending: true, override: override, fresh: fresh,
+		dirty: dirty, oldest: oldest, compacted: compacted}
 
 	policy := s.cfg.Policy
 	if override != "" {
@@ -89,50 +154,212 @@ func (s *Server) refit(override RefitPolicy, mark bool) (*Snapshot, error) {
 	// one under the fast-path policies, re-anchors quality with a full
 	// engine fit.
 	done := s.refits.Load()
-	full := policy == RefitFull || !s.online.HasQuality() ||
+	full := policy == RefitFull || s.online == nil || !s.online.HasQuality() ||
 		(s.cfg.FullEvery > 0 && done%int64(s.cfg.FullEvery) == 0)
+	prev := s.snap.Load()
+	if policy == RefitDirty && prev == nil {
+		// No previous snapshot to extend (first refit, or recovery without
+		// restorable serving state).
+		full = true
+	}
 
 	start := time.Now()
+	if s.testFitErr != nil {
+		if err := s.testFitErr(); err != nil {
+			return nil, err
+		}
+	}
 	var (
-		res     *model.Result
-		quality []model.SourceQuality
-		mode    RefitPolicy
-		err     error
+		ds            *model.Dataset
+		res           *model.Result
+		quality       []model.SourceQuality
+		mode          RefitPolicy
+		dirtyEntities int
+		records       []integrate.Record
 	)
-	if full {
-		var fit *core.FitResult
-		if fit, err = s.online.Refit(ds); err != nil {
-			return nil, fmt.Errorf("serve: full refit: %w", err)
+	fullFit := func(prepared *model.Dataset) error {
+		ds = prepared
+		if ds == nil {
+			ds = model.Build(s.db)
+		}
+		if err := s.ensureOnline(ds.NumFacts()); err != nil {
+			return err
+		}
+		fit, err := s.online.Refit(ds)
+		if err != nil {
+			return fmt.Errorf("serve: full refit: %w", err)
 		}
 		res, quality, mode = fit.Result, fit.Quality, RefitFull
-	} else {
+		return nil
+	}
+	switch {
+	case full:
+		if err := fullFit(nil); err != nil {
+			return nil, err
+		}
+	case policy == RefitDirty:
+		out, err := s.dirtyFit(prev, fresh, dirty)
+		if err != nil {
+			return nil, err
+		}
+		if out.fallback {
+			if err := fullFit(out.fallbackDS); err != nil {
+				return nil, err
+			}
+			break
+		}
+		ds, res, quality, records = out.ds, out.res, out.quality, out.records
+		mode, dirtyEntities = RefitDirty, out.dirtyEntities
+	default:
+		ds = model.Build(s.db)
 		if policy == RefitOnline && len(fresh) > 0 {
-			if err = s.stepBatch(fresh); err != nil {
+			if err := s.stepBatch(fresh); err != nil {
 				return nil, err
 			}
 		}
+		var err error
 		if res, err = s.online.Predict(ds); err != nil {
 			return nil, fmt.Errorf("serve: incremental refit: %w", err)
 		}
 		quality, mode = s.online.Quality(), policy
 	}
 
+	var freshness time.Duration
+	if !oldest.IsZero() {
+		freshness = time.Since(oldest)
+	}
 	snap, err := newSnapshot(done+1, ds, res, core.RankedQuality(quality),
-		s.cfg.Threshold, mode, time.Since(start), compacted)
+		s.cfg.Threshold, mode, time.Since(start), compacted, freshness, records)
 	if err != nil {
 		return nil, fmt.Errorf("serve: building snapshot: %w", err)
 	}
+	snap.DirtyEntities = dirtyEntities
+	s.carry = refitCarry{}
 	s.snap.Store(snap)
 	s.refits.Add(1)
-	if full {
+	if mode == RefitFull {
 		s.fullRefits.Add(1)
+	}
+	if mode == RefitDirty {
+		s.dirtyRefits.Add(1)
 	}
 	if s.dur != nil {
 		s.checkpoint(snap)
 	}
-	s.logf("serve: refit %d (%s): %d new rows, %s, %s",
-		snap.Seq, mode, compacted, snap.Stats, snap.RefitDuration.Round(time.Millisecond))
+	s.logf("serve: refit %d (%s): %d new rows (%d dirty entities), %s, %s",
+		snap.Seq, mode, compacted, len(dirty), snap.Stats, snap.RefitDuration.Round(time.Millisecond))
 	return snap, nil
+}
+
+// dirtyOutcome is the result of the dirty fast path; fallback asks the
+// caller to run a full fit instead (with fallbackDS when the extension
+// already produced the full dataset).
+type dirtyOutcome struct {
+	ds      *model.Dataset
+	res     *model.Result
+	quality []model.SourceQuality
+	// records are the merged records for ds, scattered incrementally from
+	// the previous snapshot (clean entities keep their record untouched).
+	records       []integrate.Record
+	dirtyEntities int
+	fallback      bool
+	fallbackDS    *model.Dataset
+}
+
+// dirtyFit is §5.4's incremental learning scoped to the entities a batch
+// touched: the previous snapshot's dataset is extended with the fresh rows
+// (clean entities' facts and claims are shared, not rebuilt), only the
+// dirty-entity sub-dataset is re-swept against the accumulated per-source
+// counts, and the new posteriors are scattered into a copy of the previous
+// probability vector — clean entities keep their truth bit-for-bit.
+// Called under mu.
+func (s *Server) dirtyFit(prev *Snapshot, fresh []model.Row, dirty map[string]struct{}) (dirtyOutcome, error) {
+	if len(dirty) == 0 {
+		// A forced refit with nothing pending: republish the previous
+		// serving state under the next sequence number.
+		return dirtyOutcome{ds: prev.Dataset, res: prev.Result, quality: prev.Quality,
+			records: prev.Records}, nil
+	}
+	ext, err := store.ExtendDirty(prev.Dataset, fresh, dirty)
+	if err != nil {
+		// A tracking invariant broke (should not happen); the full path is
+		// always correct, so fall back loudly rather than fail the refit.
+		s.logf("serve: dirty refit: %v; falling back to a full refit", err)
+		return dirtyOutcome{fallback: true}, nil
+	}
+	if ext.DirtyEntities == ext.Full.NumEntities() {
+		// Everything is dirty: there is no clean remainder to condition on,
+		// and a full fit over the (already extended) dataset is the exact
+		// answer.
+		return dirtyOutcome{fallback: true, fallbackDS: ext.Full}, nil
+	}
+	fit, err := s.online.StepDirty(ext.Sub, dirtyContribution(prev, dirty))
+	if err != nil {
+		return dirtyOutcome{}, fmt.Errorf("serve: dirty refit: %w", err)
+	}
+	// Copy-on-write posterior: prev facts are a prefix of the extended
+	// fact table, so the previous probabilities land index-for-index and
+	// the dirty facts are overwritten from the sub fit.
+	prob := make([]float64, ext.Full.NumFacts())
+	copy(prob, prev.Result.Prob)
+	for i, gf := range ext.SubFacts {
+		prob[gf] = fit.Prob[i]
+	}
+	// Copy-on-write read models: prev entities are a prefix of the extended
+	// entity table, so clean entities keep their merged record untouched and
+	// only the dirty (and new) entities' records are re-derived — from the
+	// sub fit alone, keeping snapshot construction O(dirty), not O(corpus).
+	subRecs, err := integrate.Merge(ext.Sub, fit.Result, s.cfg.Threshold)
+	if err != nil {
+		return dirtyOutcome{}, fmt.Errorf("serve: dirty refit: %w", err)
+	}
+	records := make([]integrate.Record, ext.Full.NumEntities())
+	copy(records, prev.Records)
+	for i, ge := range ext.SubEntities {
+		records[ge] = subRecs[i]
+	}
+	return dirtyOutcome{
+		ds:            ext.Full,
+		res:           &model.Result{Method: prev.Result.Method, Prob: prob},
+		quality:       s.online.Quality(),
+		records:       records,
+		dirtyEntities: ext.DirtyEntities,
+	}, nil
+}
+
+// dirtyContribution computes the dirty entities' expected confusion-count
+// contribution under the previous snapshot's posterior, keyed by source
+// name — the quantity StepDirty subtracts before re-fitting and replaces
+// after (counts += new − prev). Entities are walked in ascending id order
+// so the float accumulation order is deterministic across primaries,
+// followers and recovery.
+func dirtyContribution(prev *Snapshot, dirty map[string]struct{}) map[string][2][2]float64 {
+	ids := make([]int, 0, len(dirty))
+	for name := range dirty {
+		if e, ok := prev.entityByName[name]; ok {
+			ids = append(ids, e)
+		}
+	}
+	sort.Ints(ids)
+	ds, prob := prev.Dataset, prev.Result.Prob
+	out := make(map[string][2][2]float64)
+	for _, e := range ids {
+		for _, f := range ds.FactsByEntity[e] {
+			pt := prob[f]
+			for _, ci := range ds.ClaimsByFact[f] {
+				c := ds.Claims[ci]
+				o := 0
+				if c.Observation {
+					o = 1
+				}
+				acc := out[ds.Sources[c.Source]]
+				acc[1][o] += pt
+				acc[0][o] += 1 - pt
+				out[ds.Sources[c.Source]] = acc
+			}
+		}
+	}
+	return out
 }
 
 // stepBatch runs §5.4 full incremental learning on just the newly arrived
@@ -173,12 +400,17 @@ func (s *Server) ensureOnline(numFacts int) error {
 
 // RefitStats reports the server's refit counters.
 type RefitStats struct {
-	Refits     int64 `json:"refits"`
-	FullRefits int64 `json:"full_refits"`
+	Refits      int64 `json:"refits"`
+	FullRefits  int64 `json:"full_refits"`
+	DirtyRefits int64 `json:"dirty_refits"`
 }
 
 // Refits returns the completed refit counters. It reads atomics, not mu,
 // so stats queries are never blocked by an in-flight refit.
 func (s *Server) Refits() RefitStats {
-	return RefitStats{Refits: s.refits.Load(), FullRefits: s.fullRefits.Load()}
+	return RefitStats{
+		Refits:      s.refits.Load(),
+		FullRefits:  s.fullRefits.Load(),
+		DirtyRefits: s.dirtyRefits.Load(),
+	}
 }

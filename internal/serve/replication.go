@@ -92,18 +92,35 @@ func (r Replication) withDefaults() Replication {
 const refitNotePrefix = "refit:"
 
 // refitNote encodes a refit marker's note: the policy override the refit
-// ran under (empty for the configured policy).
-func refitNote(override RefitPolicy) string { return refitNotePrefix + string(override) }
+// ran under (empty for the configured policy) and the dirty-set watermark —
+// the number of distinct entities the drained rows touched at the cut. A
+// follower derives its own dirty set from the replicated batches; the
+// watermark lets it detect (and log) a divergence instead of silently
+// re-sweeping a different entity set.
+func refitNote(override RefitPolicy, dirtyEntities int) string {
+	return fmt.Sprintf("%s%s|dirty=%d", refitNotePrefix, override, dirtyEntities)
+}
 
 // parseRefitNote reports whether b is a refit marker and, if so, the
-// policy override it carries. Unknown control records are not markers:
+// policy override and dirty-set watermark it carries (-1 when the marker
+// predates the watermark). Unknown control records are not markers:
 // they replicate and persist but trigger nothing, which is what lets a
 // future primary add new control types without breaking old followers.
-func parseRefitNote(b wal.Batch) (RefitPolicy, bool) {
+func parseRefitNote(b wal.Batch) (RefitPolicy, int, bool) {
 	if !b.IsControl() || !strings.HasPrefix(b.Note, refitNotePrefix) {
-		return "", false
+		return "", -1, false
 	}
-	return RefitPolicy(strings.TrimPrefix(b.Note, refitNotePrefix)), true
+	rest := strings.TrimPrefix(b.Note, refitNotePrefix)
+	policy, attrs, ok := strings.Cut(rest, "|")
+	dirty := -1
+	if ok {
+		if v, found := strings.CutPrefix(attrs, "dirty="); found {
+			if n, err := strconv.Atoi(v); err == nil {
+				dirty = n
+			}
+		}
+	}
+	return RefitPolicy(policy), dirty, true
 }
 
 // notifier is a broadcast edge: Wait returns a channel that closes at the
@@ -247,12 +264,31 @@ func (s *Server) ApplyReplicated(b wal.Batch) error {
 			return err
 		}
 	}
-	if ov, ok := parseRefitNote(b); ok {
+	if ov, wantDirty, ok := parseRefitNote(b); ok {
+		// The watermark check is advisory: a mismatch means the follower's
+		// derived dirty set differs from what the primary drained at this
+		// marker (lost batch, divergent validation, version skew). The refit
+		// still runs — the FullEvery backstop re-converges state — but the
+		// divergence is surfaced instead of silent.
+		if wantDirty >= 0 && !s.carryPending() {
+			if have := s.ingest.DirtyLen(); have != wantDirty {
+				s.logf("serve: refit marker seq=%d carries dirty watermark %d, local pending set has %d entities (divergence?)",
+					b.Seq, wantDirty, have)
+			}
+		}
 		if _, err := s.refit(ov, false); err != nil && err != ErrNoData {
 			return fmt.Errorf("serve: replicated refit (marker seq=%d): %w", b.Seq, err)
 		}
 	}
 	return nil
+}
+
+// carryPending reports whether a drained-but-unpublished refit attempt is
+// outstanding (its dirty set has already left the ingest log).
+func (s *Server) carryPending() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.carry.pending
 }
 
 // NextReplicationSeq returns the sequence number of the first log record
@@ -286,7 +322,7 @@ func (s *Server) bootstrapFollowerSnapshot() error {
 		return err
 	}
 	snap, err := newSnapshot(s.refits.Load(), ds, res, core.RankedQuality(s.online.Quality()),
-		s.cfg.Threshold, RefitIncremental, 0, 0)
+		s.cfg.Threshold, RefitIncremental, 0, 0, 0, nil)
 	if err != nil {
 		return err
 	}
@@ -295,8 +331,11 @@ func (s *Server) bootstrapFollowerSnapshot() error {
 }
 
 // checkpointFiles is the fixed part order of a /replication/checkpoint
-// response: the manifest first so the receiver can verify the rest.
-var checkpointFiles = []string{"MANIFEST.json", "triples.csv", "quality.csv"}
+// response: the manifest first so the receiver can verify the rest. The
+// posterior part is optional — checkpoints written before snapshot
+// restoration existed don't have one, and the manifest's PosteriorCRC
+// tells the receiver whether to expect it.
+var checkpointFiles = []string{"MANIFEST.json", "triples.csv", "quality.csv", wal.PosteriorName}
 
 // handleReplCheckpoint streams the newest checkpoint as a multipart body.
 // The files are opened before anything is written, so a concurrent prune
@@ -313,6 +352,7 @@ func (s *Server) handleReplCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cp := cps[len(cps)-1]
+	names := make([]string, 0, len(checkpointFiles))
 	files := make([]*os.File, 0, len(checkpointFiles))
 	defer func() {
 		for _, f := range files {
@@ -321,16 +361,20 @@ func (s *Server) handleReplCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}()
 	for _, name := range checkpointFiles {
 		f, err := os.Open(filepath.Join(cp.Dir, name))
+		if os.IsNotExist(err) && name == wal.PosteriorName {
+			continue // older checkpoint without a posterior part
+		}
 		if err != nil {
 			s.writeError(w, http.StatusInternalServerError, err)
 			return
 		}
+		names = append(names, name)
 		files = append(files, f)
 	}
 	mw := multipart.NewWriter(w)
 	w.Header().Set("Content-Type", "multipart/mixed; boundary="+mw.Boundary())
 	w.Header().Set("X-Checkpoint-Seq", strconv.FormatInt(cp.Manifest.Seq, 10))
-	for i, name := range checkpointFiles {
+	for i, name := range names {
 		hdr := textproto.MIMEHeader{}
 		hdr.Set("Content-Disposition", fmt.Sprintf(`attachment; filename=%q`, name))
 		hdr.Set("Content-Type", "application/octet-stream")

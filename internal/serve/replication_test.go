@@ -102,8 +102,8 @@ func TestReplicationCheckpointEndpoint(t *testing.T) {
 	mustRefit(t, s)
 
 	parts := fetchCheckpointParts(t, ts.URL)
-	if len(parts) != 3 {
-		t.Fatalf("checkpoint has %d parts, want 3: %v", len(parts), parts)
+	if len(parts) != 4 {
+		t.Fatalf("checkpoint has %d parts, want 4 (manifest, triples, quality, posterior): %v", len(parts), parts)
 	}
 	var m wal.Manifest
 	if err := json.Unmarshal(parts["MANIFEST.json"], &m); err != nil {
@@ -120,6 +120,9 @@ func TestReplicationCheckpointEndpoint(t *testing.T) {
 	}
 	if got := crc32.Checksum(parts["quality.csv"], castagnoli); got != m.QualityCRC {
 		t.Fatalf("quality CRC %08x, manifest %08x", got, m.QualityCRC)
+	}
+	if got := crc32.Checksum(parts["posterior.csv"], castagnoli); got != m.PosteriorCRC {
+		t.Fatalf("posterior CRC %08x, manifest %08x", got, m.PosteriorCRC)
 	}
 
 	// Memory-only servers don't expose the endpoint at all.
@@ -147,7 +150,7 @@ func TestReplicationWALEndpoint(t *testing.T) {
 	if got[0].Seq != 1 || got[1].Seq != 2 || got[2].Seq != 3 {
 		t.Fatalf("sequences %d,%d,%d", got[0].Seq, got[1].Seq, got[2].Seq)
 	}
-	if ov, ok := parseRefitNote(got[1]); !ok || ov != "" {
+	if ov, _, ok := parseRefitNote(got[1]); !ok || ov != "" {
 		t.Fatalf("record 2 is not a bare refit marker: %+v", got[1])
 	}
 	if len(got[0].Rows) != len(batchRows(0)) {

@@ -30,12 +30,20 @@ const (
 	// incremental learning) before serving the LTMinc posterior, so source
 	// quality keeps learning from new claims between full refits.
 	RefitOnline RefitPolicy = "online"
+	// RefitDirty re-sweeps only the entities touched since the last refit:
+	// the cumulative dataset is extended in place (store.ExtendDirty), just
+	// the dirty-entity sub-dataset is re-fit against the accumulated
+	// per-source counts (stream.Online.StepDirty), and clean entities keep
+	// their posterior rows from the previous snapshot. Refit cost scales
+	// with the dirty set, not the corpus; FullEvery full refits remain the
+	// drift backstop.
+	RefitDirty RefitPolicy = "dirty"
 )
 
 // valid reports whether p names a known policy.
 func (p RefitPolicy) valid() bool {
 	switch p {
-	case RefitFull, RefitIncremental, RefitOnline:
+	case RefitFull, RefitIncremental, RefitOnline, RefitDirty:
 		return true
 	}
 	return false
@@ -52,8 +60,8 @@ type Config struct {
 	// Policy selects the refit strategy (default RefitFull).
 	Policy RefitPolicy
 	// FullEvery forces a full engine refit every n-th refit under the
-	// incremental and online policies (default 10; the first refit is
-	// always full). Ignored under RefitFull.
+	// incremental, online and dirty policies (default 10; the first refit
+	// is always full). Ignored under RefitFull.
 	FullEvery int
 	// RefitInterval is the background refit period (default 2s). Zero or
 	// negative disables the timer; refits then only happen via Refit (the
@@ -134,10 +142,22 @@ type Server struct {
 	// the data actually seen; stream.Online is not concurrency-safe, so all
 	// access happens under mu.
 	online *stream.Online
-	// refits counts completed refits; fullRefits the full-engine subset.
+	// refits counts completed refits; fullRefits the full-engine subset and
+	// dirtyRefits the dirty-fast-path subset.
 	// Written under mu, read atomically so /stats never waits on a refit.
-	refits     atomic.Int64
-	fullRefits atomic.Int64
+	refits      atomic.Int64
+	fullRefits  atomic.Int64
+	dirtyRefits atomic.Int64
+	// carry holds the unpublished remainder of a refit attempt that failed
+	// after its drain: the rows are already folded into db (and, on a
+	// durable primary, the refit marker is already in the WAL), so the next
+	// refit must publish them — without a second marker — before draining
+	// anything new. Guarded by mu.
+	carry refitCarry
+	// testFitErr, when non-nil, is consulted once per fit attempt; a
+	// non-nil return aborts the refit after the drain. Test-only injection
+	// point for the carry/orphan-marker paths.
+	testFitErr func() error
 	// encodeFailures counts responses whose JSON encoding or socket write
 	// failed mid-body; surfaced in /stats so truncated responses are
 	// observable instead of silently dropped.

@@ -53,14 +53,22 @@ type Snapshot struct {
 	// Threshold is the integration threshold the truth table was cut at.
 	Threshold float64
 	// Mode is the refit policy that produced this snapshot ("full",
-	// "incremental" or "online").
+	// "incremental", "online" or "dirty").
 	Mode RefitPolicy
 	// FittedAt and RefitDuration record when and how long the refit ran.
 	FittedAt      time.Time
 	RefitDuration time.Duration
 	// Compacted is the number of mutation-log rows folded into this
-	// snapshot's dataset (new rows, after de-duplication).
+	// snapshot's dataset (new rows, after de-duplication), including rows
+	// carried over from failed refit attempts.
 	Compacted int
+	// Freshness is the ingest-to-publish staleness bound: how long the
+	// oldest row folded into this snapshot waited between acceptance and
+	// publication (zero when the refit drained nothing).
+	Freshness time.Duration
+	// DirtyEntities is the number of entities the dirty fast path re-swept
+	// to produce this snapshot (zero for full/incremental/online refits).
+	DirtyEntities int
 
 	// factByName indexes fact ids by (entity, attribute) name.
 	factByName map[[2]string]int
@@ -73,13 +81,20 @@ type Snapshot struct {
 }
 
 // newSnapshot derives the read models and freezes the serving state.
+// records, when non-nil, are the precomputed merged records for ds (the
+// dirty fast path scatters them incrementally instead of re-merging the
+// whole corpus); nil derives them here.
 func newSnapshot(seq int64, ds *model.Dataset, res *model.Result,
 	quality []model.SourceQuality, threshold float64, mode RefitPolicy,
-	dur time.Duration, compacted int) (*Snapshot, error) {
+	dur time.Duration, compacted int, freshness time.Duration,
+	records []integrate.Record) (*Snapshot, error) {
 
-	records, err := integrate.Merge(ds, res, threshold)
-	if err != nil {
-		return nil, err
+	if records == nil {
+		var err error
+		records, err = integrate.Merge(ds, res, threshold)
+		if err != nil {
+			return nil, err
+		}
 	}
 	sn := &Snapshot{
 		Seq:           seq,
@@ -93,6 +108,7 @@ func newSnapshot(seq int64, ds *model.Dataset, res *model.Result,
 		FittedAt:      time.Now(),
 		RefitDuration: dur,
 		Compacted:     compacted,
+		Freshness:     freshness,
 		factByName:    make(map[[2]string]int, ds.NumFacts()),
 		entityByName:  make(map[string]int, len(ds.Entities)),
 	}
@@ -120,7 +136,7 @@ func newSnapshot(seq int64, ds *model.Dataset, res *model.Result,
 // daemon. Seq is zero; pagination cursors minted by the snapshot stay
 // valid for its lifetime.
 func NewQuerySnapshot(ds *model.Dataset, res *model.Result, threshold float64) (*Snapshot, error) {
-	return newSnapshot(0, ds, res, nil, threshold, "", 0, 0)
+	return newSnapshot(0, ds, res, nil, threshold, "", 0, 0, 0, nil)
 }
 
 // row materializes the truth row of fact f.

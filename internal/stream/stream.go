@@ -114,6 +114,83 @@ func (o *Online) Step(batch *model.Dataset) (*core.FitResult, error) {
 	return fit, nil
 }
 
+// StepDirty is the dirty-entity reconciliation of §5.4's incremental
+// learning: sub is the sub-dataset of just the entities a batch touched,
+// and prevContrib is those entities' expected-count contribution under the
+// previous posterior (keyed by source name; as computed by the serving
+// layer from the last published snapshot).
+//
+// The sub fit is conditioned on everything the accumulator knows about
+// each source from the clean remainder of the corpus: the per-source
+// priors are the base priors plus (accumulated counts − prevContrib), so
+// the dirty entities are re-estimated against quality evidence they did
+// not themselves produce. Afterwards the accumulator is reconciled with
+// the delta — counts += newContrib − prevContrib — which keeps it tracking
+// the cumulative expected counts without ever re-sweeping clean entities.
+// Negative cells (float cancellation noise between a sum and its partial
+// re-sum) are clamped to zero; the periodic full Refit re-anchors the
+// accumulator exactly, bounding any drift.
+//
+// When sharding is configured, the sub fit runs the entity-sharded fitter
+// with the shard count capped at the sub-dataset's entity count.
+func (o *Online) StepDirty(sub *model.Dataset, prevContrib map[string][2][2]float64) (*core.FitResult, error) {
+	cfg := o.base
+	sp := make(map[string]core.Priors, sub.NumSources())
+	for _, name := range sub.Sources {
+		var acc [2][2]float64
+		if a := o.counts[name]; a != nil {
+			acc = *a
+		}
+		if pc, ok := prevContrib[name]; ok {
+			for i := 0; i <= 1; i++ {
+				for j := 0; j <= 1; j++ {
+					acc[i][j] -= pc[i][j]
+					if acc[i][j] < 0 {
+						acc[i][j] = 0
+					}
+				}
+			}
+		}
+		sp[name] = core.Priors{
+			FP:   o.base.Priors.FP + acc[0][1],
+			TN:   o.base.Priors.TN + acc[0][0],
+			TP:   o.base.Priors.TP + acc[1][1],
+			FN:   o.base.Priors.FN + acc[1][0],
+			True: o.base.Priors.True,
+			Fls:  o.base.Priors.Fls,
+		}
+	}
+	cfg.SourcePriors = sp
+	shards := o.shards
+	if n := sub.NumEntities(); shards > n {
+		shards = n
+	}
+	fit, err := shard.Fit(sub, shard.Config{Shards: shards, SyncEvery: o.syncEvery, LTM: cfg})
+	if err != nil {
+		return nil, fmt.Errorf("stream: dirty step: %w", err)
+	}
+	e := core.ExpectedCounts(sub, fit.Prob)
+	for si, name := range sub.Sources {
+		acc, ok := o.counts[name]
+		if !ok {
+			acc = new([2][2]float64)
+			o.counts[name] = acc
+		}
+		pc := prevContrib[name]
+		for i := 0; i <= 1; i++ {
+			for j := 0; j <= 1; j++ {
+				acc[i][j] += e[si][i][j] - pc[i][j]
+				if acc[i][j] < 0 {
+					acc[i][j] = 0
+				}
+			}
+		}
+	}
+	o.batches++
+	o.factsSeen += sub.NumFacts()
+	return fit, nil
+}
+
 // Refit performs §5.4's "periodically the model can then be retrained
 // batch-style on the total cumulative data": it fits LTM once on the
 // supplied cumulative dataset with the base priors (no carried

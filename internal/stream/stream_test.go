@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"latenttruth/internal/core"
+	"latenttruth/internal/model"
 	"latenttruth/internal/store"
 	"latenttruth/internal/synth"
 )
@@ -380,4 +381,145 @@ func TestRestoreOnlineRejectsBadPriors(t *testing.T) {
 	if _, err := RestoreOnline(core.Config{}, State{}); err == nil {
 		t.Fatal("expected error restoring a state with zero priors")
 	}
+}
+
+// dirtyContrib computes the expected-count contribution of the given
+// entities under a posterior — the serving layer's input to StepDirty.
+func dirtyContrib(ds *model.Dataset, prob []float64, entities []int) map[string][2][2]float64 {
+	out := make(map[string][2][2]float64)
+	for _, e := range entities {
+		for _, f := range ds.FactsByEntity[e] {
+			pt := prob[f]
+			for _, ci := range ds.ClaimsByFact[f] {
+				c := ds.Claims[ci]
+				o := 0
+				if c.Observation {
+					o = 1
+				}
+				name := ds.Sources[c.Source]
+				acc := out[name]
+				acc[1][o] += pt
+				acc[0][o] += 1 - pt
+				out[name] = acc
+			}
+		}
+	}
+	return out
+}
+
+// TestStepDirtyReconcilesCounts: after a full Refit anchors the
+// accumulator, a StepDirty over a subset of entities must (a) keep the
+// accumulator close to the cumulative expected counts — within the float
+// cancellation noise of subtracting a partial sum — and (b) produce a fit
+// whose quality stays consistent with the generator's source separation.
+func TestStepDirtyReconcilesCounts(t *testing.T) {
+	c := testCorpus(t, 9)
+	o, err := NewOnline(core.Config{Priors: core.DefaultPriors(c.Dataset.NumFacts()), Seed: 3, Iterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := o.Refit(c.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-estimate the first third of the entities as "dirty" against the
+	// accumulated quality of the rest.
+	n := c.Dataset.NumEntities() / 3
+	var dirtyIDs []int
+	for e := 0; e < n; e++ {
+		dirtyIDs = append(dirtyIDs, e)
+	}
+	sub := store.FilterEntities(c.Dataset, func(e int, _ string) bool { return e < n })
+	prev := dirtyContrib(c.Dataset, full.Prob, dirtyIDs)
+
+	fit, err := o.StepDirty(sub, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fit.Prob) != sub.NumFacts() {
+		t.Fatalf("dirty fit has %d probs for %d sub facts", len(fit.Prob), sub.NumFacts())
+	}
+
+	// Reconstruct what the accumulator should hold: cumulative counts with
+	// the dirty entities' contribution replaced by the re-fit's.
+	newContrib := core.ExpectedCounts(sub, fit.Prob)
+	cum := core.ExpectedCounts(c.Dataset, full.Prob)
+	st := o.State()
+	for s, name := range c.Dataset.Sources {
+		var want [2][2]float64
+		want = cum[s]
+		pc := prev[name]
+		var nc [2][2]float64
+		for si, sn := range sub.Sources {
+			if sn == name {
+				nc = newContrib[si]
+				break
+			}
+		}
+		got := st.Counts[name]
+		for i := 0; i <= 1; i++ {
+			for j := 0; j <= 1; j++ {
+				w := want[i][j] - pc[i][j] + nc[i][j]
+				if w < 0 {
+					w = 0
+				}
+				if math.Abs(got[i][j]-w) > 1e-6*(1+math.Abs(w)) {
+					t.Fatalf("source %s counts[%d][%d] = %v, want %v", name, i, j, got[i][j], w)
+				}
+			}
+		}
+	}
+	if o.Batches() != 2 {
+		t.Fatalf("Batches = %d after Refit+StepDirty", o.Batches())
+	}
+}
+
+// TestStepDirtyNoOpDelta: re-fitting a dirty subset whose posterior does
+// not move must leave every clean source's accumulated counts exactly
+// unchanged for cells untouched by the subset (x + (y − y) = x holds
+// bitwise in IEEE arithmetic when y is finite).
+func TestStepDirtyUntouchedSourcesUnchanged(t *testing.T) {
+	c := testCorpus(t, 12)
+	o, err := NewOnline(core.Config{Priors: core.DefaultPriors(c.Dataset.NumFacts()), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Refit(c.Dataset); err != nil {
+		t.Fatal(err)
+	}
+	before := o.State()
+
+	// A sub-dataset covering only entity 0, with a synthetic source no other
+	// entity uses, must not perturb sources outside its cover at all beyond
+	// the delta arithmetic on the covering ones.
+	sub := store.FilterEntities(c.Dataset, func(e int, _ string) bool { return e == 0 })
+	prev := dirtyContrib(c.Dataset, o.mustProb(t, c.Dataset), []int{0})
+	if _, err := o.StepDirty(sub, prev); err != nil {
+		t.Fatal(err)
+	}
+	after := o.State()
+	covered := make(map[string]bool)
+	for _, s := range sub.Sources {
+		covered[s] = true
+	}
+	for name, b := range before.Counts {
+		if covered[name] {
+			continue
+		}
+		if after.Counts[name] != b {
+			t.Fatalf("uncovered source %s counts changed: %v -> %v", name, b, after.Counts[name])
+		}
+	}
+}
+
+// mustProb recomputes the posterior the accumulator's quality implies for
+// ds — a stand-in for "the previous snapshot's posterior" in tests.
+func (o *Online) mustProb(t *testing.T, ds *model.Dataset) []float64 {
+	t.Helper()
+	res, err := o.Predict(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Prob
 }

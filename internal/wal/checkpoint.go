@@ -29,14 +29,23 @@ import (
 // and offline tooling (dataset.ReadQuality): recovery itself restores the
 // accumulator from the manifest's policy state, which carries the counts
 // at full float64 precision where the CSV rounds to 6 decimals.
+// posterior.csv (optional; present when the serving layer checkpoints a
+// published snapshot) carries the per-fact posterior at full precision so
+// recovery and followers can reconstruct the previous snapshot exactly —
+// what makes a replayed dirty refit bit-identical to the original.
 const (
 	manifestName   = "MANIFEST.json"
 	triplesName    = "triples.csv"
 	qualityName    = "quality.csv"
+	posteriorName  = "posterior.csv"
 	chkPrefix      = "chk-"
 	chkTmpPrefix   = ".tmp-"
 	manifestFormat = 1
 )
+
+// PosteriorName is the file name of the optional posterior part, exported
+// for transports that ship checkpoint directories file-by-file.
+const PosteriorName = posteriorName
 
 // Manifest ties a checkpoint's files to the log position and serving state
 // they capture. Policy is opaque to this package: the serving layer stores
@@ -53,13 +62,24 @@ type Manifest struct {
 	// state; a mismatch on recovery means the policy state is not safely
 	// reusable (the triples always are).
 	ConfigHash string `json:"config_hash,omitempty"`
-	// Refits / FullRefits / IngestedTotal restore the server's counters.
+	// Refits / FullRefits / DirtyRefits / IngestedTotal restore the
+	// server's counters.
 	Refits        int64 `json:"refits"`
 	FullRefits    int64 `json:"full_refits"`
+	DirtyRefits   int64 `json:"dirty_refits,omitempty"`
 	IngestedTotal int64 `json:"ingested_total"`
 	// TriplesCRC / QualityCRC are CRC32C checksums of the sibling files.
 	TriplesCRC uint32 `json:"triples_crc"`
 	QualityCRC uint32 `json:"quality_crc"`
+	// PosteriorCRC is the CRC32C of the optional posterior.csv; zero means
+	// the checkpoint carries no posterior (written before snapshot
+	// restoration existed, or the serving layer had nothing published).
+	PosteriorCRC uint32 `json:"posterior_crc,omitempty"`
+	// Mode is the refit policy that produced the checkpointed snapshot and
+	// DirtyEntities its dirty fast-path sweep size — together the dirty-set
+	// watermark recovery reports for a restored partial refit.
+	Mode          string `json:"mode,omitempty"`
+	DirtyEntities int    `json:"dirty_entities,omitempty"`
 	// CreatedAt records when the checkpoint was written.
 	CreatedAt time.Time `json:"created_at"`
 	// Policy is the serving layer's opaque refit-policy state.
@@ -102,12 +122,13 @@ func checkpointDirName(seq int64) string {
 	return fmt.Sprintf("%s%016d", chkPrefix, seq)
 }
 
-// Write persists a checkpoint: triples and quality are produced by the
-// given writers (CRCs are computed in-line and recorded in the manifest),
+// Write persists a checkpoint: triples, quality and (optionally) the
+// posterior are produced by the given writers (CRCs are computed in-line
+// and recorded in the manifest; a nil posterior writer omits the file),
 // everything is fsynced in a temporary directory, and the directory is
 // atomically renamed into place. The parent directory is fsynced last, so
 // after Write returns the checkpoint survives power loss.
-func (st *Store) Write(m Manifest, triples, quality func(io.Writer) error) error {
+func (st *Store) Write(m Manifest, triples, quality, posterior func(io.Writer) error) error {
 	m.Format = manifestFormat
 	if m.CreatedAt.IsZero() {
 		m.CreatedAt = time.Now().UTC()
@@ -133,6 +154,13 @@ func (st *Store) Write(m Manifest, triples, quality func(io.Writer) error) error
 	}
 	if m.QualityCRC, err = writeFileCRC(filepath.Join(tmp, qualityName), quality); err != nil {
 		return err
+	}
+	if posterior != nil {
+		if m.PosteriorCRC, err = writeFileCRC(filepath.Join(tmp, posteriorName), posterior); err != nil {
+			return err
+		}
+	} else {
+		m.PosteriorCRC = 0
 	}
 	manifest, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
@@ -282,6 +310,26 @@ func (c Checkpoint) ReadQuality() ([]model.SourceQuality, error) {
 			c.Manifest.Seq, crc, c.Manifest.QualityCRC)
 	}
 	return q, nil
+}
+
+// ReadPosterior loads and CRC-verifies the checkpoint's per-fact posterior,
+// aligned to ds (the dataset built from the checkpoint's own triples).
+// Checkpoints without a posterior return (nil, false, nil).
+func (c Checkpoint) ReadPosterior(ds *model.Dataset) ([]float64, bool, error) {
+	if c.Manifest.PosteriorCRC == 0 {
+		return nil, false, nil
+	}
+	prob, crc, err := readCRC(filepath.Join(c.Dir, posteriorName), func(r io.Reader) ([]float64, error) {
+		return dataset.ReadPosterior(r, ds)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if crc != c.Manifest.PosteriorCRC {
+		return nil, false, fmt.Errorf("wal: checkpoint %d: posterior CRC mismatch (have %08x, manifest %08x)",
+			c.Manifest.Seq, crc, c.Manifest.PosteriorCRC)
+	}
+	return prob, true, nil
 }
 
 // readCRC parses path via fn while accumulating the CRC32C of every byte

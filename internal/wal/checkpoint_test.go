@@ -35,7 +35,8 @@ func writeTestCheckpoint(t *testing.T, st *Store, seq int64, walSeq uint64, n in
 	}
 	err := st.Write(m,
 		func(w io.Writer) error { return dataset.WriteTriples(w, db) },
-		func(w io.Writer) error { return dataset.WriteQuality(w, quality) })
+		func(w io.Writer) error { return dataset.WriteQuality(w, quality) },
+		nil)
 	if err != nil {
 		t.Fatalf("checkpoint write: %v", err)
 	}

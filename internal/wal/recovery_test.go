@@ -51,7 +51,10 @@ func buildDurableState(t *testing.T, dataDir string, nBatches, ckptBatches int) 
 		m := Manifest{Seq: 1, WALSeq: batches[ckptBatches-1].Seq, IngestedTotal: int64(3 * ckptBatches)}
 		err := rec.Store.Write(m,
 			func(w io.Writer) error { return dataset.WriteTriples(w, db) },
-			func(w io.Writer) error { return dataset.WriteQuality(w, []model.SourceQuality{{Source: "s", Sensitivity: 1, Specificity: 1, Precision: 1, Accuracy: 1}}) })
+			func(w io.Writer) error {
+				return dataset.WriteQuality(w, []model.SourceQuality{{Source: "s", Sensitivity: 1, Specificity: 1, Precision: 1, Accuracy: 1}})
+			},
+			nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +125,10 @@ func TestRecoverFallsBackToOlderCheckpoint(t *testing.T) {
 	}
 	err = st.Write(Manifest{Seq: 2, WALSeq: 5},
 		func(w io.Writer) error { return dataset.WriteTriples(w, db) },
-		func(w io.Writer) error { return dataset.WriteQuality(w, []model.SourceQuality{{Source: "s", Sensitivity: 1, Specificity: 1, Precision: 1, Accuracy: 1}}) })
+		func(w io.Writer) error {
+			return dataset.WriteQuality(w, []model.SourceQuality{{Source: "s", Sensitivity: 1, Specificity: 1, Precision: 1, Accuracy: 1}})
+		},
+		nil)
 	if err != nil {
 		t.Fatal(err)
 	}

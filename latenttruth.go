@@ -320,12 +320,14 @@ type (
 )
 
 // The available refit policies: full engine refit every time, the
-// sampling-free LTMinc fast path with periodic full re-anchoring, or §5.4
-// full incremental learning on each arrived batch.
+// sampling-free LTMinc fast path with periodic full re-anchoring, §5.4
+// full incremental learning on each arrived batch, or dirty-entity delta
+// refits that re-sweep only the entities the drained batches touched.
 const (
 	RefitFull        = serve.RefitFull
 	RefitIncremental = serve.RefitIncremental
 	RefitOnline      = serve.RefitOnline
+	RefitDirty       = serve.RefitDirty
 )
 
 // ErrNoServeData is returned by TruthServer.Refit before any claim has
