@@ -15,6 +15,7 @@
 //	           [-fsync-interval 100ms] [-segment-bytes 67108864]
 //	           [-retain-checkpoints 3]
 //	           [-follow http://primary:8080] [-follower-id name]
+//	           [-route http://p0:8080,http://p1:8080]
 //
 // With -policy dirty (or the -refit-dirty shorthand), each refit
 // re-sweeps only the entities touched since the last snapshot and
@@ -46,6 +47,15 @@
 // -threshold, ...) must match the primary's. The follower's own
 // /replication endpoints stay live, so replicas can chain.
 //
+// With -route, the daemon is a stateless cluster router instead of a
+// primary: the comma-separated URLs are independent primaries in
+// partition order, each owning an entity-hash range. POST /claims splits
+// the batch by entity hash and fans it out; GET /truth, /quality,
+// /records and /stats scatter-gather, with /quality merged exactly from
+// the partitions' confusion-count bases; GET /cluster reports topology
+// and per-partition health. A down partition 503s requests to its range
+// (with the partition id) while every other range keeps serving.
+//
 // Endpoints:
 //
 //	POST /claims  {"claims":[{"entity":"...","attribute":"...","source":"..."}]}
@@ -67,6 +77,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -91,6 +102,7 @@ func run() error {
 		threshold  = flag.Float64("threshold", 0.5, "integration threshold for the served truth table")
 		iterations = flag.Int("iterations", 0, "Gibbs iterations per full refit (0 = default 100)")
 		seed       = flag.Int64("seed", 1, "sampler seed")
+		priorFacts = flag.Int("prior-facts", 0, "pin priors to DefaultPriors(n) instead of resolving them from the local corpus size (set identically on every cluster partition)")
 		shards     = flag.Int("shards", 1, "entity shards for full refits (1 = single engine)")
 		syncEvery  = flag.Int("sync-every", 0, "shard count-sync interval in sweeps (1 = exact mode, 0 = default)")
 		preload    = flag.String("preload", "", "triples CSV to ingest before serving (optional)")
@@ -103,8 +115,26 @@ func run() error {
 
 		follow     = flag.String("follow", "", "run as a read replica of this primary URL (requires -data-dir)")
 		followerID = flag.String("follower-id", "", "replication cursor name on the primary (default: persisted random id)")
+
+		route = flag.String("route", "", "run as a stateless cluster router over these comma-separated primary URLs (partition order; no local model)")
 	)
 	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	if *route != "" {
+		if *dataDir != "" || *follow != "" || *preload != "" {
+			return errors.New("-route is a stateless mode: it conflicts with -data-dir, -follow and -preload")
+		}
+		rt, err := latenttruth.NewClusterRouter(latenttruth.ClusterConfig{
+			Partitions: strings.Split(*route, ","),
+			Logger:     logger,
+		})
+		if err != nil {
+			return err
+		}
+		return serveHTTP(*addr, rt.Handler(), logger,
+			fmt.Sprintf("routing %d partitions", len(strings.Split(*route, ","))))
+	}
 
 	if *refitDirty {
 		if *policy != "full" && *policy != string(latenttruth.RefitDirty) {
@@ -113,9 +143,18 @@ func run() error {
 		*policy = string(latenttruth.RefitDirty)
 	}
 
-	logger := log.New(os.Stderr, "", log.LstdFlags)
+	ltmCfg := latenttruth.Config{Iterations: *iterations, Seed: *seed}
+	if *priorFacts > 0 {
+		// The default priors scale with the corpus: each partition of a
+		// cluster would resolve different hyperparameters from its local
+		// fact count, and the router's /quality merge (correctly) refuses
+		// to sum confusion counts taken against mismatched bases. Pinning
+		// the scale here makes every partition agree.
+		ltmCfg.Priors = latenttruth.DefaultPriors(*priorFacts)
+	}
+
 	cfg := latenttruth.ServeConfig{
-		LTM:           latenttruth.Config{Iterations: *iterations, Seed: *seed},
+		LTM:           ltmCfg,
 		Threshold:     *threshold,
 		Policy:        latenttruth.RefitPolicy(*policy),
 		FullEvery:     *fullEvery,

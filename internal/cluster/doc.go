@@ -1,0 +1,36 @@
+// Package cluster scales the write path horizontally: N independent
+// serve.Server primaries each own an entity-hash range of the corpus, and
+// a stateless router splits ingest batches by entity hash, fans them out,
+// and scatter-gathers reads.
+//
+// The partitioning is the cluster-level form of the entity sharding in
+// internal/shard: every entity — and therefore every fact, claim, and
+// label — belongs to exactly one partition, so per-partition truth tables
+// concatenate losslessly and per-source expected confusion counts sum
+// exactly (no cell is ever counted twice). The router merges /quality by
+// summing each partition's count basis (GET /partition/quality) in
+// partition order and re-applying the one shared closed form
+// (core.QualityFromCounts) — the same reconcile-then-read-off shape as
+// shard.Fitter's sync barrier, lifted over HTTP.
+//
+// Equivalence to a single primary comes in two grades, mirroring the
+// repo's determinism ladder:
+//
+//   - Router losslessness (exact, any K, any policy): routed reads are
+//     bit-identical to the union/merge of the partitions' own responses.
+//     The cluster test suite asserts this at the byte level.
+//   - Cluster vs single primary: with K=1 the router forwards everything
+//     to the one partition in arrival order, so the fit — and every
+//     response — is value-identical to a single primary. With K>1 the
+//     partitions run uncoupled Gibbs chains (each estimates source
+//     quality from its own range), so probabilities and quality agree
+//     with a joint single-primary fit within a small drift bound and
+//     thresholded decisions match — the same contract the S>1 sharded
+//     fit documents, measured by the cluster equivalence suite.
+//
+// Each primary keeps its own WAL, checkpoints, refit loop and follower
+// fleet (internal/serve and internal/wal are reused unchanged), so
+// partition recovery is independent: killing one primary 503s writes to
+// its range (with the partition id) while every other range keeps
+// serving, and restarting it recovers bit-identically from its own log.
+package cluster

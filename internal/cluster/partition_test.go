@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"latenttruth/internal/model"
+	"latenttruth/internal/store"
+)
+
+func TestPartitionOfRangeAndDeterminism(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 16} {
+		for i := 0; i < 200; i++ {
+			e := fmt.Sprintf("entity-%d", i)
+			p := PartitionOf(e, k)
+			if p < 0 || p >= k {
+				t.Fatalf("PartitionOf(%q, %d) = %d out of range", e, k, p)
+			}
+			if q := PartitionOf(e, k); q != p {
+				t.Fatalf("PartitionOf(%q, %d) not deterministic: %d then %d", e, k, p, q)
+			}
+		}
+	}
+	if PartitionOf("anything", 1) != 0 || PartitionOf("anything", 0) != 0 {
+		t.Fatal("k <= 1 must collapse to partition 0")
+	}
+}
+
+// rowKey is a claim's multiset identity.
+func rowKey(r model.Row) string {
+	return r.Entity + "\x00" + r.Attribute + "\x00" + r.Source
+}
+
+// multiset folds rows into occurrence counts.
+func multiset(rows []model.Row) map[string]int {
+	m := make(map[string]int)
+	for _, r := range rows {
+		m[rowKey(r)]++
+	}
+	return m
+}
+
+// checkSplit asserts the SplitBatch contract on rows/k: no claim dropped,
+// duplicated, or cross-assigned; per-partition arrival order preserved;
+// concatenation reproduces the input multiset. Returns a description of
+// the first violation, empty when the split is lawful.
+func checkSplit(rows []model.Row, k int) string {
+	parts := SplitBatch(rows, k)
+	if len(parts) != k {
+		return fmt.Sprintf("got %d partitions, want %d", len(parts), k)
+	}
+	var concat []model.Row
+	for p, part := range parts {
+		for _, r := range part {
+			if own := PartitionOf(r.Entity, k); own != p {
+				return fmt.Sprintf("claim %+v cross-assigned to partition %d (owner %d)", r, p, own)
+			}
+		}
+		concat = append(concat, part...)
+	}
+	if len(concat) != len(rows) {
+		return fmt.Sprintf("split covers %d claims, input had %d", len(concat), len(rows))
+	}
+	want, got := multiset(rows), multiset(concat)
+	for key, n := range want {
+		if got[key] != n {
+			return fmt.Sprintf("claim %q: input ×%d, split ×%d", key, n, got[key])
+		}
+	}
+	// Arrival order within each partition must be the input's subsequence
+	// order: replaying the input and consuming each partition's head must
+	// drain every partition exactly.
+	idx := make([]int, k)
+	for _, r := range rows {
+		p := PartitionOf(r.Entity, k)
+		if idx[p] >= len(parts[p]) || parts[p][idx[p]] != r {
+			return fmt.Sprintf("partition %d does not preserve arrival order", p)
+		}
+		idx[p]++
+	}
+	return ""
+}
+
+func TestSplitBatchProperty(t *testing.T) {
+	f := func(seeds []uint16, k8 uint8) bool {
+		k := int(k8)%8 + 1
+		rows := make([]model.Row, len(seeds))
+		for i, s := range seeds {
+			rows[i] = model.Row{
+				Entity:    fmt.Sprintf("e%d", s%97),
+				Attribute: fmt.Sprintf("a%d", s%13),
+				Source:    fmt.Sprintf("s%d", s%5),
+			}
+		}
+		return checkSplit(rows, k) == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzSplitBatch hammers the splitter with arbitrary byte-derived batches:
+// whatever the entity names, the split must never drop, duplicate, or
+// cross-assign a claim, and the sub-batches must re-concatenate to the
+// input multiset in per-partition arrival order.
+func FuzzSplitBatch(f *testing.F) {
+	f.Add([]byte("alpha,beta,gamma,alpha,delta"), uint8(2))
+	f.Add([]byte(""), uint8(1))
+	f.Add([]byte("x,x,x,x,x,x"), uint8(7))
+	f.Add([]byte("caf\xc3\xa9,\xff\xfe,\x00odd"), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, k8 uint8) {
+		k := int(k8)%16 + 1
+		var rows []model.Row
+		for i, name := range strings.Split(string(data), ",") {
+			rows = append(rows, model.Row{
+				Entity:    name,
+				Attribute: fmt.Sprintf("attr%d", i%3),
+				Source:    fmt.Sprintf("src%d", i%2),
+			})
+		}
+		if msg := checkSplit(rows, k); msg != "" {
+			t.Fatalf("k=%d: %s", k, msg)
+		}
+	})
+}
+
+func TestValidateBatchNamesBadClaim(t *testing.T) {
+	rows := []model.Row{
+		{Entity: "ok", Attribute: "a", Source: "s"},
+		{Entity: "", Attribute: "a", Source: "s"},
+	}
+	err := ValidateBatch(rows)
+	if err == nil {
+		t.Fatal("expected validation error")
+	}
+	if !strings.Contains(err.Error(), "claim 1") {
+		t.Fatalf("error should name the claim index: %v", err)
+	}
+	if err := ValidateBatch(rows[:1]); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+}
+
+// buildCorpus makes a deterministic conflicting dataset for the splitter
+// property: entities with hash-diverse names, overlapping sources, labels.
+func buildCorpus(nE int) *model.Dataset {
+	db := model.NewRawDB()
+	for e := 0; e < nE; e++ {
+		entity := fmt.Sprintf("entity-%03d", e)
+		for s := 0; s < 4; s++ {
+			if (e+s)%3 == 0 {
+				continue
+			}
+			db.Add(entity, fmt.Sprintf("attr-%d-0", e), fmt.Sprintf("source-%d", s))
+			if s%2 == 0 {
+				db.Add(entity, fmt.Sprintf("attr-%d-1", e), fmt.Sprintf("source-%d", s))
+			}
+		}
+	}
+	ds := model.Build(db)
+	for _, f := range ds.FactsByEntity[0] {
+		ds.Labels[f] = true
+	}
+	for _, f := range ds.FactsByEntity[2] {
+		ds.Labels[f] = false
+	}
+	return ds
+}
+
+// claimSet and labelSet extract name-keyed multisets from a dataset, the
+// representation that is invariant under entity/source re-indexing.
+func claimSet(ds *model.Dataset) map[string]int {
+	m := make(map[string]int)
+	for _, c := range ds.Claims {
+		f := ds.Facts[c.Fact]
+		m[fmt.Sprintf("%s\x00%s\x00%s\x00%v",
+			ds.Entities[f.Entity], f.Attribute, ds.Sources[c.Source], c.Observation)]++
+	}
+	return m
+}
+
+func labelSet(ds *model.Dataset) map[string]bool {
+	m := make(map[string]bool)
+	for f, v := range ds.Labels {
+		fact := ds.Facts[f]
+		m[ds.Entities[fact.Entity]+"\x00"+fact.Attribute] = v
+	}
+	return m
+}
+
+// TestClusterSplitterPreservesDatasetMultiset extends the split/merge
+// property suite to the cluster splitter: partitioning a dataset by
+// entity hash (store.SplitEntitiesFunc over PartitionOf) and merging the
+// parts back preserves the claim/label multiset and the Summarize stats
+// for any K.
+func TestClusterSplitterPreservesDatasetMultiset(t *testing.T) {
+	ds := buildCorpus(29)
+	wantStats := store.Summarize(ds)
+	wantClaims, wantLabels := claimSet(ds), labelSet(ds)
+	for _, k := range []int{1, 2, 3, 4, 8, 31} {
+		parts := store.SplitEntitiesFunc(ds, k, func(_ int, name string) int {
+			return PartitionOf(name, k)
+		})
+		if len(parts) != k {
+			t.Fatalf("k=%d: got %d parts", k, len(parts))
+		}
+		merged := parts[0]
+		for _, p := range parts[1:] {
+			var err error
+			if merged, err = store.Merge(merged, p); err != nil {
+				t.Fatalf("k=%d: merge: %v", k, err)
+			}
+		}
+		if err := merged.Validate(); err != nil {
+			t.Fatalf("k=%d: merged dataset invalid: %v", k, err)
+		}
+		if got := store.Summarize(merged); got != wantStats {
+			t.Fatalf("k=%d: stats drifted:\n got %+v\nwant %+v", k, got, wantStats)
+		}
+		gotClaims, gotLabels := claimSet(merged), labelSet(merged)
+		if len(gotClaims) != len(wantClaims) {
+			t.Fatalf("k=%d: claim multiset size %d != %d", k, len(gotClaims), len(wantClaims))
+		}
+		for key, n := range wantClaims {
+			if gotClaims[key] != n {
+				t.Fatalf("k=%d: claim %q ×%d != ×%d", k, key, gotClaims[key], n)
+			}
+		}
+		if len(gotLabels) != len(wantLabels) {
+			t.Fatalf("k=%d: label set size %d != %d", k, len(gotLabels), len(wantLabels))
+		}
+		for key, v := range wantLabels {
+			if got, ok := gotLabels[key]; !ok || got != v {
+				t.Fatalf("k=%d: label %q = %v, want %v", k, key, got, v)
+			}
+		}
+		// Each part holds exactly the entities PartitionOf assigns it —
+		// the hash map a router would use to find them again.
+		for pi, p := range parts {
+			for _, name := range p.Entities {
+				if PartitionOf(name, k) != pi {
+					t.Fatalf("k=%d: entity %q in part %d, owner %d", k, name, pi, PartitionOf(name, k))
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionOfIsFNV1a pins the hash: the partition map is a wire-level
+// contract (routers and operators must agree across processes and
+// languages), so the function is FNV-1a 32-bit mod K, not an
+// implementation detail free to drift.
+func TestPartitionOfIsFNV1a(t *testing.T) {
+	for _, e := range []string{"", "a", "entity-42", "café"} {
+		h := fnv.New32a()
+		h.Write([]byte(e))
+		for _, k := range []int{2, 5, 16} {
+			if want := int(h.Sum32() % uint32(k)); PartitionOf(e, k) != want {
+				t.Fatalf("PartitionOf(%q, %d) = %d, want FNV-1a %d", e, k, PartitionOf(e, k), want)
+			}
+		}
+	}
+}

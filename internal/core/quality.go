@@ -38,19 +38,32 @@ func estimateQuality(ds *model.Dataset, prob []float64, cfg Config) (quality []m
 			sp.True, sp.Fls = p.True, p.Fls
 			p = sp
 		}
+		quality[s] = QualityFromCounts(ds.Sources[s], e[s], p)
 		tp, fn := e[s][1][1], e[s][1][0]
 		fp, tn := e[s][0][1], e[s][0][0]
 		sens[s] = (tp + p.TP) / (tp + fn + p.TP + p.FN)
 		fpr[s] = (fp + p.FP) / (fp + tn + p.FP + p.TN)
-		quality[s] = model.SourceQuality{
-			Source:      ds.Sources[s],
-			Sensitivity: sens[s],
-			Specificity: 1 - fpr[s],
-			Precision:   (tp + p.TP) / (tp + fp + p.TP + p.FP),
-			Accuracy:    (tp + tn + p.TP + p.TN) / (tp + tn + fp + fn + p.TP + p.TN + p.FP + p.FN),
-		}
 	}
 	return quality, sens, fpr
+}
+
+// QualityFromCounts returns the MAP quality row of one source given its
+// expected confusion counts e (indexed [truth][observation]) and priors p.
+// It is the single closed form shared by the batch estimator
+// (EstimateQuality), the streaming accumulator (stream.Online.Quality) and
+// the cluster-level cross-partition quality merge, so all of them produce
+// bit-identical rows from the same counts — the property the cluster
+// equivalence suite asserts.
+func QualityFromCounts(source string, e [2][2]float64, p Priors) model.SourceQuality {
+	tp, fn := e[1][1], e[1][0]
+	fp, tn := e[0][1], e[0][0]
+	return model.SourceQuality{
+		Source:      source,
+		Sensitivity: (tp + p.TP) / (tp + fn + p.TP + p.FN),
+		Specificity: 1 - (fp+p.FP)/(fp+tn+p.FP+p.TN),
+		Precision:   (tp + p.TP) / (tp + fp + p.TP + p.FP),
+		Accuracy:    (tp + tn + p.TP + p.TN) / (tp + tn + fp + fn + p.TP + p.TN + p.FP + p.FN),
+	}
 }
 
 // ExpectedCounts returns, for each source s, the expected confusion counts

@@ -231,6 +231,8 @@ func (s *Server) restoreSnapshot(cp *wal.Checkpoint) error {
 		return err
 	}
 	snap.DirtyEntities = m.DirtyEntities
+	st := s.online.State()
+	snap.QualityCounts, snap.QualityPriors = st.Counts, st.Priors
 	s.snap.Store(snap)
 	return nil
 }

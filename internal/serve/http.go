@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"latenttruth/internal/core"
 	"latenttruth/internal/integrate"
 	"latenttruth/internal/model"
 	"latenttruth/internal/query"
@@ -51,6 +52,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /durability", s.handleDurability)
 	mux.HandleFunc("POST /refit", s.handleRefit)
+	mux.HandleFunc("GET /partition/quality", s.handlePartitionQuality)
 	if s.dur != nil {
 		mux.HandleFunc("GET /replication/checkpoint", s.handleReplCheckpoint)
 		mux.HandleFunc("GET /replication/wal", s.handleReplWAL)
@@ -409,6 +411,46 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{"seq": sn.Seq, "sources": rows})
+}
+
+// PartitionQuality is the GET /partition/quality payload: the expected
+// confusion-count basis of the published quality table, for cluster-level
+// cross-partition merging. Counts and priors round-trip bit-exactly
+// through JSON (Go emits the shortest float64 representation that parses
+// back to the same bits), so a router that sums partitions' counts and
+// applies core.QualityFromCounts reconstructs each partition's own
+// /quality rows exactly when given a single partition's counts. Threshold
+// and priors let the router reject misconfigured clusters loudly instead
+// of merging incompatible bases.
+type PartitionQuality struct {
+	Seq       int64                    `json:"seq"`
+	Policy    RefitPolicy              `json:"policy"`
+	Threshold float64                  `json:"threshold"`
+	Priors    core.Priors              `json:"priors"`
+	Counts    map[string][2][2]float64 `json:"counts"`
+}
+
+// handlePartitionQuality serves the snapshot's quality-count basis. 503
+// before the first refit, or when recovery dropped the accumulator (a
+// config-hash mismatch) — the basis reappears at the next refit.
+func (s *Server) handlePartitionQuality(w http.ResponseWriter, r *http.Request) {
+	sn := s.Snapshot()
+	if sn == nil {
+		s.writeError(w, http.StatusServiceUnavailable, errNoSnapshot)
+		return
+	}
+	if sn.QualityCounts == nil {
+		s.writeError(w, http.StatusServiceUnavailable,
+			errors.New("serve: no quality counts on this snapshot (refit to rebuild)"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, PartitionQuality{
+		Seq:       sn.Seq,
+		Policy:    s.cfg.Policy,
+		Threshold: sn.Threshold,
+		Priors:    sn.QualityPriors,
+		Counts:    sn.QualityCounts,
+	})
 }
 
 // attributeJSON and recordJSON are the wire forms of an integrated record.

@@ -61,7 +61,15 @@ func (l *ingestLog) markDirty(rows []model.Row) {
 // Carriage returns and newlines are rejected because checkpoint files are
 // CSV and Go's CSV reader normalizes \r\n inside quoted fields — allowing
 // them would break the bit-exact recovery guarantee.
-func validateRow(r model.Row) error {
+func validateRow(r model.Row) error { return ValidateRow(r) }
+
+// ValidateRow rejects triples that the serving data model cannot
+// represent: empty components, and carriage returns or newlines (which
+// would break CSV checkpoint round-trips). It is exported so a cluster
+// router can pre-validate a batch before splitting it across partitions —
+// rejecting the whole batch up front preserves the all-or-nothing ingest
+// contract across a fan-out.
+func ValidateRow(r model.Row) error {
 	if r.Entity == "" || r.Attribute == "" || r.Source == "" {
 		return fmt.Errorf("serve: claim (%q, %q, %q) has an empty component",
 			r.Entity, r.Attribute, r.Source)

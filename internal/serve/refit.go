@@ -234,6 +234,15 @@ func (s *Server) fitPublish(override RefitPolicy, dr drainResult) (*Snapshot, er
 		return nil, fmt.Errorf("serve: building snapshot: %w", err)
 	}
 	snap.DirtyEntities = dirtyEntities
+	// Every policy's published quality is core.QualityFromCounts over the
+	// online accumulator's state (Refit replaces the counts with the full
+	// fit's expected counts; the fast paths serve the accumulator
+	// directly), so that state is the snapshot's quality basis for the
+	// cluster-level cross-partition merge.
+	if s.online != nil {
+		st := s.online.State()
+		snap.QualityCounts, snap.QualityPriors = st.Counts, st.Priors
+	}
 	s.carry = refitCarry{}
 	s.snap.Store(snap)
 	s.refits.Add(1)

@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"latenttruth/internal/core"
 	"latenttruth/internal/integrate"
 	"latenttruth/internal/model"
 	"latenttruth/internal/query"
@@ -69,6 +70,17 @@ type Snapshot struct {
 	// DirtyEntities is the number of entities the dirty fast path re-swept
 	// to produce this snapshot (zero for full/incremental/online refits).
 	DirtyEntities int
+	// QualityCounts is the per-source expected confusion-count basis of
+	// Quality — the streaming accumulator's state at publish time, keyed by
+	// source name and indexed [truth][observation]. Under every refit
+	// policy Quality equals core.QualityFromCounts over these cells plus
+	// QualityPriors, which is what lets a cluster router sum counts across
+	// partitions and re-apply the closed form to get a merged quality table
+	// on the same footing as a single fit. Nil on snapshots that predate a
+	// fit (e.g. recovery with a dropped accumulator).
+	QualityCounts map[string][2][2]float64
+	// QualityPriors are the base Beta priors paired with QualityCounts.
+	QualityPriors core.Priors
 
 	// factByName indexes fact ids by (entity, attribute) name.
 	factByName map[[2]string]int

@@ -224,16 +224,38 @@ func Merge(a, b *model.Dataset) (*model.Dataset, error) {
 // in entity order. It is the batch construction used by the streaming
 // examples and tests. k must be positive.
 func SplitEntities(ds *model.Dataset, k int) []*model.Dataset {
-	if k <= 0 {
-		panic("store: SplitEntities requires positive k")
-	}
 	n := ds.NumEntities()
+	return SplitEntitiesFunc(ds, k, func(e int, _ string) int {
+		// Contiguous near-equal ranges: entity e falls in partition i iff
+		// floor(i*n/k) <= e < floor((i+1)*n/k), whose closed-form inverse
+		// is i = floor(((e+1)*k - 1) / n).
+		return ((e+1)*k - 1) / n
+	})
+}
+
+// SplitEntitiesFunc partitions ds into k datasets by an arbitrary entity
+// assignment: assign maps an entity (dataset id + name) to a partition
+// index in [0, k). It is the general form behind SplitEntities and the
+// construction the cluster router's entity-hash partitioning mirrors: each
+// entity — and therefore each fact, claim, and label — lands in exactly
+// one partition, so concatenating the parts preserves the claim/label
+// multiset. k must be positive; assign results outside [0, k) panic.
+func SplitEntitiesFunc(ds *model.Dataset, k int, assign func(id int, name string) int) []*model.Dataset {
+	if k <= 0 {
+		panic("store: SplitEntitiesFunc requires positive k")
+	}
+	part := make([]int, ds.NumEntities())
+	for e, name := range ds.Entities {
+		p := assign(e, name)
+		if p < 0 || p >= k {
+			panic("store: SplitEntitiesFunc assignment out of range")
+		}
+		part[e] = p
+	}
 	out := make([]*model.Dataset, 0, k)
 	for i := 0; i < k; i++ {
-		lo := i * n / k
-		hi := (i + 1) * n / k
 		out = append(out, FilterEntities(ds, func(e int, _ string) bool {
-			return e >= lo && e < hi
+			return part[e] == i
 		}))
 	}
 	return out

@@ -279,26 +279,20 @@ func RestoreOnline(base core.Config, st State) (*Online, error) {
 }
 
 // Quality returns the current accumulated MAP quality estimate per source,
-// in lexicographic source-name order.
+// in lexicographic source-name order. Rows come from the same closed form
+// the batch estimator uses (core.QualityFromCounts), so a quality table
+// derived from accumulated counts is bit-identical to one derived from a
+// full fit whose expected counts match — the invariant the serving layer's
+// cross-partition quality merge depends on.
 func (o *Online) Quality() []model.SourceQuality {
 	names := make([]string, 0, len(o.counts))
 	for name := range o.counts {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	p := o.base.Priors
 	out := make([]model.SourceQuality, 0, len(names))
 	for _, name := range names {
-		e := o.counts[name]
-		tp, fn := e[1][1], e[1][0]
-		fp, tn := e[0][1], e[0][0]
-		out = append(out, model.SourceQuality{
-			Source:      name,
-			Sensitivity: (tp + p.TP) / (tp + fn + p.TP + p.FN),
-			Specificity: (tn + p.TN) / (tn + fp + p.TN + p.FP),
-			Precision:   (tp + p.TP) / (tp + fp + p.TP + p.FP),
-			Accuracy:    (tp + tn + p.TP + p.TN) / (tp + tn + fp + fn + p.TP + p.TN + p.FP + p.FN),
-		})
+		out = append(out, core.QualityFromCounts(name, *o.counts[name], o.base.Priors))
 	}
 	return out
 }

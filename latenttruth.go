@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"latenttruth/internal/baselines"
+	"latenttruth/internal/cluster"
 	"latenttruth/internal/core"
 	"latenttruth/internal/dataset"
 	"latenttruth/internal/eval"
@@ -579,4 +580,35 @@ func ReadQuality(r io.Reader) ([]SourceQuality, error) { return dataset.ReadQual
 // never observe a truncated or half-written file.
 func SaveFile(path string, write func(io.Writer) error) error {
 	return dataset.SaveFile(path, write)
+}
+
+// Multi-primary partitioned cluster: N independent primaries each own an
+// entity-hash range, fronted by a stateless scatter-gather router (see
+// internal/cluster's package documentation for the partitioning and
+// equivalence contract).
+type (
+	// ClusterRouter is the stateless scatter-gather front of a cluster.
+	ClusterRouter = cluster.Router
+	// ClusterConfig configures a ClusterRouter.
+	ClusterConfig = cluster.Config
+	// PartitionQuality is one partition's quality-count basis
+	// (GET /partition/quality), the input to MergeQuality.
+	PartitionQuality = serve.PartitionQuality
+)
+
+// NewClusterRouter validates the partition map and returns a router.
+func NewClusterRouter(cfg ClusterConfig) (*ClusterRouter, error) { return cluster.NewRouter(cfg) }
+
+// PartitionOf maps an entity to its owning partition in [0, k).
+func PartitionOf(entity string, k int) int { return cluster.PartitionOf(entity, k) }
+
+// SplitClaimBatch partitions a claim batch by entity hash into k
+// order-preserving, disjoint sub-batches.
+func SplitClaimBatch(rows []Row, k int) [][]Row { return cluster.SplitBatch(rows, k) }
+
+// MergeClusterQuality merges the partitions' quality-count bases into one
+// Table 8 via the shared closed form (bit-identical to a single fit over
+// the same counts).
+func MergeClusterQuality(parts []PartitionQuality) ([]SourceQuality, error) {
+	return cluster.MergeQuality(parts)
 }
