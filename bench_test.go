@@ -681,7 +681,7 @@ func walBenchRequestBody(b *testing.B) []byte {
 // every WAL variant, so the comparison stays apples-to-apples.
 const ingestResetEvery = 4096
 
-func benchmarkIngest(b *testing.B, durability latenttruth.DurabilityConfig) float64 {
+func benchmarkIngest(b *testing.B, durability latenttruth.DurabilityConfig, obs latenttruth.ObsConfig) float64 {
 	b.Helper()
 	body := walBenchRequestBody(b)
 	rowsPerBatch := len(walBenchBatch())
@@ -692,6 +692,7 @@ func benchmarkIngest(b *testing.B, durability latenttruth.DurabilityConfig) floa
 		s, err := latenttruth.NewTruthServer(latenttruth.ServeConfig{
 			RefitInterval: -1,
 			Durability:    durability,
+			Obs:           obs,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -736,7 +737,10 @@ func ingestBaselineSec(b *testing.B) float64 {
 	b.Helper()
 	ingestBaseline.Do(func() {
 		body := walBenchRequestBody(b)
-		s, err := latenttruth.NewTruthServer(latenttruth.ServeConfig{RefitInterval: -1})
+		s, err := latenttruth.NewTruthServer(latenttruth.ServeConfig{
+			RefitInterval: -1,
+			Obs:           latenttruth.ObsConfig{Disabled: true},
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -757,10 +761,23 @@ func ingestBaselineSec(b *testing.B) float64 {
 	return ingestBaseline.secPerOp
 }
 
-// BenchmarkIngestInMemory is the pre-durability baseline: the full
-// POST /claims path with nothing touching disk.
+// BenchmarkIngestInMemory is the pre-durability, pre-instrumentation
+// baseline: the full POST /claims path with nothing touching disk and
+// the metrics registry off (ObsConfig.Disabled), so its numbers stay
+// comparable with the committed history.
 func BenchmarkIngestInMemory(b *testing.B) {
-	benchmarkIngest(b, latenttruth.DurabilityConfig{})
+	benchmarkIngest(b, latenttruth.DurabilityConfig{}, latenttruth.ObsConfig{Disabled: true})
+}
+
+// BenchmarkIngestInstrumented is the same in-memory ingest path with the
+// default observability on — HTTP middleware, ingest counters, span
+// plumbing — and reports its cost over BenchmarkIngestInMemory. The
+// registry is atomic-counter cheap; the gate keeps it within noise of
+// the uninstrumented path.
+func BenchmarkIngestInstrumented(b *testing.B) {
+	base := ingestBaselineSec(b)
+	perOp := benchmarkIngest(b, latenttruth.DurabilityConfig{}, latenttruth.ObsConfig{})
+	b.ReportMetric((perOp-base)/base*100, "overhead-vs-memory-%")
 }
 
 func benchmarkWALAppend(b *testing.B, fsync latenttruth.FsyncPolicy) {
@@ -768,7 +785,7 @@ func benchmarkWALAppend(b *testing.B, fsync latenttruth.FsyncPolicy) {
 	perOp := benchmarkIngest(b, latenttruth.DurabilityConfig{
 		DataDir: "pending", // replaced with a fresh TempDir per server
 		Fsync:   fsync,
-	})
+	}, latenttruth.ObsConfig{Disabled: true})
 	b.ReportMetric((perOp-base)/base*100, "overhead-vs-memory-%")
 }
 

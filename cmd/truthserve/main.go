@@ -16,6 +16,8 @@
 //	           [-retain-checkpoints 3]
 //	           [-follow http://primary:8080] [-follower-id name]
 //	           [-route http://p0:8080,http://p1:8080]
+//	           [-log-level debug|info|warn|error] [-slow-request 1s]
+//	           [-pprof 127.0.0.1:6060]
 //
 // With -policy dirty (or the -refit-dirty shorthand), each refit
 // re-sweeps only the entities touched since the last snapshot and
@@ -56,6 +58,17 @@
 // and per-partition health. A down partition 503s requests to its range
 // (with the partition id) while every other range keeps serving.
 //
+// Every mode exposes GET /metrics in Prometheus text format: a primary
+// serves its own registry (request latency by route, refit phase
+// timings, WAL append/fsync, replication lag), a follower appends its
+// replica_* families, and a router scrapes every partition and serves
+// the rule-merged cluster-wide exposition. -slow-request logs requests
+// slower than the threshold; -log-level gates diagnostics; -pprof
+// serves net/http/pprof on a separate (keep it private) listener. The
+// build_info metric and /stats carry the version and commit baked in
+// via -ldflags "-X latenttruth/internal/obs.Version=... -X
+// latenttruth/internal/obs.Commit=...".
+//
 // Endpoints:
 //
 //	POST /claims  {"claims":[{"entity":"...","attribute":"...","source":"..."}]}
@@ -63,6 +76,7 @@
 //	GET  /quality
 //	GET  /records ?entity=...
 //	GET  /stats
+//	GET  /metrics
 //	GET  /healthz
 //	GET  /durability
 //	POST /refit   [?policy=full|incremental|online|dirty]
@@ -75,6 +89,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -117,10 +132,24 @@ func run() error {
 		followerID = flag.String("follower-id", "", "replication cursor name on the primary (default: persisted random id)")
 
 		route = flag.String("route", "", "run as a stateless cluster router over these comma-separated primary URLs (partition order; no local model)")
+
+		logLevel  = flag.String("log-level", "info", "minimum log severity: debug, info, warn or error")
+		slowReq   = flag.Duration("slow-request", time.Second, "log a warning for requests slower than this (0 disables)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this extra listener (e.g. 127.0.0.1:6060; keep it private)")
 	)
 	flag.Parse()
 
+	level, err := latenttruth.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	obsCfg := latenttruth.ObsConfig{SlowRequest: *slowReq, LogLevel: level}
+
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	logger.Printf("truthserve: version %s, commit %s", latenttruth.BuildVersion(), latenttruth.BuildCommit())
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr, logger)
+	}
 	if *route != "" {
 		if *dataDir != "" || *follow != "" || *preload != "" {
 			return errors.New("-route is a stateless mode: it conflicts with -data-dir, -follow and -preload")
@@ -128,6 +157,7 @@ func run() error {
 		rt, err := latenttruth.NewClusterRouter(latenttruth.ClusterConfig{
 			Partitions: strings.Split(*route, ","),
 			Logger:     logger,
+			Obs:        obsCfg,
 		})
 		if err != nil {
 			return err
@@ -170,6 +200,7 @@ func run() error {
 			RetainCheckpoints: *retain,
 		},
 		Logger: logger,
+		Obs:    obsCfg,
 	}
 
 	if *follow != "" {
@@ -180,10 +211,11 @@ func run() error {
 			return errors.New("-preload is a primary-side flag; a follower replicates its data")
 		}
 		f, err := latenttruth.StartFollower(latenttruth.ReplicaConfig{
-			Primary: *follow,
-			ID:      *followerID,
-			Serve:   cfg,
-			Logger:  logger,
+			Primary:  *follow,
+			ID:       *followerID,
+			Serve:    cfg,
+			Logger:   logger,
+			LogLevel: level,
 		})
 		if err != nil {
 			return err
@@ -229,6 +261,23 @@ func run() error {
 	defer srv.Close()
 	return serveHTTP(*addr, srv.Handler(), logger,
 		fmt.Sprintf("policy=%s, refit every %s", *policy, *interval))
+}
+
+// servePprof exposes the runtime profiles on their own listener, kept
+// off the public API handler so profiling never rides the serving port.
+// An explicit mux (not http.DefaultServeMux) keeps the surface to
+// exactly the pprof handlers.
+func servePprof(addr string, logger *log.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Printf("truthserve: pprof listening on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Printf("truthserve: pprof listener failed: %v", err)
+	}
 }
 
 // serveHTTP runs the HTTP front end until a shutdown signal.

@@ -105,6 +105,9 @@ var statsMergeRules = map[string]mergeRule{
 	"dirty_entities":  ruleSum,
 	"uptime_s":        ruleMin,
 	"encode_failures": ruleSum,
+	// A healthy cluster runs one build; "mixed" flags a rolling deploy.
+	"version":         ruleCommon,
+	"commit":          ruleCommon,
 	"entities":        ruleSum,
 	"sources":         ruleSources,
 	"facts":           ruleSum,

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"latenttruth/internal/obs"
+)
+
+// routerMetrics is the router's own instrument set: fan-out latency and
+// error counts per partition, plus the router_http_* request middleware.
+// These live in a router-owned registry whose family names are disjoint
+// from anything a partition exposes, so the merged partition scrape and
+// the router's own families concatenate into one valid exposition.
+type routerMetrics struct {
+	fanout     *obs.HistogramVec // cluster_fanout_seconds{partition}
+	partErrors *obs.CounterVec   // cluster_partition_errors_total{partition}
+}
+
+func newRouterMetrics(r *obs.Registry) *routerMetrics {
+	return &routerMetrics{
+		fanout: r.HistogramVec("cluster_fanout_seconds",
+			"Per-partition call latency inside a scatter-gather fan-out.",
+			nil, "partition"),
+		partErrors: r.CounterVec("cluster_partition_errors_total",
+			"Failed partition calls (fan-out legs and proxied requests).",
+			"partition"),
+	}
+}
+
+// observeLeg records one fan-out leg's outcome.
+func (m *routerMetrics) observeLeg(partition int, seconds float64, err error) {
+	if m == nil {
+		return
+	}
+	p := strconv.Itoa(partition)
+	m.fanout.With(p).Observe(seconds)
+	if err != nil {
+		m.partErrors.With(p).Inc()
+	}
+}
+
+// proxyError records a failed proxied (non-fan-out) partition call.
+func (m *routerMetrics) proxyError(partition int) {
+	if m == nil {
+		return
+	}
+	m.partErrors.With(strconv.Itoa(partition)).Inc()
+}
+
+// gaugeMergeRules assigns every gauge family a partition exposes its
+// cross-partition merge rule, mirroring the statsMergeRules contract:
+// counters and histograms always sum (partitions are disjoint in work),
+// but a gauge's semantics decide between sum, max and min — and a gauge
+// family absent from this table fails the merged /metrics scrape loudly,
+// so adding a gauge to serve without deciding its cluster semantics is
+// an error surfaced by the first scrape (and by the coverage test),
+// never a silently wrong default.
+var gaugeMergeRules = map[string]obs.GaugeRule{
+	// One per build: summing the constant-1 children counts members per
+	// (version, commit), which is exactly what a rolling deploy shows.
+	"build_info": obs.GaugeSum,
+	// The youngest member bounds how long the cluster has been up.
+	"process_uptime_seconds": obs.GaugeMin,
+	// Backlogs and workloads add across disjoint partitions.
+	"pending_mutations":    obs.GaugeSum,
+	"refit_dirty_entities": obs.GaugeSum,
+	"http_in_flight":       obs.GaugeSum,
+	// Cluster floors and staleness/lag bounds, matching /stats semantics
+	// (seq is the refit round every partition has reached; freshness and
+	// follower lag are the worst case a cluster client must assume).
+	"snapshot_seq":                     obs.GaugeMin,
+	"refit_freshness_seconds":          obs.GaugeMax,
+	"replication_follower_lag_batches": obs.GaugeMax,
+	// Follower families, for scraping a replica fleet through the same
+	// merger: caught-up is an AND (min over 0/1), applied seq a head max.
+	"replica_caught_up":        obs.GaugeMin,
+	"replica_last_applied_seq": obs.GaugeMax,
+}
+
+// GaugeMergeRuleNames returns the gauge families covered by the rule
+// table, for the coverage test that pins the table to serve's registry.
+func GaugeMergeRuleNames() []string {
+	names := make([]string, 0, len(gaugeMergeRules))
+	for n := range gaugeMergeRules {
+		names = append(names, n)
+	}
+	return names
+}
+
+// getRaw fetches path from partition p as raw bytes (the /metrics scrape
+// is text exposition, not JSON).
+func (rt *Router) getRaw(r *http.Request, p int, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, rt.cfg.Partitions[p]+path, nil)
+	if err != nil {
+		return nil, partitionError{partition: p, err: err}
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, partitionError{partition: p, err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxClaimsBody))
+	if err != nil {
+		return nil, partitionError{partition: p, err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, partitionError{partition: p, status: resp.StatusCode,
+			err: fmt.Errorf("status %d scraping %s", resp.StatusCode, path)}
+	}
+	return body, nil
+}
+
+// handleMetrics serves the cluster-wide exposition: every partition's
+// /metrics scraped concurrently, merged per kind (counters and histogram
+// series sum; gauges follow gaugeMergeRules; histogram bucket ladders
+// union and re-bucket), followed by the router's own cluster_* and
+// router_http_* families. One scrape shows the whole cluster.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	bodies := make([][]byte, rt.k())
+	err := rt.fanout(func(i int) error {
+		b, err := rt.getRaw(r, i, "/metrics")
+		bodies[i] = b
+		return err
+	})
+	if err != nil {
+		rt.writePartitionError(w, firstPartitionError(err))
+		return
+	}
+	merged, err := obs.Merge(bodies, gaugeMergeRules)
+	if err != nil {
+		rt.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := w.Write(merged); err != nil {
+		return
+	}
+	rt.reg.WritePrometheus(w)
+}

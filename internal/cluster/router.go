@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"latenttruth/internal/model"
+	"latenttruth/internal/obs"
 	"latenttruth/internal/query"
 	"latenttruth/internal/serve"
 )
@@ -34,6 +35,11 @@ type Config struct {
 	Client *http.Client
 	// Logger receives router diagnostics; nil discards them.
 	Logger *log.Logger
+	// Obs tunes the router's own observability: its request middleware
+	// (router_http_* families, distinct from the partitions' http_* that
+	// arrive through the merged /metrics scrape), slow-request logging
+	// and log level.
+	Obs serve.ObsConfig
 }
 
 // Router is the stateless scatter-gather front of a partitioned cluster:
@@ -42,6 +48,13 @@ type Config struct {
 type Router struct {
 	cfg    Config
 	client *http.Client
+
+	// reg holds the router-owned families; met the fan-out instruments
+	// (nil when Obs.Disabled) and httpMW the request middleware (ditto).
+	reg    *obs.Registry
+	logger *obs.Logger
+	met    *routerMetrics
+	httpMW *obs.HTTPMetrics
 }
 
 // NewRouter validates the partition map and returns a router.
@@ -58,13 +71,22 @@ func NewRouter(cfg Config) (*Router, error) {
 	if c == nil {
 		c = &http.Client{Timeout: 30 * time.Second}
 	}
-	return &Router{cfg: cfg, client: c}, nil
+	rt := &Router{cfg: cfg, client: c}
+	rt.reg = obs.NewRegistry()
+	rt.logger = obs.NewLogger(cfg.Logger, cfg.Obs.LogLevel)
+	if !cfg.Obs.Disabled {
+		rt.met = newRouterMetrics(rt.reg)
+		rt.httpMW = obs.NewHTTPMetrics(rt.reg, "router_http_", rt.logger, cfg.Obs.SlowRequest)
+	}
+	return rt, nil
 }
 
 func (rt *Router) logf(format string, args ...any) {
-	if rt.cfg.Logger != nil {
-		rt.cfg.Logger.Printf(format, args...)
-	}
+	rt.logger.Infof(format, args...)
+}
+
+func (rt *Router) warnf(format string, args ...any) {
+	rt.logger.Warnf(format, args...)
 }
 
 // Handler returns the router's HTTP API — the same surface as one
@@ -78,6 +100,8 @@ func (rt *Router) logf(format string, args ...any) {
 //	GET  /stats   — field-wise merge per the documented rule table
 //	GET  /healthz — cluster liveness (ready iff every partition is)
 //	GET  /cluster — partition topology and per-partition health
+//	GET  /metrics — cluster-wide exposition: every partition's /metrics
+//	                merged by rule, plus the router's own families
 //	POST /refit   — fan out to every partition
 //
 // With a single partition the router degenerates to a reverse proxy:
@@ -94,7 +118,11 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", rt.handleStats)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /cluster", rt.handleCluster)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	mux.HandleFunc("POST /refit", rt.handleRefit)
+	if rt.httpMW != nil {
+		return rt.httpMW.Wrap(mux)
+	}
 	return mux
 }
 
@@ -107,7 +135,7 @@ func (rt *Router) writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	if err := enc.Encode(v); err != nil {
-		rt.logf("cluster: encoding response: %v", err)
+		rt.warnf("cluster: encoding response: %v", err)
 	}
 }
 
@@ -158,6 +186,7 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, p int) {
 	url := rt.cfg.Partitions[p] + r.URL.RequestURI()
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, r.Body)
 	if err != nil {
+		rt.met.proxyError(p)
 		rt.writePartitionError(w, partitionError{partition: p, err: err})
 		return
 	}
@@ -166,6 +195,7 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, p int) {
 	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
+		rt.met.proxyError(p)
 		rt.writePartitionError(w, partitionError{partition: p, err: err})
 		return
 	}
@@ -175,7 +205,7 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, p int) {
 	}
 	w.WriteHeader(resp.StatusCode)
 	if _, err := io.Copy(w, resp.Body); err != nil {
-		rt.logf("cluster: proxying partition %d: %v", p, err)
+		rt.warnf("cluster: proxying partition %d: %v", p, err)
 	}
 }
 
@@ -214,7 +244,9 @@ func (rt *Router) fanout(f func(i int) error) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			start := time.Now()
 			errs[i] = f(i)
+			rt.met.observeLeg(i, time.Since(start).Seconds(), errs[i])
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets is the default latency ladder in seconds: log-spaced from
+// 100µs to 60s, wide enough for fsyncs at the bottom and full refits over
+// large corpora at the top. An implicit +Inf bucket catches the rest.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram counts observations into fixed buckets. Observe is one binary
+// search plus two atomic ops; readers derive totals from the bucket
+// counts, so a scrape never reports a count without its observation.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds; +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1; per-bucket (not cumulative)
+	sum    atomic.Uint64   // float64 bits, CAS loop
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram buckets must be sorted")
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func (h *Histogram) kindOf() Kind { return KindHistogram }
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Snapshot returns the cumulative bucket counts (aligned with Bounds,
+// plus a final +Inf entry), the total count and the sum. The count is
+// derived from the buckets, so count == last cumulative entry always.
+func (h *Histogram) Snapshot() (cumulative []uint64, count uint64, sum float64) {
+	cumulative = make([]uint64, len(h.counts))
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cumulative[i] = acc
+	}
+	return cumulative, acc, math.Float64frombits(h.sum.Load())
+}
+
+// Bounds returns the finite upper bounds.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	_, n, _ := h.Snapshot()
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	_, _, s := h.Snapshot()
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) estimated from the bucket
+// counts by locating the bucket holding the rank ⌈q·n⌉ and interpolating
+// linearly inside it (the first bucket interpolates from zero). With no
+// observations it returns 0; a rank landing in the +Inf bucket returns
+// the largest finite bound — the histogram cannot see past its ladder.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum, n, _ := h.Snapshot()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	if rank < 1 {
+		rank = 1
+	}
+	i := sort.Search(len(cum), func(i int) bool { return float64(cum[i]) >= rank })
+	if i >= len(h.bounds) { // +Inf bucket
+		if len(h.bounds) == 0 {
+			return 0
+		}
+		return h.bounds[len(h.bounds)-1]
+	}
+	lo := 0.0
+	var below uint64
+	if i > 0 {
+		lo = h.bounds[i-1]
+		below = cum[i-1]
+	}
+	in := cum[i] - below // observations inside bucket i; > 0 by construction
+	frac := (rank - float64(below)) / float64(in)
+	return lo + (h.bounds[i]-lo)*frac
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Level is a log severity. The zero value is LevelInfo — the default a
+// nil config resolves to, keeping pre-leveled behavior unchanged.
+type Level int32
+
+const (
+	LevelInfo  Level = iota // routine operation
+	LevelDebug              // per-request / per-batch chatter
+	LevelWarn               // degraded but serving
+	LevelError              // a request or subsystem failed
+)
+
+// severity orders levels for gating (debug < info < warn < error).
+func (l Level) severity() int {
+	switch l {
+	case LevelDebug:
+		return 0
+	case LevelWarn:
+		return 2
+	case LevelError:
+		return 3
+	}
+	return 1
+}
+
+// String names the level as it appears in key=value output.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "info"
+}
+
+// ParseLevel reads a -log-level flag value.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// Logger gates a *log.Logger by level and adds a structured Event form.
+// All methods are nil-receiver safe (a nil Logger drops everything), so
+// call sites never guard. The printf family keeps messages byte-for-byte
+// as an unleveled logger would print them — routing existing call sites
+// through a level changes what can be silenced, not what is said.
+type Logger struct {
+	out *log.Logger
+	min atomic.Int32
+}
+
+// NewLogger wraps out, dropping records below min. A nil out yields a
+// logger that drops everything.
+func NewLogger(out *log.Logger, min Level) *Logger {
+	if out == nil {
+		return nil
+	}
+	l := &Logger{out: out}
+	l.min.Store(int32(min))
+	return l
+}
+
+// Enabled reports whether records at level would be emitted.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level.severity() >= Level(l.min.Load()).severity()
+}
+
+// SetLevel changes the gate at runtime.
+func (l *Logger) SetLevel(min Level) {
+	if l != nil {
+		l.min.Store(int32(min))
+	}
+}
+
+// Printf logs at info — a drop-in for the *log.Logger call sites.
+func (l *Logger) Printf(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Debugf logs at debug.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+// Infof logs at info.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Warnf logs at warn.
+func (l *Logger) Warnf(format string, args ...any) { l.logf(LevelWarn, format, args...) }
+
+// Errorf logs at error.
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }
+
+func (l *Logger) logf(level Level, format string, args ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	l.out.Output(3, fmt.Sprintf(format, args...))
+}
+
+// Event logs one structured record: `event=<name> level=<level>` followed
+// by key=value pairs from alternating kv arguments. Values render via
+// formatValue — strings are quoted only when they contain spaces or
+// quotes, so the output stays greppable.
+func (l *Logger) Event(level Level, name string, kv ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("event=")
+	b.WriteString(name)
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		fmt.Fprintf(&b, "%v", kv[i])
+		b.WriteByte('=')
+		b.WriteString(formatValue(kv[i+1]))
+	}
+	l.out.Output(2, b.String())
+}
+
+// Output exposes the underlying writer for pre-formatted records (spans
+// emit JSON through it). calldepth is as in log.Logger.Output.
+func (l *Logger) Output(level Level, calldepth int, s string) {
+	if !l.Enabled(level) {
+		return
+	}
+	l.out.Output(calldepth+1, s)
+}
+
+func formatValue(v any) string {
+	switch x := v.(type) {
+	case string:
+		if strings.ContainsAny(x, " \"=\n") || x == "" {
+			return strconv.Quote(x)
+		}
+		return x
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case float32:
+		return strconv.FormatFloat(float64(x), 'g', -1, 32)
+	case error:
+		return strconv.Quote(x.Error())
+	default:
+		s := fmt.Sprintf("%v", x)
+		if strings.ContainsAny(s, " \"=\n") || s == "" {
+			return strconv.Quote(s)
+		}
+		return s
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Span times one multi-phase operation and emits a single structured
+// JSON log event when it ends: span name, random id, per-phase and total
+// durations (ms), and any attributes attached along the way. The id lets
+// operators join the log line against concurrent records; the one-line
+// shape keeps it greppable (`grep '"span":"refit"'`).
+//
+// A Span is used by one goroutine; the emitted event goes through the
+// Logger, which is safe for concurrent use. A nil-logger span still
+// accumulates timings (End returns the total), it just logs nothing.
+type Span struct {
+	logger *Logger
+	level  Level
+	name   string
+	id     string
+	start  time.Time
+
+	phases   []spanPhase
+	cur      string
+	curStart time.Time
+	attrKeys []string
+	attrVals []any
+}
+
+type spanPhase struct {
+	name string
+	dur  time.Duration
+}
+
+// StartSpan opens a span. The first phase begins immediately under the
+// given name; call Phase to close it and open the next.
+func StartSpan(logger *Logger, name, firstPhase string) *Span {
+	now := time.Now()
+	return &Span{
+		logger:   logger,
+		level:    LevelInfo,
+		name:     name,
+		id:       newSpanID(),
+		start:    now,
+		cur:      firstPhase,
+		curStart: now,
+	}
+}
+
+// ID returns the span's random id.
+func (s *Span) ID() string { return s.id }
+
+// Phase closes the running phase and opens the next, returning the
+// closed phase's duration.
+func (s *Span) Phase(next string) time.Duration {
+	now := time.Now()
+	d := now.Sub(s.curStart)
+	s.phases = append(s.phases, spanPhase{name: s.cur, dur: d})
+	s.cur, s.curStart = next, now
+	return d
+}
+
+// SetAttr attaches a key/value to the emitted event. Calling it again
+// with the same key overwrites.
+func (s *Span) SetAttr(key string, value any) *Span {
+	for i, k := range s.attrKeys {
+		if k == key {
+			s.attrVals[i] = value
+			return s
+		}
+	}
+	s.attrKeys = append(s.attrKeys, key)
+	s.attrVals = append(s.attrVals, value)
+	return s
+}
+
+// PhaseDurations returns the closed phases in order (for feeding the
+// same numbers into a histogram the event was logged against).
+func (s *Span) PhaseDurations() map[string]time.Duration {
+	out := make(map[string]time.Duration, len(s.phases))
+	for _, p := range s.phases {
+		out[p.name] = p.dur
+	}
+	return out
+}
+
+// End closes the running phase, emits the event, and returns the span's
+// total duration.
+func (s *Span) End() time.Duration {
+	now := time.Now()
+	s.phases = append(s.phases, spanPhase{name: s.cur, dur: now.Sub(s.curStart)})
+	total := now.Sub(s.start)
+
+	if s.logger.Enabled(s.level) {
+		var b strings.Builder
+		b.WriteString(`{"span":`)
+		writeJSONString(&b, s.name)
+		b.WriteString(`,"id":`)
+		writeJSONString(&b, s.id)
+		fmt.Fprintf(&b, `,"total_ms":%s`, formatMs(total))
+		b.WriteString(`,"phases":{`)
+		for i, p := range s.phases {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeJSONString(&b, p.name)
+			b.WriteByte(':')
+			b.WriteString(formatMs(p.dur))
+		}
+		b.WriteByte('}')
+		for i, k := range s.attrKeys {
+			b.WriteByte(',')
+			writeJSONString(&b, k)
+			b.WriteByte(':')
+			writeJSONValue(&b, s.attrVals[i])
+		}
+		b.WriteByte('}')
+		s.logger.Output(s.level, 2, b.String())
+	}
+	return total
+}
+
+func formatMs(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64)
+}
+
+func writeJSONString(b *strings.Builder, s string) {
+	enc, _ := json.Marshal(s)
+	b.Write(enc)
+}
+
+func writeJSONValue(b *strings.Builder, v any) {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		enc, _ = json.Marshal(fmt.Sprintf("%v", v))
+	}
+	b.Write(enc)
+}
+
+// newSpanID returns 8 random hex bytes (16 chars).
+func newSpanID() string {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(buf[:])
+}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"latenttruth/internal/obs"
 	"latenttruth/internal/serve"
 	"latenttruth/internal/wal"
 )
@@ -46,6 +47,9 @@ type Config struct {
 	HTTPClient *http.Client
 	// Logger receives replication diagnostics; nil discards them.
 	Logger *log.Logger
+	// LogLevel gates the follower's logger (default info). The inner
+	// server's level is Serve.Obs.LogLevel, set independently.
+	LogLevel obs.Level
 }
 
 // withDefaults fills unset fields.
@@ -106,6 +110,12 @@ type Follower struct {
 
 	cur atomic.Pointer[running]
 
+	// reg holds the follower-owned replica_* metric families; logger is
+	// the leveled logger replication diagnostics route through.
+	reg    *obs.Registry
+	met    *replicaMetrics
+	logger *obs.Logger
+
 	mu          sync.Mutex
 	stats       Stats
 	lastContact time.Time
@@ -139,6 +149,9 @@ func Start(cfg Config) (*Follower, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	f := &Follower{cfg: cfg, client: cl, id: id, ctx: ctx, cancel: cancel}
+	f.reg = obs.NewRegistry()
+	f.met = newReplicaMetrics(f.reg)
+	f.logger = obs.NewLogger(cfg.Logger, cfg.LogLevel)
 	f.stats = Stats{Primary: cfg.Primary, ID: id}
 
 	has, err := wal.HasState(dataDir)
@@ -163,6 +176,7 @@ func Start(cfg Config) (*Follower, error) {
 			}
 			f.stats.Bootstrapped = true
 			f.stats.BootstrapSeq = bundle.manifest.Seq
+			f.met.bootstraps.Inc()
 			f.logf("replica: bootstrapped from checkpoint seq=%d (wal_seq=%d)",
 				bundle.manifest.Seq, bundle.manifest.WALSeq)
 		}
@@ -234,7 +248,9 @@ func (f *Follower) publish(srv *serve.Server) {
 // replaced only by a re-bootstrap.
 func (f *Follower) Server() *serve.Server { return f.cur.Load().srv }
 
-// Handler serves the follower's read API plus GET /replication/status.
+// Handler serves the follower's read API plus GET /replication/status
+// and a GET /metrics that concatenates the inner server's exposition
+// with the follower-owned replica_* families.
 // Writes are rejected with the primary's address by the underlying server;
 // the /replication feed endpoints are live too, so further followers can
 // chain off this one.
@@ -244,6 +260,7 @@ func (f *Follower) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(f.Stats())
 	})
+	mux.HandleFunc("GET /metrics", f.handleMetrics)
 	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		f.cur.Load().h.ServeHTTP(w, r)
 	}))
@@ -274,11 +291,19 @@ func (f *Follower) Close() {
 	f.Server().Close()
 }
 
-// logf logs through the configured logger, if any.
+// logf logs at info through the configured logger, if any; warnf and
+// errorf are the leveled variants. Message text is identical to the
+// pre-leveled output.
 func (f *Follower) logf(format string, args ...any) {
-	if f.cfg.Logger != nil {
-		f.cfg.Logger.Printf(format, args...)
-	}
+	f.logger.Infof(format, args...)
+}
+
+func (f *Follower) warnf(format string, args ...any) {
+	f.logger.Warnf(format, args...)
+}
+
+func (f *Follower) errorf(format string, args ...any) {
+	f.logger.Errorf(format, args...)
 }
 
 // sleep pauses for d or until Close.
@@ -300,9 +325,9 @@ func (f *Follower) loop() {
 		batches, err := f.client.pollWAL(f.ctx, next, f.id, f.cfg.PollWait)
 		switch {
 		case errors.Is(err, errGone):
-			f.logf("replica: history before seq %d is gone (cursor evicted); re-bootstrapping", next)
+			f.warnf("replica: history before seq %d is gone (cursor evicted); re-bootstrapping", next)
 			if rerr := f.rebootstrap(); rerr != nil {
-				f.logf("replica: re-bootstrap: %v", rerr)
+				f.errorf("replica: re-bootstrap: %v", rerr)
 				f.sleep(f.cfg.RetryBackoff)
 			}
 			continue
@@ -313,7 +338,8 @@ func (f *Follower) loop() {
 			f.mu.Lock()
 			f.stats.PollErrors++
 			f.mu.Unlock()
-			f.logf("replica: poll from %d: %v", next, err)
+			f.met.pollErrors.Inc()
+			f.warnf("replica: poll from %d: %v", next, err)
 			f.sleep(f.cfg.RetryBackoff)
 			continue
 		}
@@ -322,6 +348,12 @@ func (f *Follower) loop() {
 		f.stats.CaughtUp = len(batches) == 0
 		f.lastContact = time.Now()
 		f.mu.Unlock()
+		f.met.polls.Inc()
+		if len(batches) == 0 {
+			f.met.caughtUp.Set(1)
+		} else {
+			f.met.caughtUp.Set(0)
+		}
 		for _, b := range batches {
 			// Retry the same record until it applies: a refit marker is
 			// mirrored into the local WAL before its refit runs, so
@@ -334,10 +366,11 @@ func (f *Follower) loop() {
 				if err == nil {
 					break
 				}
-				f.logf("replica: applying seq %d: %v (retrying)", b.Seq, err)
+				f.warnf("replica: applying seq %d: %v (retrying)", b.Seq, err)
 				f.mu.Lock()
 				f.stats.PollErrors++
 				f.mu.Unlock()
+				f.met.pollErrors.Inc()
 				f.sleep(f.cfg.RetryBackoff)
 				if f.ctx.Err() != nil {
 					return
@@ -351,6 +384,12 @@ func (f *Follower) loop() {
 			}
 			f.stats.LastAppliedSeq = b.Seq
 			f.mu.Unlock()
+			f.met.batches.Inc()
+			f.met.rows.Add(uint64(len(b.Rows)))
+			if b.IsControl() {
+				f.met.refits.Inc()
+			}
+			f.met.lastApplied.Set(float64(b.Seq))
 		}
 	}
 }
@@ -393,7 +432,7 @@ func (f *Follower) rebootstrap() error {
 		if srv, rerr := serve.New(f.cfg.Serve); rerr == nil {
 			f.publish(srv)
 		} else {
-			f.logf("replica: restoring pre-rebootstrap state: %v", rerr)
+			f.errorf("replica: restoring pre-rebootstrap state: %v", rerr)
 		}
 	}
 	if bundle != nil {
@@ -417,6 +456,7 @@ func (f *Follower) rebootstrap() error {
 		f.stats.BootstrapSeq = bundle.manifest.Seq
 	}
 	f.mu.Unlock()
+	f.met.bootstraps.Inc()
 	if bundle != nil {
 		f.logf("replica: re-bootstrapped from checkpoint seq=%d (wal_seq=%d)",
 			bundle.manifest.Seq, bundle.manifest.WALSeq)

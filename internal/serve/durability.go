@@ -13,6 +13,7 @@ import (
 	"latenttruth/internal/core"
 	"latenttruth/internal/dataset"
 	"latenttruth/internal/model"
+	"latenttruth/internal/obs"
 	"latenttruth/internal/stream"
 	"latenttruth/internal/wal"
 )
@@ -113,6 +114,7 @@ func (s *Server) openDurable() error {
 		SegmentBytes: dcfg.SegmentBytes,
 		Sync:         dcfg.Fsync,
 		SyncInterval: dcfg.FsyncInterval,
+		Metrics:      s.met.walMetrics(),
 	})
 	if err != nil {
 		return fmt.Errorf("serve: recovering %s: %w", dcfg.DataDir, err)
@@ -143,7 +145,7 @@ func (s *Server) openDurable() error {
 			// Nothing to restore; the first refit will be full.
 		case m.ConfigHash != d.configHash:
 			d.qualityDropped = true
-			s.logf("serve: checkpoint %d config hash %s != %s; discarding accumulated quality (next refit is full)",
+			s.warnf("serve: checkpoint %d config hash %s != %s; discarding accumulated quality (next refit is full)",
 				m.Seq, m.ConfigHash, d.configHash)
 		default:
 			var st stream.State
@@ -162,6 +164,21 @@ func (s *Server) openDurable() error {
 	}
 	s.dur = d
 	s.repl = newReplTracker(rec.Log, s.cfg.Replication.withDefaults())
+	if s.met != nil {
+		// Follower lag is scraped, not maintained: the cursor set changes
+		// as followers register and get evicted, so the gauge family
+		// enumerates its children at exposition time.
+		s.reg.GaugeVecFunc("replication_follower_lag_batches",
+			"WAL records each registered follower trails the log head by.",
+			[]string{"follower"}, func() []obs.Sample {
+				cursors := s.repl.cursors(d.log.Stats().LastSeq)
+				out := make([]obs.Sample, len(cursors))
+				for i, c := range cursors {
+					out[i] = obs.Sample{LabelValues: []string{c.ID}, Value: float64(c.LagBatches)}
+				}
+				return out
+			})
+	}
 	// Restore the published snapshot from the checkpoint's posterior before
 	// replaying the tail, so a refit marker replayed below (or the first
 	// dirty refit after startup) extends the exact previous posterior the
@@ -170,7 +187,7 @@ func (s *Server) openDurable() error {
 	// fast-path refit chain, and the next (full) refit rebuilds everything.
 	if cp := rec.Checkpoint; cp != nil && s.online != nil {
 		if err := s.restoreSnapshot(cp); err != nil {
-			s.logf("serve: checkpoint %d: restoring published snapshot: %v (serving resumes at the next refit)",
+			s.warnf("serve: checkpoint %d: restoring published snapshot: %v (serving resumes at the next refit)",
 				cp.Manifest.Seq, err)
 		}
 	}
@@ -182,12 +199,12 @@ func (s *Server) openDurable() error {
 		// re-attempts the missing checkpoint.
 		if ov, _, ok := parseRefitNote(b); ok {
 			if _, err := s.refit(ov, false); err != nil && err != ErrNoData {
-				s.logf("serve: recovery: replaying refit marker seq=%d: %v", b.Seq, err)
+				s.warnf("serve: recovery: replaying refit marker seq=%d: %v", b.Seq, err)
 			}
 		}
 	}
 	if err := s.bootstrapFollowerSnapshot(); err != nil {
-		s.logf("serve: follower bootstrap snapshot: %v", err)
+		s.warnf("serve: follower bootstrap snapshot: %v", err)
 	}
 	if rec.Stats.ColdStart {
 		s.logf("serve: durability on (%s, fsync=%s): cold start", dcfg.DataDir, dcfg.Fsync)
@@ -293,7 +310,7 @@ func (s *Server) checkpoint(snap *Snapshot) {
 	// checkpoint instead); the survivors then bound the truncation floor
 	// inside TruncateBefore.
 	for _, name := range s.repl.evict(d.log.Stats().LastSeq) {
-		s.logf("serve: evicted replication cursor %q (stale or past max lag)", name)
+		s.warnf("serve: evicted replication cursor %q (stale or past max lag)", name)
 	}
 	// Truncate behind the OLDEST retained checkpoint so recovery can fall
 	// back across the whole retention window.
@@ -306,6 +323,10 @@ func (s *Server) checkpoint(snap *Snapshot) {
 	d.lastWALSeq.Store(m.WALSeq)
 	dur := time.Since(start)
 	d.lastDurationN.Store(int64(dur))
+	if s.met != nil {
+		s.met.checkpoints.Inc()
+		s.met.checkpointSecs.Observe(dur.Seconds())
+	}
 	s.logf("serve: checkpoint seq=%d wal_seq=%d (%d retained, %s)",
 		m.Seq, m.WALSeq, len(left), dur.Round(time.Millisecond))
 }
@@ -313,7 +334,10 @@ func (s *Server) checkpoint(snap *Snapshot) {
 // checkpointFailed records a failed checkpoint attempt.
 func (s *Server) checkpointFailed(err error) {
 	s.dur.checkpointErr.Add(1)
-	s.logf("serve: checkpoint failed: %v", err)
+	if s.met != nil {
+		s.met.checkpointErrs.Inc()
+	}
+	s.errorf("serve: checkpoint failed: %v", err)
 }
 
 // DurabilityStats is the GET /durability payload.

@@ -13,6 +13,7 @@ import (
 	"latenttruth/internal/core"
 	"latenttruth/internal/integrate"
 	"latenttruth/internal/model"
+	"latenttruth/internal/obs"
 	"latenttruth/internal/query"
 )
 
@@ -28,6 +29,7 @@ const maxClaimsBody = 32 << 20
 //	GET  /stats   — corpus and serving statistics
 //	GET  /healthz — liveness and readiness
 //	GET  /durability — WAL, checkpoint and recovery state
+//	GET  /metrics — Prometheus text exposition of the metric registry
 //	POST /refit   — force a synchronous refit (optionally ?policy=)
 //
 // Durable servers additionally expose the replication feed read replicas
@@ -53,9 +55,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /durability", s.handleDurability)
 	mux.HandleFunc("POST /refit", s.handleRefit)
 	mux.HandleFunc("GET /partition/quality", s.handlePartitionQuality)
+	mux.HandleFunc("GET /metrics", obs.MetricsHandler(s.reg))
 	if s.dur != nil {
 		mux.HandleFunc("GET /replication/checkpoint", s.handleReplCheckpoint)
 		mux.HandleFunc("GET /replication/wal", s.handleReplWAL)
+	}
+	if s.httpMW != nil {
+		return s.httpMW.Wrap(mux)
 	}
 	return mux
 }
@@ -92,7 +98,10 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 // encodeFailure accounts one failed response encode.
 func (s *Server) encodeFailure(err error) {
 	s.encodeFailures.Add(1)
-	s.logf("serve: encoding response: %v", err)
+	if s.met != nil {
+		s.met.encodeFailures.Inc()
+	}
+	s.warnf("serve: encoding response: %v", err)
 }
 
 // writeError writes a JSON error envelope.
@@ -569,6 +578,10 @@ type statsResponse struct {
 	// re-swept (0 after a full/incremental/online refit).
 	DirtyEntities int     `json:"dirty_entities"`
 	UptimeS       float64 `json:"uptime_s"`
+	// Version and Commit identify the running build (linker-stamped via
+	// internal/obs; "dev"/"none" on an unstamped build).
+	Version string `json:"version"`
+	Commit  string `json:"commit"`
 	// EncodeFailures counts responses whose JSON encoding (or socket
 	// write) failed after the status line was sent — the client saw a
 	// truncated body even though the status said OK.
@@ -594,6 +607,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DirtyRefits:    rs.DirtyRefits,
 		EncodeFailures: s.encodeFailures.Load(),
 		UptimeS:        time.Since(s.started).Seconds(),
+		Version:        obs.Version,
+		Commit:         obs.Commit,
 	}
 	if sn := s.Snapshot(); sn != nil {
 		resp.Ready = true

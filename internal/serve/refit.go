@@ -9,6 +9,7 @@ import (
 	"latenttruth/internal/core"
 	"latenttruth/internal/integrate"
 	"latenttruth/internal/model"
+	"latenttruth/internal/obs"
 	"latenttruth/internal/store"
 	"latenttruth/internal/stream"
 )
@@ -77,9 +78,11 @@ func (s *Server) refit(override RefitPolicy, mark bool) (*Snapshot, error) {
 	// the very refit this resolution reproduces, which is what keeps
 	// snapshot Seq aligned seq-for-seq. When the caller is itself a marker
 	// replay (mark=false) with nothing further pending, the resolution IS
-	// the requested refit.
+	// the requested refit. The resolution is its own traced span — its
+	// drain phase is ~0 because the rows were drained by the failed
+	// attempt it resolves.
 	if s.carry.pending {
-		snap, err := s.fitPublish(s.carry.override, drainResult{})
+		snap, err := s.fitPublish(s.carry.override, drainResult{}, s.startRefitSpan())
 		if err != nil {
 			return nil, err
 		}
@@ -88,26 +91,66 @@ func (s *Server) refit(override RefitPolicy, mark bool) (*Snapshot, error) {
 		}
 	}
 
+	// The span opens before the drain so its first phase times the drain
+	// cut (and the marker append, on a durable primary).
+	sp := s.startRefitSpan()
 	var dr drainResult
 	if mark {
 		var err error
 		if dr, err = s.ingest.DrainMark(func(dirty int) string {
 			return refitNote(override, dirty)
 		}); err != nil {
-			s.logf("serve: refit marker: %v (followers lag until the next marker)", err)
+			s.warnf("serve: refit marker: %v (followers lag until the next marker)", err)
 		}
 	} else {
 		dr = s.ingest.Drain()
 	}
-	return s.fitPublish(override, dr)
+	return s.fitPublish(override, dr, sp)
 }
 
-// fitPublish folds the drained rows into the cumulative database, merges
+// fitPublish runs one traced, instrumented fit-and-publish attempt:
+// fitLocked does the work while sp tracks its drain → fit → publish
+// phases; this wrapper closes the span (attaching the refit's identity
+// attributes, or the error) and feeds the same durations into the refit
+// histograms. Called under mu.
+func (s *Server) fitPublish(override RefitPolicy, dr drainResult, sp *obs.Span) (*Snapshot, error) {
+	snap, flips, err := s.fitLocked(override, dr, sp)
+	if err != nil {
+		if s.met != nil {
+			s.met.refitErrors.Inc()
+		}
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		return nil, err
+	}
+	sp.SetAttr("seq", snap.Seq).
+		SetAttr("mode", string(snap.Mode)).
+		SetAttr("policy", string(override)).
+		SetAttr("compacted", snap.Compacted).
+		SetAttr("dirty", snap.DirtyEntities).
+		SetAttr("freshness_ms", float64(snap.Freshness)/float64(time.Millisecond)).
+		SetAttr("flips", flips)
+	total := sp.End()
+	if s.met != nil {
+		s.met.refits.With(string(snap.Mode)).Inc()
+		s.met.refitSeconds.Observe(total.Seconds())
+		for phase, d := range sp.PhaseDurations() {
+			s.met.refitPhase.With(phase).Observe(d.Seconds())
+		}
+		s.met.refitDirty.Set(float64(snap.DirtyEntities))
+		s.met.refitFreshness.Set(snap.Freshness.Seconds())
+		s.met.decisionFlips.Add(uint64(flips))
+	}
+	return snap, nil
+}
+
+// fitLocked folds the drained rows into the cumulative database, merges
 // any carried-over failed attempt, fits per policy, and publishes the
-// snapshot. Called under mu. On failure the merged drain state is stored
+// snapshot, reporting how many thresholded truth decisions the publish
+// flipped. Called under mu. On failure the merged drain state is stored
 // in s.carry so nothing — rows, dirty set, freshness clock, or the
 // compacted count — is lost across attempts.
-func (s *Server) fitPublish(override RefitPolicy, dr drainResult) (*Snapshot, error) {
+func (s *Server) fitLocked(override RefitPolicy, dr drainResult, sp *obs.Span) (*Snapshot, int, error) {
 	// fresh keeps only the rows the cumulative database had not seen, so
 	// the online fast path never double-counts a retried batch.
 	var newFresh []model.Row
@@ -163,10 +206,13 @@ func (s *Server) fitPublish(override RefitPolicy, dr drainResult) (*Snapshot, er
 		full = true
 	}
 
+	// The drain phase ends here: rows folded, carry merged, policy
+	// chosen. Everything until the snapshot swap is the fit.
+	sp.Phase("fit")
 	start := time.Now()
 	if s.testFitErr != nil {
 		if err := s.testFitErr(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	var (
@@ -195,16 +241,16 @@ func (s *Server) fitPublish(override RefitPolicy, dr drainResult) (*Snapshot, er
 	switch {
 	case full:
 		if err := fullFit(nil); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	case policy == RefitDirty:
 		out, err := s.dirtyFit(prev, fresh, dirty)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if out.fallback {
 			if err := fullFit(out.fallbackDS); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			break
 		}
@@ -214,16 +260,19 @@ func (s *Server) fitPublish(override RefitPolicy, dr drainResult) (*Snapshot, er
 		ds = model.Build(s.db)
 		if policy == RefitOnline && len(fresh) > 0 {
 			if err := s.stepBatch(fresh); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 		var err error
 		if res, err = s.online.Predict(ds); err != nil {
-			return nil, fmt.Errorf("serve: incremental refit: %w", err)
+			return nil, 0, fmt.Errorf("serve: incremental refit: %w", err)
 		}
 		quality, mode = s.online.Quality(), policy
 	}
 
+	// The fit is done; building the read models, swapping the snapshot
+	// and checkpointing is the publish phase.
+	sp.Phase("publish")
 	var freshness time.Duration
 	if !oldest.IsZero() {
 		freshness = time.Since(oldest)
@@ -231,7 +280,7 @@ func (s *Server) fitPublish(override RefitPolicy, dr drainResult) (*Snapshot, er
 	snap, err := newSnapshot(done+1, ds, res, core.RankedQuality(quality),
 		s.cfg.Threshold, mode, time.Since(start), compacted, freshness, records)
 	if err != nil {
-		return nil, fmt.Errorf("serve: building snapshot: %w", err)
+		return nil, 0, fmt.Errorf("serve: building snapshot: %w", err)
 	}
 	snap.DirtyEntities = dirtyEntities
 	// Every policy's published quality is core.QualityFromCounts over the
@@ -243,6 +292,7 @@ func (s *Server) fitPublish(override RefitPolicy, dr drainResult) (*Snapshot, er
 		st := s.online.State()
 		snap.QualityCounts, snap.QualityPriors = st.Counts, st.Priors
 	}
+	flips := decisionFlips(prev, snap)
 	s.carry = refitCarry{}
 	s.snap.Store(snap)
 	s.refits.Add(1)
@@ -257,7 +307,7 @@ func (s *Server) fitPublish(override RefitPolicy, dr drainResult) (*Snapshot, er
 	}
 	s.logf("serve: refit %d (%s): %d new rows (%d dirty entities), %s, %s",
 		snap.Seq, mode, compacted, len(dirty), snap.Stats, snap.RefitDuration.Round(time.Millisecond))
-	return snap, nil
+	return snap, flips, nil
 }
 
 // dirtyOutcome is the result of the dirty fast path; fallback asks the
@@ -293,7 +343,7 @@ func (s *Server) dirtyFit(prev *Snapshot, fresh []model.Row, dirty map[string]st
 	if err != nil {
 		// A tracking invariant broke (should not happen); the full path is
 		// always correct, so fall back loudly rather than fail the refit.
-		s.logf("serve: dirty refit: %v; falling back to a full refit", err)
+		s.warnf("serve: dirty refit: %v; falling back to a full refit", err)
 		return dirtyOutcome{fallback: true}, nil
 	}
 	if ext.DirtyEntities == ext.Full.NumEntities() {

@@ -272,7 +272,7 @@ func (s *Server) ApplyReplicated(b wal.Batch) error {
 		// divergence is surfaced instead of silent.
 		if wantDirty >= 0 && !s.carryPending() {
 			if have := s.ingest.DirtyLen(); have != wantDirty {
-				s.logf("serve: refit marker seq=%d carries dirty watermark %d, local pending set has %d entities (divergence?)",
+				s.warnf("serve: refit marker seq=%d carries dirty watermark %d, local pending set has %d entities (divergence?)",
 					b.Seq, wantDirty, have)
 			}
 		}
@@ -313,7 +313,7 @@ func (s *Server) bootstrapFollowerSnapshot() error {
 		return nil
 	}
 	if s.online == nil || !s.online.HasQuality() {
-		s.logf("serve: follower has no reusable policy state (config mismatch?); serving starts at the first replicated refit")
+		s.warnf("serve: follower has no reusable policy state (config mismatch?); serving starts at the first replicated refit")
 		return nil
 	}
 	ds := model.Build(s.db)
@@ -399,6 +399,12 @@ var errPollFull = errors.New("poll response full")
 // truncated away (the follower was evicted): re-bootstrap from
 // /replication/checkpoint.
 func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
+	if s.met != nil {
+		// Entry-to-response time: dominated by the long-poll wait on a
+		// caught-up follower, so the histogram reads as "how long do
+		// followers park here".
+		defer s.met.longpollSecs.ObserveSince(time.Now())
+	}
 	cfg := s.repl.cfg
 	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
 	if err != nil || from == 0 {

@@ -9,6 +9,7 @@ import (
 
 	"latenttruth/internal/core"
 	"latenttruth/internal/model"
+	"latenttruth/internal/obs"
 	"latenttruth/internal/stream"
 )
 
@@ -99,6 +100,9 @@ type Config struct {
 	FollowerOf string
 	// Logger receives refit-loop diagnostics; nil discards them.
 	Logger *log.Logger
+	// Obs tunes observability: metric collection, slow-request logging
+	// and the log level. The zero value is fully instrumented.
+	Obs ObsConfig
 }
 
 // withDefaults fills unset fields.
@@ -179,6 +183,14 @@ type Server struct {
 	walNotify *notifier
 	repl      *replTracker
 
+	// reg is the metric registry GET /metrics serves; logger the leveled
+	// logger every diagnostic routes through; met the instrument set (nil
+	// when ObsConfig.Disabled) and httpMW the request middleware (ditto).
+	reg    *obs.Registry
+	logger *obs.Logger
+	met    *serveMetrics
+	httpMW *obs.HTTPMetrics
+
 	started time.Time
 
 	stop     chan struct{}
@@ -220,6 +232,7 @@ func New(cfg Config) (*Server, error) {
 		walNotify: newNotifier(),
 	}
 	s.ingest.notify = s.walNotify.Wake
+	s.initObs()
 	if cfg.Durability.Enabled() {
 		if err := s.openDurable(); err != nil {
 			return nil, err
@@ -228,11 +241,20 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// logf logs through the configured logger, if any.
+// logf logs at info through the configured logger, if any. warnf and
+// errorf are the leveled variants the degraded-but-serving and failure
+// sites use; all three keep message text identical to the pre-leveled
+// output, a level only changes what -log-level can silence.
 func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logger != nil {
-		s.cfg.Logger.Printf(format, args...)
-	}
+	s.logger.Infof(format, args...)
+}
+
+func (s *Server) warnf(format string, args ...any) {
+	s.logger.Warnf(format, args...)
+}
+
+func (s *Server) errorf(format string, args ...any) {
+	s.logger.Errorf(format, args...)
 }
 
 // Ingest appends a batch of triples to the mutation log. The batch is
@@ -249,7 +271,9 @@ func (s *Server) Ingest(rows []model.Row) (int, error) {
 	if s.cfg.FollowerOf != "" {
 		return 0, ErrFollower
 	}
-	return s.ingest.Append(rows)
+	n, err := s.ingest.Append(rows)
+	s.met.ingested(n, err)
+	return n, err
 }
 
 // Snapshot returns the current serving snapshot, or nil before the first
@@ -281,7 +305,7 @@ func (s *Server) Start() {
 					continue
 				}
 				if _, err := s.Refit(""); err != nil && err != ErrNoData {
-					s.logf("serve: background refit: %v", err)
+					s.errorf("serve: background refit: %v", err)
 				}
 			}
 		}
@@ -298,7 +322,7 @@ func (s *Server) Close() {
 		// Let any in-flight forced refit finish before closing the log.
 		s.mu.Lock()
 		if err := s.dur.log.Close(); err != nil {
-			s.logf("serve: closing WAL: %v", err)
+			s.errorf("serve: closing WAL: %v", err)
 		}
 		s.mu.Unlock()
 	}

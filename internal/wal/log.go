@@ -58,6 +58,23 @@ type Options struct {
 	// SyncInterval is the maximum time acknowledged records stay unsynced
 	// under SyncInterval (default 100ms).
 	SyncInterval time.Duration
+	// Metrics, when non-nil, receives instrumentation callbacks. The log
+	// stays dependency-free: callers bind the functions to whatever
+	// registry they use.
+	Metrics *Metrics
+}
+
+// Metrics is the log's instrumentation hook. Every field is optional;
+// callbacks run under the log's mutex, so they must be cheap and must
+// not call back into the log (an atomic histogram observe qualifies).
+type Metrics struct {
+	// AppendSeconds observes one successful append's duration, fsync
+	// included when the policy synced inline.
+	AppendSeconds func(seconds float64)
+	// FsyncSeconds observes one fsync's duration.
+	FsyncSeconds func(seconds float64)
+	// SegmentRoll counts one segment rotation (seal + new segment).
+	SegmentRoll func()
 }
 
 // withDefaults fills unset fields.
@@ -533,6 +550,10 @@ func (l *Log) appendLocked(seq uint64, rows []model.Row, note string) (uint64, e
 	if l.failed != nil {
 		return 0, fmt.Errorf("wal: log failed: %w", l.failed)
 	}
+	var start time.Time
+	if m := l.opts.Metrics; m != nil && m.AppendSeconds != nil {
+		start = time.Now()
+	}
 	l.buf = appendRecord(l.buf[:0], seq, rows, note)
 	if err := l.ensureSegment(int64(len(l.buf))); err != nil {
 		return 0, err
@@ -567,6 +588,9 @@ func (l *Log) appendLocked(seq uint64, rows []model.Row, note string) (uint64, e
 			}
 		}
 	}
+	if m := l.opts.Metrics; m != nil && m.AppendSeconds != nil {
+		m.AppendSeconds(time.Since(start).Seconds())
+	}
 	return seq, nil
 }
 
@@ -595,6 +619,9 @@ func (l *Log) ensureSegment(recLen int64) error {
 			return fmt.Errorf("wal: sealing segment: %w", err)
 		}
 		l.f = nil
+		if m := l.opts.Metrics; m != nil && m.SegmentRoll != nil {
+			m.SegmentRoll()
+		}
 	}
 	path := filepath.Join(l.opts.Dir, segmentName(l.nextSeq))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -630,8 +657,15 @@ func (l *Log) syncLocked() error {
 	if l.f == nil {
 		return nil
 	}
+	var start time.Time
+	if m := l.opts.Metrics; m != nil && m.FsyncSeconds != nil {
+		start = time.Now()
+	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	if m := l.opts.Metrics; m != nil && m.FsyncSeconds != nil {
+		m.FsyncSeconds(time.Since(start).Seconds())
 	}
 	l.syncs++
 	l.lastSync = time.Now()

@@ -11,6 +11,7 @@ import (
 	"latenttruth/internal/integrate"
 	"latenttruth/internal/ltmx"
 	"latenttruth/internal/model"
+	"latenttruth/internal/obs"
 	"latenttruth/internal/query"
 	"latenttruth/internal/replica"
 	"latenttruth/internal/serve"
@@ -432,6 +433,44 @@ const (
 // HTTP API, and Close to shut down. When cfg.Durability.DataDir is set,
 // construction recovers any durable state found there.
 func NewTruthServer(cfg ServeConfig) (*TruthServer, error) { return serve.New(cfg) }
+
+// Observability (the metrics registry, Prometheus /metrics exposition,
+// leveled logging and refit tracing behind ServeConfig.Obs,
+// ClusterConfig.Obs and ReplicaConfig.LogLevel).
+type (
+	// ObsConfig tunes a server's (or router's) observability: Disabled
+	// turns the instrument set off for baseline comparisons, SlowRequest
+	// sets the slow-request log threshold, LogLevel gates diagnostics.
+	ObsConfig = serve.ObsConfig
+	// LogLevel is a log severity; the zero value is LogInfo.
+	LogLevel = obs.Level
+)
+
+// The available log levels, in increasing severity order for gating
+// (debug < info < warn < error).
+const (
+	LogDebug = obs.LevelDebug
+	LogInfo  = obs.LevelInfo
+	LogWarn  = obs.LevelWarn
+	LogError = obs.LevelError
+)
+
+// ParseLogLevel reads a -log-level flag value ("debug", "info", "warn"
+// or "error").
+func ParseLogLevel(s string) (LogLevel, error) { return obs.ParseLevel(s) }
+
+// BuildVersion and BuildCommit report the binary's build identity, set
+// at link time via
+//
+//	-ldflags "-X latenttruth/internal/obs.Version=v1.2.3 -X latenttruth/internal/obs.Commit=abc1234"
+//
+// and defaulting to "dev"/"none". They label the build_info metric and
+// the version/commit fields of GET /stats.
+func BuildVersion() string { return obs.Version }
+
+// BuildCommit reports the VCS commit the binary was built from; see
+// BuildVersion.
+func BuildCommit() string { return obs.Commit }
 
 // Replication (WAL log shipping: one durable primary, a fleet of
 // read-only followers serving bit-identical snapshots).
