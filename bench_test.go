@@ -25,6 +25,7 @@ import (
 	"latenttruth/internal/eval"
 	"latenttruth/internal/experiments"
 	"latenttruth/internal/stats"
+	"latenttruth/internal/store"
 )
 
 var bench struct {
@@ -241,16 +242,20 @@ func BenchmarkLTMinc(b *testing.B) {
 func BenchmarkClaimGeneration(b *testing.B) {
 	corpora := benchCorpora(b)
 	ds := corpora.Book.Dataset
-	db := latenttruth.NewRawDB()
+	st := latenttruth.NewMemoryStorage()
 	for _, c := range ds.Claims {
 		if c.Observation {
 			f := ds.Facts[c.Fact]
-			db.Add(ds.Entities[f.Entity], f.Attribute, ds.Sources[c.Source])
+			st.AddRow(latenttruth.Row{
+				Entity:    ds.Entities[f.Entity],
+				Attribute: f.Attribute,
+				Source:    ds.Sources[c.Source],
+			})
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out := latenttruth.BuildDataset(db)
+		out := latenttruth.BuildDatasetRows(st.Rows())
 		if out.NumFacts() == 0 {
 			b.Fatal("empty build")
 		}
@@ -1165,5 +1170,125 @@ func BenchmarkQueryTruthPaginated(b *testing.B) {
 		if total != ds.NumFacts() {
 			b.Fatalf("paginated %d of %d rows", total, ds.NumFacts())
 		}
+	}
+}
+
+// --- Disk-backed segment store: data skipping and recovery ------------------
+
+// segBenchStore seals a 16-segment corpus (entity-sorted, so each segment
+// owns a disjoint entity range and the zone maps can discriminate) and
+// returns the backend plus a mid-corpus probe entity.
+func segBenchStore(b *testing.B) (latenttruth.StorageBackend, string) {
+	b.Helper()
+	const segments, rowsPerSeg = 16, 16_384
+	st := store.NewSegmentBacked(b.TempDir())
+	n := 0
+	for s := 0; s < segments; s++ {
+		for r := 0; r < rowsPerSeg; r++ {
+			st.AddRow(latenttruth.Row{
+				Entity:    fmt.Sprintf("entity-%07d", n/8),
+				Attribute: fmt.Sprintf("attribute-%d", n%8),
+				Source:    fmt.Sprintf("source-%02d", n%37),
+			})
+			n++
+		}
+		if _, err := st.Seal(uint64(s + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return st, fmt.Sprintf("entity-%07d", (segments*rowsPerSeg/2)/8)
+}
+
+// BenchmarkSegmentScanFull is the no-skipping baseline: answer an entity
+// point query by walking every row of the corpus, what any scoped read
+// cost when the heap row array was the only representation.
+func BenchmarkSegmentScanFull(b *testing.B) {
+	st, probe := segBenchStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits := 0
+		for _, r := range st.Rows() {
+			if r.Entity == probe {
+				hits++
+			}
+		}
+		if hits != 8 {
+			b.Fatalf("probe hit %d rows, want 8", hits)
+		}
+	}
+}
+
+// BenchmarkSegmentScanSkip answers the same point query through the
+// storage reader: per-segment zone maps and blooms rule out 15 of the 16
+// segments without I/O, and page zone maps narrow the one remaining
+// segment to the pages that can hold the entity.
+func BenchmarkSegmentScanSkip(b *testing.B) {
+	st, probe := segBenchStore(b)
+	rd := st.Reader()
+	before := st.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits := 0
+		err := rd.ScanEntities(map[string]struct{}{probe: {}}, func(latenttruth.Row) { hits++ })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hits != 8 {
+			b.Fatalf("probe hit %d rows, want 8", hits)
+		}
+	}
+	b.StopTimer()
+	after := st.Stats()
+	ops := after.SegmentsScanned + after.SegmentsSkipped - before.SegmentsScanned - before.SegmentsSkipped
+	if ops > 0 {
+		b.ReportMetric(float64(after.SegmentsSkipped-before.SegmentsSkipped)/float64(ops)*16, "segments-skipped/op")
+	}
+}
+
+// BenchmarkRecoverySegments is BenchmarkRecovery on the segment backend:
+// a cold boot reopens the sealed segments (CRC-verified, no CSV parse)
+// and replays only the 64-batch WAL tail.
+func BenchmarkRecoverySegments(b *testing.B) {
+	dir := b.TempDir()
+	cfg := latenttruth.ServeConfig{
+		LTM:           latenttruth.Config{Iterations: 40},
+		RefitInterval: -1,
+		Storage:       latenttruth.StorageSegments,
+		Durability:    latenttruth.DurabilityConfig{DataDir: dir, Fsync: latenttruth.FsyncNever},
+	}
+	s, err := latenttruth.NewTruthServer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := walBenchBatch()
+	if _, err := s.Ingest(rows); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Refit(""); err != nil { // checkpoint: seals the segment
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ { // acknowledged tail, never checkpointed
+		if _, err := s.Ingest(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := latenttruth.NewTruthServer(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs := r.RecoveryStats()
+		if rs.ColdStart || rs.ReplayedBatches != 64 {
+			b.Fatalf("recovery stats %+v", rs)
+		}
+		b.StopTimer()
+		r.Close()
+		b.StartTimer()
 	}
 }

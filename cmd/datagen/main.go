@@ -75,7 +75,7 @@ func run() error {
 
 	write := writer(*dir, *corpus)
 	if err := write("triples", func(w io.Writer) error {
-		return latenttruth.WriteTriples(w, positiveDB(ds))
+		return latenttruth.WriteTriplesRows(w, positiveRows(ds))
 	}); err != nil {
 		return err
 	}
@@ -114,7 +114,7 @@ func runScale(claims, sources int, seed int64, dir string) error {
 		st.Entities, st.Facts, st.Sources, st.Claims, st.PositiveClaims)
 	write := writer(dir, "scale")
 	if err := write("triples", func(w io.Writer) error {
-		return latenttruth.WriteTriples(w, positiveDB(ds))
+		return latenttruth.WriteTriplesRows(w, positiveRows(ds))
 	}); err != nil {
 		return err
 	}
@@ -123,17 +123,22 @@ func runScale(claims, sources int, seed int64, dir string) error {
 	})
 }
 
-// positiveDB reconstructs the raw database from a dataset's positive
-// claims — the wire form a client would POST or truthfind would read.
-func positiveDB(ds *latenttruth.Dataset) *latenttruth.RawDB {
-	db := latenttruth.NewRawDB()
+// positiveRows reconstructs the raw rows from a dataset's positive
+// claims — the wire form a client would POST or truthfind would read —
+// through the storage API (duplicate-free, insertion order).
+func positiveRows(ds *latenttruth.Dataset) []latenttruth.Row {
+	st := latenttruth.NewMemoryStorage()
 	for _, cl := range ds.Claims {
 		if cl.Observation {
 			f := ds.Facts[cl.Fact]
-			db.Add(ds.Entities[f.Entity], f.Attribute, ds.Sources[cl.Source])
+			st.AddRow(latenttruth.Row{
+				Entity:    ds.Entities[f.Entity],
+				Attribute: f.Attribute,
+				Source:    ds.Sources[cl.Source],
+			})
 		}
 	}
-	return db
+	return st.Rows()
 }
 
 // writer returns a helper writing one named CSV under dir.

@@ -11,7 +11,8 @@
 //	           [-refit-interval 2s] [-full-every 10] [-min-batch 1]
 //	           [-threshold 0.5] [-iterations 100] [-seed 1]
 //	           [-shards 1] [-sync-every 5] [-preload triples.csv]
-//	           [-data-dir state/] [-fsync always|interval|never]
+//	           [-data-dir state/] [-storage memory|segments]
+//	           [-fsync always|interval|never]
 //	           [-fsync-interval 100ms] [-segment-bytes 67108864]
 //	           [-retain-checkpoints 3]
 //	           [-follow http://primary:8080] [-follower-id name]
@@ -38,6 +39,16 @@
 // replay). -fsync trades durability against ingest latency: "always"
 // survives power loss, "interval" bounds loss to -fsync-interval, "never"
 // leaves syncing to the OS — all three survive a SIGKILL of the process.
+//
+// With -storage segments (requires -data-dir), checkpoints seal the
+// newly compacted claims into immutable on-disk segments — entity-sorted
+// runs with per-page CRCs, entity zone maps and source bloom filters —
+// instead of rewriting the whole corpus as CSV. Recovery reopens the
+// CRC-verified segments and replays only the short WAL tail, so restart
+// time scales with the tail, not the corpus; entity- and source-scoped
+// reads (GET /claims, dirty refits) skip every segment whose metadata
+// rules it out. Replication primaries must use -storage memory (follower
+// bootstrap ships CSV checkpoints).
 //
 // With -follow, the daemon is a read replica of the given primary: it
 // bootstraps from the primary's newest checkpoint, tails the primary's
@@ -72,6 +83,7 @@
 // Endpoints:
 //
 //	POST /claims  {"claims":[{"entity":"...","attribute":"...","source":"..."}]}
+//	GET  /claims  [?entity=...|?prefix=...][&source=...][&limit=n]
 //	GET  /truth   [?entity=...[&attribute=...]]
 //	GET  /quality
 //	GET  /records ?entity=...
@@ -123,6 +135,7 @@ func run() error {
 		preload    = flag.String("preload", "", "triples CSV to ingest before serving (optional)")
 
 		dataDir       = flag.String("data-dir", "", "state directory for the WAL and checkpoints (empty = memory-only)")
+		storage       = flag.String("storage", "memory", "claim storage backend: memory (heap rows, CSV checkpoints) or segments (immutable on-disk segments with zone-map/bloom data skipping; requires -data-dir, recovery replays only the WAL tail)")
 		fsync         = flag.String("fsync", "interval", "WAL fsync policy: always, interval or never")
 		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "max unsynced time under -fsync interval")
 		segmentBytes  = flag.Int64("segment-bytes", 64<<20, "WAL segment rotation size in bytes")
@@ -192,6 +205,7 @@ func run() error {
 		MinBatch:      *minBatch,
 		Shards:        *shards,
 		SyncEvery:     *syncEvery,
+		Storage: *storage,
 		Durability: latenttruth.DurabilityConfig{
 			DataDir:           *dataDir,
 			Fsync:             latenttruth.FsyncPolicy(*fsync),

@@ -14,11 +14,11 @@
 //
 // Quickstart:
 //
-//	db := latenttruth.NewRawDB()
-//	db.Add("Harry Potter", "Daniel Radcliffe", "IMDB")
-//	db.Add("Harry Potter", "Johnny Depp", "BadSource.com")
+//	st := latenttruth.NewMemoryStorage()
+//	st.AddRow(latenttruth.Row{Entity: "Harry Potter", Attribute: "Daniel Radcliffe", Source: "IMDB"})
+//	st.AddRow(latenttruth.Row{Entity: "Harry Potter", Attribute: "Johnny Depp", Source: "BadSource.com"})
 //	// ... more triples ...
-//	ds := latenttruth.BuildDataset(db)
+//	ds := latenttruth.BuildDatasetRows(st.Rows())
 //	fit, err := latenttruth.NewLTM(latenttruth.Config{}).Fit(ds)
 //	if err != nil { ... }
 //	records, err := latenttruth.Integrate(ds, fit.Result, 0.5)

@@ -14,7 +14,7 @@ import (
 // Example demonstrates end-to-end truth discovery on the paper's running
 // example: conflicting cast lists for Harry Potter.
 func Example() {
-	db := latenttruth.NewRawDB()
+	st := latenttruth.NewMemoryStorage()
 	for _, r := range [][3]string{
 		{"Harry Potter", "Daniel Radcliffe", "IMDB"},
 		{"Harry Potter", "Emma Watson", "IMDB"},
@@ -25,9 +25,9 @@ func Example() {
 		{"Harry Potter", "Johnny Depp", "BadSource.com"},
 		{"Pirates 4", "Johnny Depp", "Hulu.com"},
 	} {
-		db.Add(r[0], r[1], r[2])
+		st.AddRow(latenttruth.Row{Entity: r[0], Attribute: r[1], Source: r[2]})
 	}
-	ds := latenttruth.BuildDataset(db)
+	ds := latenttruth.BuildDatasetRows(st.Rows())
 	fmt.Printf("%d facts, %d claims (%d positive)\n",
 		ds.NumFacts(), ds.NumClaims(), ds.NumPositiveClaims())
 

@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	db := latenttruth.NewRawDB()
+	st := latenttruth.NewMemoryStorage()
 	for _, row := range [][3]string{
 		{"Harry Potter", "Daniel Radcliffe", "IMDB"},
 		{"Harry Potter", "Emma Watson", "IMDB"},
@@ -27,15 +27,15 @@ func main() {
 		{"Harry Potter", "Johnny Depp", "BadSource.com"},
 		{"Pirates 4", "Johnny Depp", "Hulu.com"},
 	} {
-		db.Add(row[0], row[1], row[2])
+		st.AddRow(latenttruth.Row{Entity: row[0], Attribute: row[1], Source: row[2]})
 	}
 
 	// Derive the fact and claim tables (Definitions 1-3): this is where
 	// negative claims appear — Netflix did not list Emma Watson although it
 	// covered Harry Potter, so it implicitly denies her.
-	ds := latenttruth.BuildDataset(db)
+	ds := latenttruth.BuildDatasetRows(st.Rows())
 	fmt.Printf("raw rows: %d -> facts: %d, claims: %d (%d positive)\n\n",
-		db.Len(), ds.NumFacts(), ds.NumClaims(), ds.NumPositiveClaims())
+		st.Len(), ds.NumFacts(), ds.NumClaims(), ds.NumPositiveClaims())
 
 	// Fit the Latent Truth Model. On data this small the quality signal is
 	// weak, so nudge it with domain knowledge (§4.2.1): sources rarely

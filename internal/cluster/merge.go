@@ -83,6 +83,12 @@ const (
 	// the merged quality counts), which the caller supplies — a sum would
 	// double-count every source claiming in more than one partition.
 	ruleSources
+	// ruleStorage merges the nested storage object: its "kind" string
+	// combines like ruleCommon (a cluster mixing memory and segment
+	// backends reports "mixed"), and every numeric field sums — row,
+	// segment, byte and skip counts are all additive across disjoint
+	// partitions.
+	ruleStorage
 )
 
 // statsMergeRules assigns every /stats field its merge rule. MergeStats
@@ -115,6 +121,7 @@ var statsMergeRules = map[string]mergeRule{
 	"positive_claims": ruleSum,
 	"negative_claims": ruleSum,
 	"labeled":         ruleSum,
+	"storage":         ruleStorage,
 }
 
 // MergeStats combines the partitions' decoded /stats payloads field by
@@ -151,6 +158,39 @@ func MergeStats(parts []map[string]any, sources int) (map[string]any, error) {
 					out[field] = s
 				} else if prev.(string) != s {
 					out[field] = "mixed"
+				}
+			case ruleStorage:
+				m, ok := v.(map[string]any)
+				if !ok {
+					return nil, fmt.Errorf("cluster: /stats field %q: partition %d sent %T, want object", field, pi, v)
+				}
+				var acc map[string]any
+				if !seen {
+					acc = make(map[string]any, len(m))
+					out[field] = acc
+				} else {
+					acc = prev.(map[string]any)
+				}
+				for k, sv := range m {
+					cur, found := acc[k]
+					switch val := sv.(type) {
+					case string:
+						if !found {
+							acc[k] = val
+						} else if cs, ok := cur.(string); !ok || cs != val {
+							acc[k] = "mixed"
+						}
+					case float64:
+						if !found {
+							acc[k] = val
+						} else if cf, ok := cur.(float64); ok {
+							acc[k] = cf + val
+						} else {
+							return nil, fmt.Errorf("cluster: /stats storage field %q: partitions disagree on its type", k)
+						}
+					default:
+						return nil, fmt.Errorf("cluster: /stats storage field %q: partition %d sent %T, want string or number", k, pi, sv)
+					}
 				}
 			default:
 				f, ok := v.(float64)

@@ -78,6 +78,12 @@ var gaugeMergeRules = map[string]obs.GaugeRule{
 	// merger: caught-up is an AND (min over 0/1), applied seq a head max.
 	"replica_caught_up":        obs.GaugeMin,
 	"replica_last_applied_seq": obs.GaugeMax,
+	// Storage shape: rows, segments and bytes add across disjoint
+	// partitions, same as the /stats storage block.
+	"storage_resident_rows": obs.GaugeSum,
+	"storage_disk_rows":     obs.GaugeSum,
+	"storage_segments":      obs.GaugeSum,
+	"storage_segment_bytes": obs.GaugeSum,
 }
 
 // GaugeMergeRuleNames returns the gauge families covered by the rule
@@ -131,7 +137,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	merged, err := obs.Merge(bodies, gaugeMergeRules)
 	if err != nil {
-		rt.writeError(w, http.StatusInternalServerError, err)
+		rt.writeError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -139,8 +139,20 @@ func (rt *Router) writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
-func (rt *Router) writeError(w http.ResponseWriter, code int, err error) {
-	rt.writeJSON(w, code, map[string]string{"error": err.Error()})
+// Stable machine-readable error codes for the router's own responses
+// (mirroring serve's envelope contract). Proxied responses pass the owning
+// partition's envelope through byte-identically and are not rewritten.
+const (
+	codeBadRequest = "bad_request"
+	// codePartitionDown: the partition owning the requested range is
+	// unreachable or failing; the rest of the cluster still serves.
+	codePartitionDown = "partition_down"
+	codeUnavailable   = "unavailable"
+	codeInternal      = "internal"
+)
+
+func (rt *Router) writeError(w http.ResponseWriter, status int, code string, err error) {
+	rt.writeJSON(w, status, map[string]string{"error": err.Error(), "code": code})
 }
 
 // partitionError is a failed partition call, carrying the partition id so
@@ -166,17 +178,18 @@ func (e partitionError) Unwrap() error { return e.err }
 func (rt *Router) writePartitionError(w http.ResponseWriter, err error) {
 	var pe partitionError
 	if errors.As(err, &pe) {
-		code := http.StatusServiceUnavailable
+		status, code := http.StatusServiceUnavailable, codePartitionDown
 		if pe.status >= 400 && pe.status < 500 {
-			code = http.StatusBadRequest
+			status, code = http.StatusBadRequest, codeBadRequest
 		}
-		rt.writeJSON(w, code, map[string]any{
+		rt.writeJSON(w, status, map[string]any{
 			"error":     err.Error(),
+			"code":      code,
 			"partition": pe.partition,
 		})
 		return
 	}
-	rt.writeError(w, http.StatusServiceUnavailable, err)
+	rt.writeError(w, http.StatusServiceUnavailable, codePartitionDown, err)
 }
 
 // proxy forwards the request verbatim to partition p and copies the
@@ -294,7 +307,7 @@ func (rt *Router) handleClaims(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, maxClaimsBody)
 	var raw json.RawMessage
 	if err := json.NewDecoder(body).Decode(&raw); err != nil {
-		rt.writeError(w, http.StatusBadRequest, err)
+		rt.writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	var claims []claimJSON
@@ -303,16 +316,16 @@ func (rt *Router) handleClaims(w http.ResponseWriter, r *http.Request) {
 			Claims []claimJSON `json:"claims"`
 		}
 		if err := json.Unmarshal(raw, &envelope); err != nil {
-			rt.writeError(w, http.StatusBadRequest, err)
+			rt.writeError(w, http.StatusBadRequest, codeBadRequest, err)
 			return
 		}
 		claims = envelope.Claims
 	} else if err := json.Unmarshal(raw, &claims); err != nil {
-		rt.writeError(w, http.StatusBadRequest, err)
+		rt.writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	if len(claims) == 0 {
-		rt.writeError(w, http.StatusBadRequest, errors.New("cluster: empty claim batch"))
+		rt.writeError(w, http.StatusBadRequest, codeBadRequest, errors.New("cluster: empty claim batch"))
 		return
 	}
 	rows := make([]model.Row, len(claims))
@@ -320,7 +333,7 @@ func (rt *Router) handleClaims(w http.ResponseWriter, r *http.Request) {
 		rows[i] = model.Row{Entity: c.Entity, Attribute: c.Attribute, Source: c.Source}
 	}
 	if err := ValidateBatch(rows); err != nil {
-		rt.writeError(w, http.StatusBadRequest, err)
+		rt.writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	parts := SplitBatch(rows, rt.k())
@@ -403,7 +416,7 @@ func (rt *Router) handleTruth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if q.Get("cursor") != "" {
-		rt.writeError(w, http.StatusBadRequest,
+		rt.writeError(w, http.StatusBadRequest, codeBadRequest,
 			errors.New("cluster: cursor pagination is per-partition; scope the query with ?entity= or drop the cursor"))
 		return
 	}
@@ -433,7 +446,7 @@ func (rt *Router) handleTruth(w http.ResponseWriter, r *http.Request) {
 	}
 	for i := 1; i < rt.k(); i++ {
 		if parts[i].Threshold != parts[0].Threshold {
-			rt.writeError(w, http.StatusServiceUnavailable,
+			rt.writeError(w, http.StatusServiceUnavailable, codeUnavailable,
 				fmt.Errorf("cluster: partition %d threshold %v != partition 0 threshold %v",
 					i, parts[i].Threshold, parts[0].Threshold))
 			return
@@ -605,7 +618,7 @@ func (rt *Router) handleQuality(w http.ResponseWriter, r *http.Request) {
 	}
 	merged, err := MergeQuality(parts)
 	if err != nil {
-		rt.writeError(w, http.StatusServiceUnavailable, err)
+		rt.writeError(w, http.StatusServiceUnavailable, codeUnavailable, err)
 		return
 	}
 	seqList := make([]int64, len(parts))
@@ -656,7 +669,7 @@ func (rt *Router) handleRecords(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if q.Get("cursor") != "" {
-		rt.writeError(w, http.StatusBadRequest,
+		rt.writeError(w, http.StatusBadRequest, codeBadRequest,
 			errors.New("cluster: cursor pagination is per-partition; scope the query with ?entity= or drop the cursor"))
 		return
 	}
@@ -730,7 +743,7 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	merged, err := MergeStats(parts, sources)
 	if err != nil {
-		rt.writeError(w, http.StatusInternalServerError, err)
+		rt.writeError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
 	merged["partitions"] = rt.k()

@@ -47,11 +47,17 @@ func ReadTriples(r io.Reader) (*model.RawDB, error) {
 
 // WriteTriples writes the raw database with a header row.
 func WriteTriples(w io.Writer, db *model.RawDB) error {
+	return WriteTriplesRows(w, db.Rows())
+}
+
+// WriteTriplesRows is WriteTriples over a bare row slice, for storage
+// backends that hold rows outside a RawDB.
+func WriteTriplesRows(w io.Writer, rows []model.Row) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(TriplesHeader); err != nil {
 		return fmt.Errorf("dataset: writing triples header: %w", err)
 	}
-	for _, r := range db.Rows() {
+	for _, r := range rows {
 		if err := cw.Write([]string{r.Entity, r.Attribute, r.Source}); err != nil {
 			return fmt.Errorf("dataset: writing triple: %w", err)
 		}

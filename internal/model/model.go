@@ -158,7 +158,13 @@ func (d *Dataset) LabeledFacts() []int {
 //
 // Claim order is deterministic: facts in id order, and for each fact its
 // claiming sources in source-id order.
-func Build(db *RawDB) *Dataset {
+func Build(db *RawDB) *Dataset { return BuildRows(db.Rows()) }
+
+// BuildRows is Build over a bare row slice, for storage backends that hold
+// rows outside a RawDB. Rows must be duplicate-free and in insertion order:
+// ids are assigned by first appearance, so the same rows in the same order
+// always derive the identical dataset regardless of where they were held.
+func BuildRows(rows []Row) *Dataset {
 	d := &Dataset{Labels: make(map[int]bool)}
 
 	entityID := make(map[string]int)
@@ -170,7 +176,7 @@ func Build(db *RawDB) *Dataset {
 	// entitySources[e] is the set of sources that asserted any fact of e.
 	var entitySources []map[int]struct{}
 
-	for _, r := range db.Rows() {
+	for _, r := range rows {
 		e, ok := entityID[r.Entity]
 		if !ok {
 			e = len(d.Entities)

@@ -1,0 +1,22 @@
+//go:build linux
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps f read-only. Segments are immutable once sealed, so
+// a shared read-only mapping is safe and lets the page cache, not the Go
+// heap, hold cold row bytes.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,22 @@
+//go:build !linux
+
+package segment
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile falls back to reading the whole file on platforms where the
+// syscall mmap path is not wired up. The Segment API is identical; only
+// residency differs.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	if int64(len(data)) != size {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	return data, func() error { return nil }, nil
+}

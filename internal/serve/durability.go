@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -14,6 +15,8 @@ import (
 	"latenttruth/internal/dataset"
 	"latenttruth/internal/model"
 	"latenttruth/internal/obs"
+	"latenttruth/internal/segment"
+	"latenttruth/internal/store"
 	"latenttruth/internal/stream"
 	"latenttruth/internal/wal"
 )
@@ -128,7 +131,40 @@ func (s *Server) openDurable() error {
 	}
 	d.checkpoints.Store(int64(rec.Store.Count()))
 
-	s.db = rec.DB
+	// Reconcile the configured storage kind with what the directory was
+	// written by: adopting a memory checkpoint under -storage=segments (or
+	// vice versa) would be a silent format migration, so it errors loudly.
+	// A cold directory accepts either kind.
+	diskKind := rec.Storage
+	if diskKind == "" && rec.Checkpoint != nil {
+		diskKind = store.StorageMemory
+	}
+	if diskKind != "" && diskKind != s.cfg.Storage {
+		rec.Log.Close()
+		return fmt.Errorf("serve: %s was written by storage kind %q but the server is configured for %q; refusing to mix formats",
+			dcfg.DataDir, diskKind, s.cfg.Storage)
+	}
+	switch s.cfg.Storage {
+	case store.StorageSegments:
+		segDir := wal.SegmentDir(dcfg.DataDir)
+		if err := os.MkdirAll(segDir, 0o755); err != nil {
+			rec.Log.Close()
+			return fmt.Errorf("serve: creating segment directory: %w", err)
+		}
+		sb, err := store.OpenSegmentBacked(segDir, rec.Segments, rec.DB)
+		if err != nil {
+			rec.Log.Close()
+			return fmt.Errorf("serve: opening segments under %s: %w", dcfg.DataDir, err)
+		}
+		s.db = sb
+		if n := len(rec.Segments); n > 0 {
+			st := sb.Stats()
+			s.logf("serve: storage=segments: opened %d segments (%d rows on disk, %d bytes, no CSV replay)",
+				n, st.OnDisk, st.SegmentBytes)
+		}
+	default:
+		s.db = store.NewMemoryFrom(rec.DB)
+	}
 	s.ingest.log = rec.Log
 	if cp := rec.Checkpoint; cp != nil {
 		m := cp.Manifest
@@ -227,7 +263,7 @@ func (s *Server) restoreSnapshot(cp *wal.Checkpoint) error {
 	if s.db.Len() == 0 {
 		return nil
 	}
-	ds := model.Build(s.db)
+	ds := model.BuildRows(s.db.Rows())
 	prob, ok, err := cp.ReadPosterior(ds)
 	if err != nil {
 		return err
@@ -262,12 +298,15 @@ func (s *Server) restoreSnapshot(cp *wal.Checkpoint) error {
 // fail the refit — the snapshot is already live and the WAL still covers
 // everything — it is logged and counted for /durability.
 //
-// Cost note: every checkpoint serializes the WHOLE cumulative database,
-// so the per-refit I/O is O(history) — the price of making every
-// published snapshot a recovery point that restarts bit-identically
-// (counters, cadence and accumulated quality included). For very large
-// histories with frequent tiny refits, stretch RefitInterval / MinBatch;
-// the WAL alone keeps every acknowledged batch durable between refits.
+// Cost note: under memory storage every checkpoint serializes the WHOLE
+// cumulative database as triples.csv, so the per-refit I/O is O(history).
+// Segment storage removes that: rows sealed by earlier checkpoints live
+// in immutable segment files that are simply referenced again, and only
+// the tail ingested since the previous checkpoint is sealed into one new
+// segment — O(new rows) per checkpoint, with the same bit-identical
+// restart guarantee. For very large histories on the memory kind, stretch
+// RefitInterval / MinBatch; the WAL alone keeps every acknowledged batch
+// durable between refits.
 func (s *Server) checkpoint(snap *Snapshot) {
 	d := s.dur
 	start := time.Now()
@@ -288,12 +327,28 @@ func (s *Server) checkpoint(snap *Snapshot) {
 		return
 	}
 	m.Policy = state
+	// Corpus coverage: the segment backend seals the rows ingested since
+	// the previous checkpoint into one new immutable segment and records
+	// the full (append-only) segment list in the manifest instead of a
+	// CSV copy; the memory backend keeps writing triples.csv wholesale.
+	var triples func(io.Writer) error
+	if sb, ok := s.db.(*store.SegmentBacked); ok {
+		refs, err := sb.Seal(uint64(snap.Seq))
+		if err != nil {
+			s.checkpointFailed(fmt.Errorf("sealing segment: %w", err))
+			return
+		}
+		m.Storage = store.StorageSegments
+		m.Segments = refs
+	} else {
+		rows := s.db.Rows()
+		triples = func(w io.Writer) error { return dataset.WriteTriplesRows(w, rows) }
+	}
 	// The posterior makes the checkpoint a full snapshot restore point:
 	// recovery (and a bootstrapping follower) reconstructs the published
 	// probabilities bit-exactly, so a subsequent dirty refit extends the
 	// same previous posterior the primary extended.
-	err = d.store.Write(m,
-		func(w io.Writer) error { return dataset.WriteTriples(w, s.db) },
+	err = d.store.Write(m, triples,
 		func(w io.Writer) error { return dataset.WriteQuality(w, s.online.Quality()) },
 		func(w io.Writer) error { return dataset.WritePosterior(w, snap.Dataset, snap.Result.Prob) })
 	if err != nil {
@@ -317,6 +372,18 @@ func (s *Server) checkpoint(snap *Snapshot) {
 	if err := d.log.TruncateBefore(left[0].Manifest.WALSeq + 1); err != nil {
 		s.checkpointFailed(err)
 		return
+	}
+	// With the new checkpoint published and older ones pruned, any segment
+	// file the newest manifest does not reference is garbage — a seal
+	// whose checkpoint never committed, or a stale temp. (Retained older
+	// checkpoints reference prefixes of the newest list, so keeping only
+	// the newest coverage is safe for fallback recovery.)
+	if len(m.Segments) > 0 {
+		if n, err := segment.Clean(wal.SegmentDir(d.cfg.DataDir), m.Segments); err != nil {
+			s.warnf("serve: cleaning orphan segments: %v", err)
+		} else if n > 0 {
+			s.logf("serve: removed %d orphan segment file(s)", n)
+		}
 	}
 	d.checkpoints.Store(int64(len(left)))
 	d.lastSeq.Store(m.Seq)

@@ -15,6 +15,7 @@ import (
 	"latenttruth/internal/model"
 	"latenttruth/internal/obs"
 	"latenttruth/internal/query"
+	"latenttruth/internal/store"
 )
 
 // maxClaimsBody bounds a POST /claims request body (32 MiB).
@@ -23,6 +24,7 @@ const maxClaimsBody = 32 << 20
 // Handler returns the daemon's HTTP API:
 //
 //	POST /claims  — ingest a batch of triples
+//	GET  /claims  — raw claims from storage (?entity=|?prefix=, ?source=, ?limit=)
 //	GET  /truth   — the truth table (optionally ?entity= and ?attribute=)
 //	GET  /quality — the per-source quality table (Table 8 order)
 //	GET  /records — one entity's integrated record (?entity=)
@@ -47,6 +49,7 @@ const maxClaimsBody = 32 << 20
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /claims", s.handleClaims)
+	mux.HandleFunc("GET /claims", s.handleClaimsQuery)
 	mux.HandleFunc("GET /truth", s.handleTruth)
 	mux.HandleFunc("GET /quality", s.handleQuality)
 	mux.HandleFunc("GET /records", s.handleRecords)
@@ -66,6 +69,39 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// Stable machine-readable error codes. Every non-2xx response body is
+// the envelope {"error": <human message>, "code": <one of these>}, with
+// endpoint-specific supplementary fields ("primary", "restart") added
+// alongside — never replacing — the envelope. Clients branch on the
+// code; the message is free to improve without breaking them.
+const (
+	// codeBadRequest: malformed parameters, bodies or cursors (400).
+	codeBadRequest = "bad_request"
+	// codeNotFound: the named entity/fact/source/resource does not exist (404).
+	codeNotFound = "not_found"
+	// codeStaleCursor: a pagination cursor from a superseded snapshot (410).
+	codeStaleCursor = "stale_cursor"
+	// codeFollowerReadonly: a write endpoint on a replication follower (503).
+	codeFollowerReadonly = "follower_readonly"
+	// codeNotReady: no snapshot published yet; retry after a refit (503).
+	codeNotReady = "not_ready"
+	// codeNoData: a refit was forced with nothing ever ingested (409).
+	codeNoData = "no_data"
+	// codeUnavailable: a transient server-side failure worth retrying (503).
+	codeUnavailable = "unavailable"
+	// codeInternal: an unexpected server-side failure (500).
+	codeInternal = "internal"
+	// codeWALTruncated: the requested replication history was truncated;
+	// re-bootstrap from /replication/checkpoint (410).
+	codeWALTruncated = "wal_truncated"
+	// codeFollowerAhead: the follower holds records past this primary's log
+	// head — primary state was lost or replaced (409).
+	codeFollowerAhead = "follower_ahead"
+	// codeStorageUnsupported: the operation is not implemented for this
+	// storage backend (501).
+	codeStorageUnsupported = "storage_unsupported"
+)
+
 // rejectOnFollower writes the 503 a write endpoint returns in follower
 // mode, pointing the client at the primary. It reports whether the
 // request was rejected.
@@ -75,6 +111,7 @@ func (s *Server) rejectOnFollower(w http.ResponseWriter) bool {
 	}
 	s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
 		"error":   ErrFollower.Error(),
+		"code":    codeFollowerReadonly,
 		"primary": s.cfg.FollowerOf,
 	})
 	return true
@@ -104,9 +141,9 @@ func (s *Server) encodeFailure(err error) {
 	s.warnf("serve: encoding response: %v", err)
 }
 
-// writeError writes a JSON error envelope.
-func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
-	s.writeJSON(w, code, map[string]string{"error": err.Error()})
+// writeError writes the standard JSON error envelope {"error","code"}.
+func (s *Server) writeError(w http.ResponseWriter, status int, code string, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error(), "code": code})
 }
 
 // writeQueryError maps a query-engine error onto its HTTP status: the
@@ -116,11 +153,13 @@ func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
 func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNoEntity), errors.Is(err, ErrNoFact), errors.Is(err, ErrNoSource):
-		s.writeError(w, http.StatusNotFound, err)
+		s.writeError(w, http.StatusNotFound, codeNotFound, err)
 	case errors.Is(err, ErrStaleCursor):
-		s.writeJSON(w, http.StatusGone, map[string]any{"error": err.Error(), "restart": true})
+		s.writeJSON(w, http.StatusGone, map[string]any{
+			"error": err.Error(), "code": codeStaleCursor, "restart": true,
+		})
 	default:
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, err)
 	}
 }
 
@@ -189,7 +228,7 @@ func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(body)
 	var raw json.RawMessage
 	if err := dec.Decode(&raw); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	var claims []claimJSON
@@ -198,16 +237,16 @@ func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
 			Claims []claimJSON `json:"claims"`
 		}
 		if err := json.Unmarshal(raw, &envelope); err != nil {
-			s.writeError(w, http.StatusBadRequest, err)
+			s.writeError(w, http.StatusBadRequest, codeBadRequest, err)
 			return
 		}
 		claims = envelope.Claims
 	} else if err := json.Unmarshal(raw, &claims); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	if len(claims) == 0 {
-		s.writeError(w, http.StatusBadRequest, errors.New("serve: empty claim batch"))
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, errors.New("serve: empty claim batch"))
 		return
 	}
 	rows := make([]model.Row, len(claims))
@@ -218,12 +257,12 @@ func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Malformed claims are the client's fault; anything else (WAL I/O
 		// failure, shutdown) is a server-side condition worth retrying.
-		code := http.StatusServiceUnavailable
+		status, code := http.StatusServiceUnavailable, codeUnavailable
 		var bad badBatchError
 		if errors.As(err, &bad) {
-			code = http.StatusBadRequest
+			status, code = http.StatusBadRequest, codeBadRequest
 		}
-		s.writeError(w, code, err)
+		s.writeError(w, status, code, err)
 		return
 	}
 	s.writeJSON(w, http.StatusAccepted, map[string]any{
@@ -231,6 +270,41 @@ func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
 		"pending":  s.ingest.Len(),
 		"total":    s.ingest.Total(),
 	})
+}
+
+// handleClaimsQuery serves raw claims straight from the storage backend —
+// the compacted corpus, not the fitted snapshot: it answers even when no
+// snapshot is published, and batches still pending in the ingest log
+// appear once the next refit drains them into the store. Filters
+// push down into the backend: on the segment store an ?entity= or
+// ?prefix= scan skips every segment whose zone map or bloom filter rules
+// it out. Rows are returned in (entity, attribute, source) order, which
+// is backend-independent.
+func (s *Server) handleClaimsQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	opts := query.ClaimsOptions{
+		Entity: q.Get("entity"),
+		Prefix: q.Get("prefix"),
+		Source: q.Get("source"),
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("serve: bad limit %q", v))
+			return
+		}
+		opts.Limit = n
+	}
+	rows, err := query.ScanClaims(s.db.Reader(), opts)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, err)
+		return
+	}
+	claims := make([]claimJSON, len(rows))
+	for i, r := range rows {
+		claims[i] = claimJSON{Entity: r.Entity, Attribute: r.Attribute, Source: r.Source}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"count": len(claims), "claims": claims})
 }
 
 // truthResponse is the GET /truth payload. Facts always equals len(Rows);
@@ -302,12 +376,12 @@ func legacyShape(opts query.TruthOptions) bool {
 func (s *Server) handleTruth(w http.ResponseWriter, r *http.Request) {
 	sn := s.Snapshot()
 	if sn == nil {
-		s.writeError(w, http.StatusServiceUnavailable, errNoSnapshot)
+		s.writeError(w, http.StatusServiceUnavailable, codeNotReady, errNoSnapshot)
 		return
 	}
 	opts, agg, err := truthQueryParams(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	if agg != "" {
@@ -406,7 +480,7 @@ type qualityJSON struct {
 func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 	sn := s.Snapshot()
 	if sn == nil {
-		s.writeError(w, http.StatusServiceUnavailable, errNoSnapshot)
+		s.writeError(w, http.StatusServiceUnavailable, codeNotReady, errNoSnapshot)
 		return
 	}
 	rows := make([]qualityJSON, len(sn.Quality))
@@ -445,11 +519,11 @@ type PartitionQuality struct {
 func (s *Server) handlePartitionQuality(w http.ResponseWriter, r *http.Request) {
 	sn := s.Snapshot()
 	if sn == nil {
-		s.writeError(w, http.StatusServiceUnavailable, errNoSnapshot)
+		s.writeError(w, http.StatusServiceUnavailable, codeNotReady, errNoSnapshot)
 		return
 	}
 	if sn.QualityCounts == nil {
-		s.writeError(w, http.StatusServiceUnavailable,
+		s.writeError(w, http.StatusServiceUnavailable, codeNotReady,
 			errors.New("serve: no quality counts on this snapshot (refit to rebuild)"))
 		return
 	}
@@ -492,7 +566,7 @@ func toAttrJSON(attrs []integrate.Attribute) []attributeJSON {
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	sn := s.Snapshot()
 	if sn == nil {
-		s.writeError(w, http.StatusServiceUnavailable, errNoSnapshot)
+		s.writeError(w, http.StatusServiceUnavailable, codeNotReady, errNoSnapshot)
 		return
 	}
 	q := r.URL.Query()
@@ -500,7 +574,7 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad limit %q", v))
+			s.writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("serve: bad limit %q", v))
 			return
 		}
 		opts.Limit = n
@@ -594,6 +668,12 @@ type statsResponse struct {
 	PositiveClaims int `json:"positive_claims"`
 	NegativeClaims int `json:"negative_claims"`
 	Labeled        int `json:"labeled"`
+
+	// Storage reports the claim-storage backend's shape: resident (heap)
+	// vs on-disk row counts are kept separate, and the skipping counters
+	// show how much I/O the zone maps and blooms pruned. Always present,
+	// even before the first refit.
+	Storage store.StorageStats `json:"storage"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -609,6 +689,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeS:        time.Since(s.started).Seconds(),
 		Version:        obs.Version,
 		Commit:         obs.Commit,
+		Storage:        s.db.Stats(),
 	}
 	if sn := s.Snapshot(); sn != nil {
 		resp.Ready = true
@@ -654,16 +735,16 @@ func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
 	}
 	override := RefitPolicy(r.URL.Query().Get("policy"))
 	if override != "" && !override.valid() {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown refit policy %q", override))
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("serve: unknown refit policy %q", override))
 		return
 	}
 	sn, err := s.Refit(override)
 	switch {
 	case err == ErrNoData:
-		s.writeError(w, http.StatusConflict, err)
+		s.writeError(w, http.StatusConflict, codeNoData, err)
 		return
 	case err != nil:
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{

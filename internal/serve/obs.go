@@ -155,6 +155,23 @@ func (s *Server) initObs() {
 			}
 			return 0
 		})
+	// Storage-backend gauges read Backend.Stats(), which is atomics-only —
+	// a scrape never contends with an in-flight refit or seal. They are
+	// registered on every instrumented server (a memory backend reports
+	// zero disk rows/segments) so the cluster-level merge rules always see
+	// the family.
+	s.reg.GaugeFunc("storage_resident_rows",
+		"Claim rows resident on the heap (memory backend: the whole corpus).",
+		func() float64 { return float64(s.db.Stats().Resident) })
+	s.reg.GaugeFunc("storage_disk_rows",
+		"Claim rows covered by sealed on-disk segments.",
+		func() float64 { return float64(s.db.Stats().OnDisk) })
+	s.reg.GaugeFunc("storage_segments",
+		"Sealed claim segments currently open.",
+		func() float64 { return float64(s.db.Stats().Segments) })
+	s.reg.GaugeFunc("storage_segment_bytes",
+		"Total bytes of the sealed claim segments.",
+		func() float64 { return float64(s.db.Stats().SegmentBytes) })
 }
 
 // Registry returns the server's metric registry (never nil). A follower

@@ -16,6 +16,7 @@ import (
 
 	"latenttruth/internal/core"
 	"latenttruth/internal/model"
+	"latenttruth/internal/store"
 	"latenttruth/internal/wal"
 )
 
@@ -316,7 +317,7 @@ func (s *Server) bootstrapFollowerSnapshot() error {
 		s.warnf("serve: follower has no reusable policy state (config mismatch?); serving starts at the first replicated refit")
 		return nil
 	}
-	ds := model.Build(s.db)
+	ds := model.BuildRows(s.db.Rows())
 	res, err := s.online.Predict(ds)
 	if err != nil {
 		return err
@@ -342,13 +343,22 @@ var checkpointFiles = []string{"MANIFEST.json", "triples.csv", "quality.csv", wa
 // cannot tear the response (unlinked files stay readable through the open
 // descriptors).
 func (s *Server) handleReplCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.db.(*store.SegmentBacked); ok {
+		// Segment checkpoints carry no triples.csv, so there is nothing a
+		// follower could bootstrap its corpus from; replicated primaries
+		// must run -storage=memory (enforced for followers at config time,
+		// surfaced here for primaries a follower is pointed at anyway).
+		s.writeError(w, http.StatusNotImplemented, codeStorageUnsupported, errors.New(
+			"serve: checkpoint bootstrap is not supported from a segment-storage primary; run the primary with -storage=memory to replicate"))
+		return
+	}
 	cps, _, err := s.dur.store.Checkpoints()
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
 	if len(cps) == 0 {
-		s.writeError(w, http.StatusNotFound, errors.New("serve: no checkpoint yet (the primary has not refitted)"))
+		s.writeError(w, http.StatusNotFound, codeNotFound, errors.New("serve: no checkpoint yet (the primary has not refitted)"))
 		return
 	}
 	cp := cps[len(cps)-1]
@@ -365,7 +375,7 @@ func (s *Server) handleReplCheckpoint(w http.ResponseWriter, r *http.Request) {
 			continue // older checkpoint without a posterior part
 		}
 		if err != nil {
-			s.writeError(w, http.StatusInternalServerError, err)
+			s.writeError(w, http.StatusInternalServerError, codeInternal, err)
 			return
 		}
 		names = append(names, name)
@@ -408,14 +418,14 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 	cfg := s.repl.cfg
 	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
 	if err != nil || from == 0 {
-		s.writeError(w, http.StatusBadRequest, errors.New("serve: replication requires ?from=<seq> >= 1"))
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, errors.New("serve: replication requires ?from=<seq> >= 1"))
 		return
 	}
 	wait := cfg.LongPoll
 	if ws := r.URL.Query().Get("wait"); ws != "" {
 		d, err := time.ParseDuration(ws)
 		if err != nil || d < 0 {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad wait %q", ws))
+			s.writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("serve: bad wait %q", ws))
 			return
 		}
 		if d < wait {
@@ -433,7 +443,7 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 		wake := s.walNotify.Wait() // arm before reading: no lost wakeups
 		st := s.dur.log.Stats()
 		if (st.Segments > 0 && from < st.FirstSeq) || (st.Segments == 0 && from <= st.LastSeq) {
-			s.writeError(w, http.StatusGone, fmt.Errorf(
+			s.writeError(w, http.StatusGone, codeWALTruncated, fmt.Errorf(
 				"serve: log history before seq %d is truncated; re-bootstrap from /replication/checkpoint", st.FirstSeq))
 			return
 		}
@@ -442,7 +452,7 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 		// dir). Erroring — instead of long-polling empty responses forever —
 		// surfaces the divergence in the follower's logs and poll_errors.
 		if from > st.LastSeq+1 {
-			s.writeError(w, http.StatusConflict, fmt.Errorf(
+			s.writeError(w, http.StatusConflict, codeFollowerAhead, fmt.Errorf(
 				"serve: follower is ahead of this log (from=%d, head=%d): primary state was lost or replaced", from, st.LastSeq))
 			return
 		}
@@ -457,7 +467,7 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 			return nil
 		})
 		if err != nil && err != errPollFull {
-			s.writeError(w, http.StatusInternalServerError, err)
+			s.writeError(w, http.StatusInternalServerError, codeInternal, err)
 			return
 		}
 		if remaining := time.Until(deadline); n == 0 && remaining > 0 {

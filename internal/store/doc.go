@@ -7,4 +7,15 @@
 // summary statistics mirroring the corpus tables of §6.1.1. All
 // operations are pure: they return new datasets and never mutate their
 // inputs.
+//
+// The package also defines the claim-storage API behind the serving
+// layer: the Backend interface (an append-only raw-claim store with a
+// lock-free point-in-time Reader for scoped scans) and its two
+// implementations — Memory, the heap-resident RawDB path, and
+// SegmentBacked, which mirrors rows into immutable on-disk segments
+// (package internal/segment) sealed incrementally at checkpoint time,
+// with zone-map and bloom data skipping on every scoped scan. Both
+// backends make the same bit-identity promise: identical AddRow order
+// yields identical Rows() order, so every dataset id and truth decision
+// is independent of the storage kind.
 package store

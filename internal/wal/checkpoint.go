@@ -14,6 +14,7 @@ import (
 
 	"latenttruth/internal/dataset"
 	"latenttruth/internal/model"
+	claimseg "latenttruth/internal/segment"
 )
 
 // Checkpoint file layout: one directory per checkpoint,
@@ -84,6 +85,15 @@ type Manifest struct {
 	CreatedAt time.Time `json:"created_at"`
 	// Policy is the serving layer's opaque refit-policy state.
 	Policy json.RawMessage `json:"policy_state,omitempty"`
+	// Storage names the backend kind that wrote the checkpoint; empty
+	// means the classic memory path (triples.csv carries the corpus).
+	Storage string `json:"storage,omitempty"`
+	// Segments lists the immutable on-disk segments covering the corpus
+	// when Storage is "segments": the checkpoint then writes no
+	// triples.csv (TriplesCRC is zero) and recovery reopens the segments
+	// instead. Segments are append-only across checkpoints, so each
+	// checkpoint seals only the rows ingested since the previous one.
+	Segments []claimseg.Ref `json:"segments,omitempty"`
 }
 
 // Store manages a directory of checkpoints.
@@ -128,6 +138,11 @@ func checkpointDirName(seq int64) string {
 // everything is fsynced in a temporary directory, and the directory is
 // atomically renamed into place. The parent directory is fsynced last, so
 // after Write returns the checkpoint survives power loss.
+//
+// A nil triples writer omits triples.csv (TriplesCRC stays zero): that is
+// the segment-backed shape, where the manifest's Segments list carries the
+// corpus coverage instead of a CSV copy — the O(history) rewrite the
+// memory path pays per checkpoint becomes O(new rows).
 func (st *Store) Write(m Manifest, triples, quality, posterior func(io.Writer) error) error {
 	m.Format = manifestFormat
 	if m.CreatedAt.IsZero() {
@@ -149,8 +164,12 @@ func (st *Store) Write(m Manifest, triples, quality, posterior func(io.Writer) e
 	}()
 
 	var err error
-	if m.TriplesCRC, err = writeFileCRC(filepath.Join(tmp, triplesName), triples); err != nil {
-		return err
+	if triples != nil {
+		if m.TriplesCRC, err = writeFileCRC(filepath.Join(tmp, triplesName), triples); err != nil {
+			return err
+		}
+	} else {
+		m.TriplesCRC = 0
 	}
 	if m.QualityCRC, err = writeFileCRC(filepath.Join(tmp, qualityName), quality); err != nil {
 		return err

@@ -7,19 +7,23 @@ import (
 	"strings"
 
 	"latenttruth/internal/model"
+	claimseg "latenttruth/internal/segment"
 )
 
-// Layout of a data directory: the log and the checkpoints live side by
-// side so one -data-dir flag carries everything.
+// Layout of a data directory: the log, the checkpoints and (for the
+// segment storage kind) the sealed claim segments live side by side so
+// one -data-dir flag carries everything.
 const (
 	logSubdir        = "wal"
 	checkpointSubdir = "checkpoints"
+	segmentSubdir    = "segments"
 )
 
-// LogDir and CheckpointDir return the standard subdirectories of a data
-// directory.
+// LogDir, CheckpointDir and SegmentDir return the standard subdirectories
+// of a data directory.
 func LogDir(dataDir string) string        { return filepath.Join(dataDir, logSubdir) }
 func CheckpointDir(dataDir string) string { return filepath.Join(dataDir, checkpointSubdir) }
+func SegmentDir(dataDir string) string    { return filepath.Join(dataDir, segmentSubdir) }
 
 // HasState reports whether dataDir holds any durable state: a checkpoint
 // directory or a log segment. Replication followers use it to decide
@@ -82,8 +86,15 @@ type Recovered struct {
 	// Checkpoint is the checkpoint recovery loaded, nil on cold start.
 	Checkpoint *Checkpoint
 	// DB is the cumulative raw database from the checkpoint (empty on cold
-	// start), in original insertion order.
+	// start), in original insertion order — whether it was read back from
+	// triples.csv or reconstructed from segments.
 	DB *model.RawDB
+	// Storage is the backend kind the loaded checkpoint was written by
+	// ("" or "memory": triples.csv; "segments": the Segments list below).
+	Storage string
+	// Segments lists the verified segment refs the checkpoint covers the
+	// corpus with (nil for memory checkpoints and cold starts).
+	Segments []claimseg.Ref
 	// Tail is the acknowledged-but-not-checkpointed batch suffix: every
 	// log record with a sequence number above the checkpoint's coverage.
 	Tail []Batch
@@ -128,7 +139,16 @@ func Recover(dataDir string, opts Options) (*Recovered, error) {
 	}
 	rec.Stats.CheckpointsSkipped = skipped
 	for i := len(cps) - 1; i >= 0; i-- {
-		db, rerr := cps[i].ReadTriples()
+		var db *model.RawDB
+		var rerr error
+		if cps[i].Manifest.Storage == "segments" {
+			// Segment checkpoints carry no triples.csv: the corpus is
+			// reopened from the immutable segments the manifest lists,
+			// every page CRC-verified before a single row is trusted.
+			db, rerr = loadSegmentDB(SegmentDir(dataDir), cps[i].Manifest.Segments)
+		} else {
+			db, rerr = cps[i].ReadTriples()
+		}
 		if rerr != nil {
 			rec.Stats.CheckpointsSkipped++
 			continue
@@ -136,6 +156,10 @@ func Recover(dataDir string, opts Options) (*Recovered, error) {
 		cp := cps[i]
 		rec.Checkpoint = &cp
 		rec.DB = db
+		if cp.Manifest.Storage != "" {
+			rec.Storage = cp.Manifest.Storage
+		}
+		rec.Segments = cp.Manifest.Segments
 		break
 	}
 	// A directory that HAD checkpoints but where none is readable is not a
@@ -175,4 +199,38 @@ func Recover(dataDir string, opts Options) (*Recovered, error) {
 	}
 	rec.Stats.ColdStart = rec.Checkpoint == nil && openStats.Records == 0
 	return rec, nil
+}
+
+// loadSegmentDB reconstructs the raw database from a checkpoint's segment
+// refs: contiguous global-index coverage is enforced, every segment is
+// opened (CRC-verifying all pages) and decoded into its index range, and
+// the rows are re-added in insertion order — so the rebuilt RawDB is
+// bit-identical to the one the checkpointing server held.
+func loadSegmentDB(dir string, refs []claimseg.Ref) (*model.RawDB, error) {
+	total := 0
+	for _, ref := range refs {
+		if ref.FirstRow != total {
+			return nil, fmt.Errorf("wal: segment %d starts at row %d, want %d (coverage gap)", ref.ID, ref.FirstRow, total)
+		}
+		total += ref.Rows
+	}
+	rows := make([]model.Row, total)
+	for _, ref := range refs {
+		s, err := claimseg.Open(dir, ref)
+		if err != nil {
+			return nil, err
+		}
+		rerr := s.ReadRows(rows)
+		s.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+	}
+	db := model.NewRawDB()
+	for i, r := range rows {
+		if !db.AddRow(r) {
+			return nil, fmt.Errorf("wal: segment row %d is a duplicate; segments are corrupt or mismatched", i)
+		}
+	}
+	return db, nil
 }

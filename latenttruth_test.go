@@ -12,7 +12,7 @@ import (
 // buildTable1 assembles the paper's running example through the public API.
 func buildTable1(t *testing.T) *latenttruth.Dataset {
 	t.Helper()
-	db := latenttruth.NewRawDB()
+	st := latenttruth.NewMemoryStorage()
 	for _, r := range [][3]string{
 		{"Harry Potter", "Daniel Radcliffe", "IMDB"},
 		{"Harry Potter", "Emma Watson", "IMDB"},
@@ -23,9 +23,9 @@ func buildTable1(t *testing.T) *latenttruth.Dataset {
 		{"Harry Potter", "Johnny Depp", "BadSource.com"},
 		{"Pirates 4", "Johnny Depp", "Hulu.com"},
 	} {
-		db.Add(r[0], r[1], r[2])
+		st.AddRow(latenttruth.Row{Entity: r[0], Attribute: r[1], Source: r[2]})
 	}
-	return latenttruth.BuildDataset(db)
+	return latenttruth.BuildDatasetRows(st.Rows())
 }
 
 func TestEndToEndQuickstart(t *testing.T) {
